@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Write-through page ablation (Section 4.2's deferred mechanism).
+ *
+ * A read-heavy shared-memory workload — every cell repeatedly reads a
+ * table owned by cell 0 — with and without the write-through page
+ * cache, sweeping the locality (reads per page). The cache "enables
+ * the replacement of remote accesses with local accesses": message
+ * counts collapse by the locality factor and simulated time follows.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "core/ap1000p.hh"
+#include "core/wtpage.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+struct Result
+{
+    double simUs = 0;
+    std::uint64_t messages = 0;
+};
+
+/** @p reads random-ish table reads, @p span bytes of table. */
+Result
+table_scan(bool use_cache, int reads, std::uint32_t span)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(4);
+    cfg.memBytesPerCell = 4 << 20;
+    hw::Machine m(cfg);
+
+    Result out{};
+    run_spmd(m, [&](Context &ctx) {
+        Addr table = ctx.alloc(span);
+        if (ctx.id() == 0)
+            for (std::uint32_t i = 0; i < span / 8; ++i)
+                ctx.poke_f64(table + static_cast<Addr>(i) * 8,
+                             i * 0.5);
+        ctx.barrier();
+
+        if (ctx.id() != 0) {
+            Tick t0 = ctx.now();
+            double acc = 0;
+            if (use_cache) {
+                WtCache cache(ctx, 16);
+                for (int k = 0; k < reads; ++k) {
+                    Addr off = static_cast<Addr>(
+                                   (k * 1103515245u + ctx.id()) %
+                                   (span / 8)) *
+                               8;
+                    acc += cache.read_f64(0, table + off);
+                }
+            } else {
+                Addr tmp = ctx.alloc(8);
+                for (int k = 0; k < reads; ++k) {
+                    Addr off = static_cast<Addr>(
+                                   (k * 1103515245u + ctx.id()) %
+                                   (span / 8)) *
+                               8;
+                    ctx.read_remote(0, table + off, tmp, 8);
+                    acc += ctx.peek_f64(tmp);
+                }
+            }
+            if (ctx.id() == 1)
+                out.simUs = ticks_to_us(ctx.now() - t0);
+            ctx.compute_us(acc * 0); // keep acc alive
+        }
+        ctx.barrier();
+    });
+    out.messages = m.tnet().stats().messages;
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Write-through page ablation: 512 8-byte reads of "
+                "cell 0's table per reader,\ntable size sweep "
+                "(smaller table = higher page locality)\n\n");
+
+    Table t({"Table bytes", "Pages", "Mode", "Sim us (cell 1)",
+             "T-net msgs"});
+    for (std::uint32_t span : {4096u, 16384u, 65536u, 262144u}) {
+        for (bool cached : {false, true}) {
+            Result r = table_scan(cached, 512, span);
+            t.add_row({strprintf("%u", span),
+                       strprintf("%u", span / 4096),
+                       cached ? "wt-page cache" : "remote reads",
+                       Table::num(r.simUs, 1),
+                       strprintf("%llu",
+                                 static_cast<unsigned long long>(
+                                     r.messages))});
+        }
+    }
+    t.print();
+    std::printf("\nWith the cache, traffic is one page GET per "
+                "resident page per reader; without\nit, one GET per "
+                "read. Past 16 frames x 4 KB of span the cache "
+                "thrashes and the\nadvantage narrows — the same "
+                "locality cliff real software DSM systems show.\n");
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Barrier microbenchmarks (Sections 2.3, 4.5): the hardware S-net
+ * barrier versus the software (SEND/RECEIVE recursive-doubling)
+ * group barrier, swept over machine size; plus group barriers over
+ * subsets, the case the S-net does not cover.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ap1000p.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+hw::MachineConfig
+cfg(int cells)
+{
+    hw::MachineConfig c = hw::MachineConfig::ap1000_plus(cells);
+    c.memBytesPerCell = 1 << 20;
+    return c;
+}
+
+} // namespace
+
+static void
+BM_SnetBarrier(benchmark::State &state)
+{
+    int cells = static_cast<int>(state.range(0));
+    constexpr int rounds = 20;
+    double us = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg(cells));
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            ctx.barrier(); // warm
+            Tick t0 = ctx.now();
+            for (int i = 0; i < rounds; ++i)
+                ctx.barrier();
+            dur = ctx.now() - t0;
+        });
+        us = ticks_to_us(dur) / rounds;
+    }
+    state.counters["sim_us_per_barrier"] = us;
+}
+BENCHMARK(BM_SnetBarrier)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+static void
+BM_SoftwareBarrier(benchmark::State &state)
+{
+    int cells = static_cast<int>(state.range(0));
+    constexpr int rounds = 20;
+    double us = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg(cells));
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Group all = Group::all(ctx.nprocs());
+            ctx.barrier_group(all); // warm
+            Tick t0 = ctx.now();
+            for (int i = 0; i < rounds; ++i)
+                ctx.barrier_group(all);
+            dur = ctx.now() - t0;
+        });
+        us = ticks_to_us(dur) / rounds;
+    }
+    state.counters["sim_us_per_barrier"] = us;
+}
+BENCHMARK(BM_SoftwareBarrier)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+/** Group barrier over half the machine (index-partitioned groups). */
+static void
+BM_GroupBarrierHalf(benchmark::State &state)
+{
+    int cells = static_cast<int>(state.range(0));
+    constexpr int rounds = 20;
+    double us = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg(cells));
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Group low = Group::range(0, ctx.nprocs() / 2);
+            if (!low.contains(ctx.id()))
+                return;
+            ctx.barrier_group(low);
+            Tick t0 = ctx.now();
+            for (int i = 0; i < rounds; ++i)
+                ctx.barrier_group(low);
+            dur = ctx.now() - t0;
+        });
+        us = ticks_to_us(dur) / rounds;
+    }
+    state.counters["sim_us_per_barrier"] = us;
+}
+BENCHMARK(BM_GroupBarrierHalf)->Arg(8)->Arg(32)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Microbenchmarks of the PUT/GET primitives on the functional
+ * machine (Section 1.3's PUT/GET-vs-SEND/RECEIVE argument).
+ *
+ * Wall time measures the simulator itself; the interesting output is
+ * the simulated microseconds reported as counters:
+ *  - sim_us_per_op: simulated latency of one operation
+ *  - sim_MBps: simulated delivered bandwidth.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ap1000p.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+hw::MachineConfig
+cfg2()
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.memBytesPerCell = 8 << 20;
+    return cfg;
+}
+
+} // namespace
+
+/** One-way PUT latency until the receiver's flag fires. */
+static void
+BM_PutLatency(benchmark::State &state)
+{
+    std::uint32_t bytes = static_cast<std::uint32_t>(state.range(0));
+    double sim_us = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg2());
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Addr buf = ctx.alloc(bytes);
+            Addr rf = ctx.alloc_flag();
+            ctx.barrier();
+            Tick t0 = ctx.now();
+            if (ctx.id() == 0)
+                ctx.put(1, buf, buf, bytes, no_flag, rf);
+            if (ctx.id() == 1) {
+                ctx.wait_flag(rf, 1);
+                dur = ctx.now() - t0;
+            }
+        });
+        sim_us += ticks_to_us(dur);
+        ++ops;
+    }
+    state.counters["sim_us_per_op"] =
+        sim_us / static_cast<double>(ops);
+    state.counters["sim_MBps"] =
+        bytes / (sim_us / static_cast<double>(ops));
+}
+BENCHMARK(BM_PutLatency)->Arg(8)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+/** Pipelined PUT bandwidth: many back-to-back transfers. */
+static void
+BM_PutBandwidth(benchmark::State &state)
+{
+    std::uint32_t bytes = static_cast<std::uint32_t>(state.range(0));
+    constexpr int count = 64;
+    double sim_us = 0;
+    std::uint64_t rounds = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg2());
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Addr buf = ctx.alloc(bytes);
+            Addr rf = ctx.alloc_flag();
+            ctx.barrier();
+            Tick t0 = ctx.now();
+            if (ctx.id() == 0)
+                for (int i = 0; i < count; ++i)
+                    ctx.put(1, buf, buf, bytes, no_flag, rf);
+            if (ctx.id() == 1) {
+                ctx.wait_flag(rf, count);
+                dur = ctx.now() - t0;
+            }
+        });
+        sim_us += ticks_to_us(dur);
+        ++rounds;
+    }
+    double us = sim_us / static_cast<double>(rounds);
+    state.counters["sim_MBps"] =
+        static_cast<double>(bytes) * count / us;
+}
+BENCHMARK(BM_PutBandwidth)->Arg(64)->Arg(4096)->Arg(65536);
+
+/** GET round trip. */
+static void
+BM_GetLatency(benchmark::State &state)
+{
+    std::uint32_t bytes = static_cast<std::uint32_t>(state.range(0));
+    double sim_us = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg2());
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Addr buf = ctx.alloc(bytes);
+            Addr rf = ctx.alloc_flag();
+            ctx.barrier();
+            if (ctx.id() == 0) {
+                Tick t0 = ctx.now();
+                ctx.get(1, buf, buf, bytes, no_flag, rf);
+                ctx.wait_flag(rf, 1);
+                dur = ctx.now() - t0;
+            }
+        });
+        sim_us += ticks_to_us(dur);
+        ++ops;
+    }
+    state.counters["sim_us_per_op"] =
+        sim_us / static_cast<double>(ops);
+}
+BENCHMARK(BM_GetLatency)->Arg(8)->Arg(4096)->Arg(65536);
+
+/**
+ * PUT/GET vs SEND/RECEIVE one-way delivery into the user area — the
+ * buffering copy is the architectural difference.
+ */
+static void
+BM_SendRecvLatency(benchmark::State &state)
+{
+    std::uint32_t bytes = static_cast<std::uint32_t>(state.range(0));
+    double sim_us = 0;
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg2());
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Addr buf = ctx.alloc(bytes);
+            ctx.barrier();
+            Tick t0 = ctx.now();
+            if (ctx.id() == 0)
+                ctx.send(1, 1, buf, bytes);
+            if (ctx.id() == 1) {
+                ctx.recv(0, 1, buf, bytes);
+                dur = ctx.now() - t0;
+            }
+        });
+        sim_us += ticks_to_us(dur);
+        ++ops;
+    }
+    state.counters["sim_us_per_op"] =
+        sim_us / static_cast<double>(ops);
+}
+BENCHMARK(BM_SendRecvLatency)->Arg(8)->Arg(1024)->Arg(65536);
+
+BENCHMARK_MAIN();

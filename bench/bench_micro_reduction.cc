@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reduction microbenchmarks (Section 4.5): scalar reductions over
+ * communication registers (fold + recursive doubling + unfold)
+ * versus software group reductions over SEND/RECEIVE, and the
+ * ring-buffer vector-reduction pipeline over vector sizes — CG's
+ * 1400-double reduction included.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ap1000p.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+hw::MachineConfig
+cfg(int cells)
+{
+    hw::MachineConfig c = hw::MachineConfig::ap1000_plus(cells);
+    c.memBytesPerCell = 2 << 20;
+    return c;
+}
+
+} // namespace
+
+static void
+BM_ScalarCommRegReduce(benchmark::State &state)
+{
+    int cells = static_cast<int>(state.range(0));
+    constexpr int rounds = 10;
+    double us = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg(cells));
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            ctx.allreduce(1.0, ReduceOp::sum); // warm
+            Tick t0 = ctx.now();
+            for (int i = 0; i < rounds; ++i)
+                benchmark::DoNotOptimize(
+                    ctx.allreduce(ctx.id() * 1.0, ReduceOp::sum));
+            dur = ctx.now() - t0;
+        });
+        us = ticks_to_us(dur) / rounds;
+    }
+    state.counters["sim_us_per_reduce"] = us;
+}
+BENCHMARK(BM_ScalarCommRegReduce)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+static void
+BM_ScalarSendRecvReduce(benchmark::State &state)
+{
+    int cells = static_cast<int>(state.range(0));
+    constexpr int rounds = 10;
+    double us = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg(cells));
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Group all = Group::all(ctx.nprocs());
+            ctx.allreduce_group(all, 1.0, ReduceOp::sum); // warm
+            Tick t0 = ctx.now();
+            for (int i = 0; i < rounds; ++i)
+                benchmark::DoNotOptimize(ctx.allreduce_group(
+                    all, ctx.id() * 1.0, ReduceOp::sum));
+            dur = ctx.now() - t0;
+        });
+        us = ticks_to_us(dur) / rounds;
+    }
+    state.counters["sim_us_per_reduce"] = us;
+}
+BENCHMARK(BM_ScalarSendRecvReduce)->Arg(4)->Arg(16)->Arg(64);
+
+/** Ring-pipeline vector reduction; Arg = doubles per cell. */
+static void
+BM_VectorRingReduce(benchmark::State &state)
+{
+    std::uint32_t count =
+        static_cast<std::uint32_t>(state.range(0));
+    constexpr int cells = 16;
+    double us = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg(cells));
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            Addr vec = ctx.alloc(count * 8);
+            for (std::uint32_t i = 0; i < count; ++i)
+                ctx.poke_f64(vec + static_cast<Addr>(i) * 8, 1.0);
+            ctx.barrier();
+            Tick t0 = ctx.now();
+            ctx.allreduce_vector(vec, count, ReduceOp::sum);
+            dur = ctx.now() - t0;
+        });
+        us = ticks_to_us(dur);
+    }
+    state.counters["sim_us"] = us;
+    state.counters["sim_MBps"] =
+        static_cast<double>(count) * 8 / us;
+}
+BENCHMARK(BM_VectorRingReduce)
+    ->Arg(16)
+    ->Arg(128)
+    ->Arg(1400) // CG's vector
+    ->Arg(8192);
+
+/** The naive alternative: one scalar reduction per element. */
+static void
+BM_VectorViaScalarReduces(benchmark::State &state)
+{
+    std::uint32_t count =
+        static_cast<std::uint32_t>(state.range(0));
+    constexpr int cells = 16;
+    double us = 0;
+    for (auto _ : state) {
+        hw::Machine m(cfg(cells));
+        Tick dur = 0;
+        run_spmd(m, [&](Context &ctx) {
+            ctx.barrier();
+            Tick t0 = ctx.now();
+            for (std::uint32_t i = 0; i < count; ++i)
+                benchmark::DoNotOptimize(
+                    ctx.allreduce(1.0, ReduceOp::sum));
+            dur = ctx.now() - t0;
+        });
+        us = ticks_to_us(dur);
+    }
+    state.counters["sim_us"] = us;
+}
+BENCHMARK(BM_VectorViaScalarReduces)->Arg(16)->Arg(128);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Stride-transfer ablation (Sections 3.1, 5.4): one hardware stride
+ * PUT versus element-at-a-time PUTs for the same data — the TOMCATV
+ * experiment in miniature. "If the hardware does not support stride
+ * data transfer, the number of times put() is called is much larger
+ * ... and the performance deteriorates."
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ap1000p.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+hw::MachineConfig
+cfg2()
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.memBytesPerCell = 8 << 20;
+    return cfg;
+}
+
+/** Move @p items 8-byte column elements; stride or element-wise. */
+double
+column_move_us(int items, bool use_stride)
+{
+    hw::Machine m(cfg2());
+    Tick dur = 0;
+    run_spmd(m, [&](Context &ctx) {
+        // A column in a row-major matrix: 8-byte items every 2 KB.
+        std::uint32_t pitch = 2048;
+        Addr mat = ctx.alloc(static_cast<std::size_t>(items) * pitch);
+        Addr dst = ctx.alloc(static_cast<std::size_t>(items) * 8);
+        Addr rf = ctx.alloc_flag();
+        ctx.barrier();
+        Tick t0 = ctx.now();
+        if (ctx.id() == 0) {
+            if (use_stride) {
+                ctx.put_stride(
+                    1, dst, mat, false, no_flag, rf,
+                    net::StrideSpec{8,
+                                    static_cast<std::uint32_t>(items),
+                                    pitch - 8},
+                    net::StrideSpec::contiguous(
+                        static_cast<std::uint32_t>(items) * 8));
+            } else {
+                for (int i = 0; i < items; ++i)
+                    ctx.put(1, dst + static_cast<Addr>(i) * 8,
+                            mat + static_cast<Addr>(i) * pitch, 8,
+                            no_flag, rf);
+            }
+        }
+        if (ctx.id() == 1) {
+            ctx.wait_flag(rf, use_stride
+                                  ? 1
+                                  : static_cast<std::uint32_t>(items));
+            dur = ctx.now() - t0;
+        }
+    });
+    return ticks_to_us(dur);
+}
+
+} // namespace
+
+static void
+BM_StrideColumn(benchmark::State &state)
+{
+    int items = static_cast<int>(state.range(0));
+    double us = 0;
+    for (auto _ : state)
+        us = column_move_us(items, true);
+    state.counters["sim_us"] = us;
+}
+BENCHMARK(BM_StrideColumn)->Arg(16)->Arg(64)->Arg(257)->Arg(1024);
+
+static void
+BM_ElementWiseColumn(benchmark::State &state)
+{
+    int items = static_cast<int>(state.range(0));
+    double us = 0;
+    for (auto _ : state)
+        us = column_move_us(items, false);
+    state.counters["sim_us"] = us;
+}
+BENCHMARK(BM_ElementWiseColumn)->Arg(16)->Arg(64)->Arg(257)->Arg(1024);
+
+BENCHMARK_MAIN();

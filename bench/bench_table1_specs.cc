@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces Table 1: AP1000+ specifications, printed from the
+ * machine configuration the functional simulator runs.
+ */
+
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "hw/config.hh"
+#include "hw/mmu.hh"
+#include "hw/queues.hh"
+
+using namespace ap;
+using namespace ap::hw;
+
+int
+main()
+{
+    MachineConfig lo = MachineConfig::ap1000_plus(4);
+    MachineConfig hi = MachineConfig::ap1000_plus(1024);
+
+    std::printf("Table 1: AP1000+ specifications (ours / paper)\n\n");
+
+    Table t({"Item", "Ours", "Paper"});
+    t.add_row({"Processor",
+               strprintf("SuperSPARC (%.0f MHz)", lo.clockMhz),
+               "SuperSPARC (50 MHz)"});
+    t.add_row({"Processor performance",
+               strprintf("%.0f MFLOPS", lo.mflopsPerCell),
+               "50 MFLOPS"});
+    t.add_row({"Memory per cell", "16, 64 megabytes (model default "
+                                  "smaller)",
+               "16, 64 megabytes"});
+    t.add_row({"Cache per cell",
+               strprintf("%zu kilobytes, write-through",
+                         lo.cacheBytes / 1024),
+               "36 kilobytes, write-through"});
+    t.add_row({"System configuration",
+               strprintf("%d - %d cells", lo.cells, hi.cells),
+               "4 - 1024 cells"});
+    t.add_row({"System performance",
+               strprintf("%.1f - %.1f GFLOPS", lo.system_gflops(),
+                         hi.system_gflops()),
+               "0.2 - 51.2 GFLOPS"});
+    t.print();
+
+    std::printf("\nArchitecture constants exercised by the model:\n");
+    std::printf("  MSC+ command queue        %d words "
+                "(%d 8-word commands)\n",
+                lo.queueCapacityWords,
+                lo.queueCapacityWords / Command::queue_words);
+    std::printf("  TLB                       %zu x 4 KB + %zu x "
+                "256 KB entries, direct-mapped\n",
+                Mmu::small_tlb_entries, Mmu::large_tlb_entries);
+    std::printf("  T-net links               %.0f MB/s "
+                "(%.2f us/byte), B-net %.0f MB/s\n",
+                1.0 / lo.tnet.perByteUs, lo.tnet.perByteUs,
+                1.0 / lo.bnet.perByteUs);
+    std::printf("  PUT issue                 8 stores = %.2f us\n",
+                lo.timings.enqueueUs);
+    return 0;
+}

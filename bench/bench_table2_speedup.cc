@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Reproduces Table 2: performance of the AP1000+ and of the AP1000
+ * with its SPARC swapped for a SuperSPARC (software message
+ * handling), both relative to the AP1000.
+ *
+ * Every application's trace replays under the three MLSim parameter
+ * sets; speedup = T(AP1000) / T(model).
+ */
+
+#include <cstdio>
+
+#include "apps/app.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "mlsim/params.hh"
+#include "mlsim/replay.hh"
+
+using namespace ap;
+using namespace ap::apps;
+using namespace ap::mlsim;
+
+int
+main()
+{
+    std::printf("Table 2: performance simulation relative to the "
+                "AP1000 (ours / paper)\n\n");
+
+    Params base = Params::ap1000();
+    Params plus = Params::ap1000_plus();
+    Params fast = Params::ap1000_fast();
+
+    Table t({"App", "PE", "AP1000+ (ours/paper)",
+             "AP1000* (ours/paper)", "T(AP1000) s"});
+
+    for (const auto &app : standard_suite()) {
+        core::Trace trace = app->generate();
+
+        double t_base = Replay(trace, base).run().totalUs;
+        double t_plus = Replay(trace, plus).run().totalUs;
+        double t_fast = Replay(trace, fast).run().totalUs;
+
+        if (t_plus <= 0 || t_fast <= 0) {
+            warn("%s: degenerate replay time",
+                 app->info().name.c_str());
+            continue;
+        }
+
+        t.add_row({app->info().name,
+                   strprintf("%d", app->info().cells),
+                   strprintf("%.2f / %.2f", t_base / t_plus,
+                             app->paper_speedup_plus()),
+                   strprintf("%.2f / %.2f", t_base / t_fast,
+                             app->paper_speedup_fast()),
+                   strprintf("%.3f", t_base / 1e6)});
+    }
+    t.print();
+    std::printf("\nAP1000* = AP1000 with the SPARC replaced by a "
+                "SuperSPARC, message handling in software.\n");
+    return 0;
+}

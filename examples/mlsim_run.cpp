@@ -1,0 +1,168 @@
+/**
+ * @file
+ * mlsim_run — the MLSim command-line front end.
+ *
+ * Replays an application trace under a machine parameter file, the
+ * workflow of Section 5: trace + parameter file in, statistics out.
+ *
+ * Usage:
+ *   mlsim_run --app <name> [--model <name>] [--params <file>]
+ *             [--dump-trace <file>] [--dump-params <file>]
+ *   mlsim_run --trace <file> [--model <name>] [--params <file>]
+ *
+ *   <name>:  EP | CG | FT | SP | "TC st" | "TC no st" | MatMul | SCG
+ *   --model: ap1000 (default) | ap1000+ | ap1000*
+ *   --params overrides --model with a Figure 6-format file.
+ *
+ * Examples:
+ *   mlsim_run --app SCG --model ap1000+
+ *   mlsim_run --app CG --dump-trace cg.trace
+ *   mlsim_run --trace cg.trace --params my_machine.params
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/app.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "mlsim/params.hh"
+#include "mlsim/replay.hh"
+#include "mlsim/trace_file.hh"
+
+using namespace ap;
+using namespace ap::mlsim;
+
+namespace
+{
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: mlsim_run --app <name> | --trace <file>\n"
+                 "       [--model ap1000|ap1000+|ap1000*]\n"
+                 "       [--params <file>] [--dump-trace <file>]\n"
+                 "       [--dump-params <file>]\n");
+    std::exit(2);
+}
+
+Params
+model_by_name(const std::string &name)
+{
+    if (name == "ap1000")
+        return Params::ap1000();
+    if (name == "ap1000+")
+        return Params::ap1000_plus();
+    if (name == "ap1000*")
+        return Params::ap1000_fast();
+    fatal("unknown model '%s' (ap1000, ap1000+, ap1000*)",
+          name.c_str());
+}
+
+std::string
+read_file(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string app_name, trace_path, model_name = "ap1000";
+    std::string params_path, dump_trace, dump_params;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (arg == "--app")
+            app_name = next();
+        else if (arg == "--trace")
+            trace_path = next();
+        else if (arg == "--model")
+            model_name = next();
+        else if (arg == "--params")
+            params_path = next();
+        else if (arg == "--dump-trace")
+            dump_trace = next();
+        else if (arg == "--dump-params")
+            dump_params = next();
+        else
+            usage();
+    }
+    if (app_name.empty() == trace_path.empty())
+        usage(); // exactly one source
+
+    // Load the trace.
+    core::Trace trace;
+    if (!app_name.empty()) {
+        auto app = apps::make_app(app_name);
+        inform("generating %s trace (%d cells)...",
+               app->info().name.c_str(), app->info().cells);
+        trace = app->generate();
+    } else {
+        trace = load_trace(trace_path);
+    }
+    if (!dump_trace.empty()) {
+        save_trace(trace, dump_trace);
+        inform("wrote %s (%llu events)", dump_trace.c_str(),
+               static_cast<unsigned long long>(trace.total_events()));
+    }
+
+    // Load the machine model.
+    Params params = params_path.empty()
+                        ? model_by_name(model_name)
+                        : Params::from_file(read_file(params_path));
+    if (!dump_params.empty()) {
+        std::ofstream f(dump_params);
+        f << params.to_file();
+        inform("wrote %s", dump_params.c_str());
+    }
+
+    // Replay.
+    ReplayReport r = Replay(trace, params).run();
+    if (r.deadlock)
+        fatal("replay deadlocked — trace is inconsistent");
+
+    CellBreakdown m = r.mean();
+    std::printf("\nmodel %s, %d cells, %llu trace events\n",
+                params.name.c_str(), trace.cells(),
+                static_cast<unsigned long long>(
+                    trace.total_events()));
+    std::printf("completion time: %.1f us (%.4f s)\n", r.totalUs,
+                r.totalUs / 1e6);
+
+    Table t({"Component", "mean us/cell", "% of mean total"});
+    double mt = m.totalUs > 0 ? m.totalUs : 1;
+    t.add_row({"Execution", Table::num(m.execUs, 1),
+               Table::num(100 * m.execUs / mt, 1)});
+    t.add_row({"Run-time system", Table::num(m.rtsUs, 1),
+               Table::num(100 * m.rtsUs / mt, 1)});
+    t.add_row({"Overhead", Table::num(m.overheadUs, 1),
+               Table::num(100 * m.overheadUs / mt, 1)});
+    t.add_row({"Idle", Table::num(m.idleUs, 1),
+               Table::num(100 * m.idleUs / mt, 1)});
+    t.print();
+
+    std::printf("point-to-point: %llu messages, %llu bytes, mean "
+                "message %.1f bytes, mean distance %.2f hops\n",
+                static_cast<unsigned long long>(r.messages),
+                static_cast<unsigned long long>(r.payloadBytes),
+                r.messageSize.scalar().mean(),
+                r.distance.scalar().mean());
+    return 0;
+}

@@ -1,0 +1,129 @@
+#include "apps/app.hh"
+
+#include "apps/cg.hh"
+#include "apps/ep.hh"
+#include "apps/ft.hh"
+#include "apps/matmul.hh"
+#include "apps/scg.hh"
+#include "apps/sp.hh"
+#include "apps/tomcatv.hh"
+#include "base/logging.hh"
+
+namespace ap::apps
+{
+
+using core::TraceOp;
+
+Table3Row
+measure_stats(const core::Trace &trace)
+{
+    Table3Row r;
+    r.pe = trace.cells();
+    if (r.pe == 0)
+        return r;
+
+    std::uint64_t send = 0, gop = 0, vgop = 0, sync = 0;
+    std::uint64_t put = 0, puts = 0, get = 0, gets = 0;
+    std::uint64_t xfer_bytes = 0;
+
+    for (CellId c = 0; c < trace.cells(); ++c) {
+        for (const auto &ev : trace.timeline(c)) {
+            switch (ev.op) {
+              case TraceOp::send:
+                ++send;
+                break;
+              case TraceOp::gop:
+                ++gop;
+                break;
+              case TraceOp::vgop:
+                ++vgop;
+                break;
+              case TraceOp::barrier:
+                ++sync;
+                break;
+              case TraceOp::put:
+                // Zero-byte PUT events are bare acknowledge probes;
+                // the paper excludes "GET for acknowledge".
+                if (ev.bytes > 0) {
+                    ++put;
+                    xfer_bytes += ev.bytes;
+                }
+                break;
+              case TraceOp::put_stride:
+                ++puts;
+                xfer_bytes += ev.bytes;
+                break;
+              case TraceOp::get:
+                ++get;
+                xfer_bytes += ev.bytes;
+                break;
+              case TraceOp::get_stride:
+                ++gets;
+                xfer_bytes += ev.bytes;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    // A vector reduction's chain sends once from every cell except
+    // the root: (P-1)/P SENDs per cell per episode (how the paper's
+    // CG row tabulates: 390 x 15/16 = 365.6).
+    double p = static_cast<double>(r.pe);
+    double vgop_sends =
+        static_cast<double>(vgop) * (p - 1.0) / p;
+
+    r.send = (static_cast<double>(send) + vgop_sends) / p;
+    r.gop = static_cast<double>(gop) / p;
+    r.vgop = static_cast<double>(vgop) / p;
+    r.sync = static_cast<double>(sync) / p;
+    r.put = static_cast<double>(put) / p;
+    r.puts = static_cast<double>(puts) / p;
+    r.get = static_cast<double>(get) / p;
+    r.gets = static_cast<double>(gets) / p;
+    std::uint64_t xfers = put + puts + get + gets;
+    r.msgSize = xfers ? static_cast<double>(xfer_bytes) /
+                            static_cast<double>(xfers)
+                      : 0.0;
+    return r;
+}
+
+std::vector<std::unique_ptr<App>>
+standard_suite()
+{
+    std::vector<std::unique_ptr<App>> suite;
+    suite.push_back(std::make_unique<Ep>());
+    suite.push_back(std::make_unique<Cg>());
+    suite.push_back(std::make_unique<Ft>());
+    suite.push_back(std::make_unique<Sp>());
+    suite.push_back(std::make_unique<Tomcatv>(true));
+    suite.push_back(std::make_unique<Tomcatv>(false));
+    suite.push_back(std::make_unique<MatMul>());
+    suite.push_back(std::make_unique<Scg>());
+    return suite;
+}
+
+std::unique_ptr<App>
+make_app(const std::string &name)
+{
+    if (name == "EP")
+        return std::make_unique<Ep>();
+    if (name == "CG")
+        return std::make_unique<Cg>();
+    if (name == "FT")
+        return std::make_unique<Ft>();
+    if (name == "SP")
+        return std::make_unique<Sp>();
+    if (name == "TC st")
+        return std::make_unique<Tomcatv>(true);
+    if (name == "TC no st")
+        return std::make_unique<Tomcatv>(false);
+    if (name == "MatMul")
+        return std::make_unique<MatMul>();
+    if (name == "SCG")
+        return std::make_unique<Scg>();
+    fatal("unknown application '%s'", name.c_str());
+}
+
+} // namespace ap::apps

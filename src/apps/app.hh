@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The application suite of Section 5.2.
+ *
+ * "We present simulation results for a collection of scientific
+ * programs. This collection includes EP, SP, CG, and FT from the NAS
+ * parallel benchmarks, TOMCATV from the SPEC benchmarks in VPP
+ * Fortran, and matrix multiplication and scaled conjugate gradient
+ * (SCG) in C."
+ *
+ * The paper captured these applications' traces on a physical AP1000;
+ * we have no AP1000, so each App generates its message-level trace
+ * from the algorithm's communication structure at the paper's exact
+ * problem sizes (the substitution documented in DESIGN.md). Table 3
+ * gives per-PE operation counts for every application, which pins the
+ * generated traces: measure_stats() recomputes that table from a
+ * trace, and tests assert that our generators land on the paper's
+ * numbers.
+ */
+
+#ifndef AP_APPS_APP_HH
+#define AP_APPS_APP_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace ap::apps
+{
+
+/** One row of Table 3 (all values per PE, averaged). */
+struct Table3Row
+{
+    int pe = 0;
+    double send = 0;   ///< point-to-point SEND messages
+    double gop = 0;    ///< scalar global operations
+    double vgop = 0;   ///< vector global operations
+    double sync = 0;   ///< barrier synchronizations
+    double put = 0;    ///< PUT messages
+    double puts = 0;   ///< PUT with stride
+    double get = 0;    ///< GET messages
+    double gets = 0;   ///< GET with stride
+    double msgSize = 0;///< mean PUT/GET payload (no ack probes)
+};
+
+/** Static description of one application. */
+struct AppInfo
+{
+    std::string name;
+    std::string language; ///< "VPP Fortran" or "C"
+    int cells = 0;
+    std::string description;
+};
+
+/** A workload: generates the paper-scale message-level trace. */
+class App
+{
+  public:
+    virtual ~App() = default;
+
+    /** Name, language, machine size, problem description. */
+    virtual AppInfo info() const = 0;
+
+    /** Build the full trace (one timeline per cell). */
+    virtual core::Trace generate() const = 0;
+
+    /** The paper's Table 3 row for this application. */
+    virtual Table3Row paper_stats() const = 0;
+
+    /** Table 2: the paper's AP1000+ speedup over the AP1000. */
+    virtual double paper_speedup_plus() const = 0;
+
+    /** Table 2: the paper's AP1000* speedup over the AP1000. */
+    virtual double paper_speedup_fast() const = 0;
+};
+
+/**
+ * Recompute a Table 3 row from a trace. Zero-byte acknowledgement
+ * probes are excluded, as the paper excludes "GET for acknowledge";
+ * vector reductions contribute (P-1)/P SENDs per cell per episode
+ * (the reduction chain sends once from every cell but the root),
+ * matching how the paper's counts tabulate CG.
+ */
+Table3Row measure_stats(const core::Trace &trace);
+
+/** All eight applications (Table 3 order), paper problem sizes. */
+std::vector<std::unique_ptr<App>> standard_suite();
+
+/** Look up one application by Table 3 name (e.g. "TC no st"). */
+std::unique_ptr<App> make_app(const std::string &name);
+
+} // namespace ap::apps
+
+#endif // AP_APPS_APP_HH

@@ -1,0 +1,73 @@
+#include "apps/cg.hh"
+
+#include "apps/gen.hh"
+
+namespace ap::apps
+{
+
+AppInfo
+Cg::info() const
+{
+    return AppInfo{"CG", "VPP Fortran", pe,
+                   "conjugate gradient, n=1400, nnz=78184"};
+}
+
+core::Trace
+Cg::generate() const
+{
+    TraceBuilder b(pe);
+    constexpr std::uint64_t vector_bytes = order * 8;       // 11200
+    constexpr std::uint64_t chunk_bytes = vector_bytes / pe;//   700
+    double iter_us = flops_per_iter_per_cell() * sparc_flop_us *
+                     compute_calibration;
+
+    // Setup phase: distribute the matrix, agree on norms.
+    for (int k = 0; k < 30; ++k)
+        b.gop_all();
+    for (int k = 0; k < 15; ++k)
+        b.barrier_all();
+
+    for (int it = 0; it < iterations; ++it) {
+        // Local SpMV and vector updates.
+        for (CellId c = 0; c < pe; ++c)
+            b.compute(c, iter_us);
+
+        // Partial result handed to the ring neighbour (run-time
+        // system PUT with acknowledgement, Section 5.4).
+        for (CellId c = 0; c < pe; ++c)
+            b.put(c, (c + 1) % pe, chunk_bytes,
+                  XferOpts{.stride = false, .ack = true, .rts = true});
+        for (CellId c = 0; c < pe; ++c)
+            b.wait_acks(c);
+        for (CellId c = 0; c < pe; ++c)
+            b.wait_data(c);
+
+        // The dominant full-vector global summation.
+        b.vgop_all(vector_bytes);
+
+        // alpha and beta scalar reductions.
+        b.gop_all();
+        b.gop_all();
+
+        // The compiler-inserted phase barriers (8 per iteration).
+        for (int s = 0; s < 8; ++s)
+            b.barrier_all();
+    }
+    return b.take();
+}
+
+Table3Row
+Cg::paper_stats() const
+{
+    Table3Row r;
+    r.pe = pe;
+    r.send = 365.6;
+    r.gop = 810.0;
+    r.vgop = 390.0;
+    r.sync = 3135.0;
+    r.put = 390.0;
+    r.msgSize = 700.0;
+    return r;
+}
+
+} // namespace ap::apps

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * CG — the NAS conjugate gradient kernel (Section 5.2).
+ *
+ * "CG is the conjugate gradient method for solving a linear system of
+ * equations. The order of the input matrix is 1400 with 78184 nonzero
+ * elements. ... CG reduces the vector global summations of an array
+ * whose vector size is 11200 bytes (1400 x 8) by 390 times."
+ *
+ * Trace structure, derived from Table 3 (16 PEs):
+ *  - 390 iterations, each with one vector global sum of the full
+ *    1400-double vector (V Gop = 390; the reduction chain's one
+ *    blocking SEND per non-root cell gives SEND = 390 x 15/16 =
+ *    365.6);
+ *  - one 700-byte PUT per iteration (the 1400/16-element partial
+ *    vector handed to the neighbour; PUT = 390, mean size = 700);
+ *  - two scalar reductions per iteration plus 30 in setup
+ *    (Gop = 810);
+ *  - eight barriers per iteration plus 15 in setup (Sync = 3135).
+ *
+ * CG is the paper's worst case: "large vector global summations
+ * dominate in its execution. SEND operations are blocking ... so a
+ * large overhead is introduced."
+ */
+
+#ifndef AP_APPS_CG_HH
+#define AP_APPS_CG_HH
+
+#include "apps/app.hh"
+
+namespace ap::apps
+{
+
+/** The CG kernel. */
+class Cg : public App
+{
+  public:
+    static constexpr int pe = 16;
+    static constexpr int order = 1400;
+    static constexpr int nonzeros = 78184;
+    static constexpr int iterations = 390;
+    static constexpr double sparc_flop_us = 0.16;
+    /**
+     * Computation calibration: the paper's traces carry measured
+     * per-iteration processor times, which we cannot capture without
+     * an AP1000; this factor scales the idealized flop count so the
+     * AP1000* column of Table 2 matches (EXPERIMENTS.md).
+     */
+    static constexpr double compute_calibration = 54.0;
+    /** per-iteration flops per cell: SpMV + vector updates. */
+    static constexpr double
+    flops_per_iter_per_cell()
+    {
+        return (2.0 * nonzeros + 10.0 * order) / pe;
+    }
+
+    AppInfo info() const override;
+    core::Trace generate() const override;
+    Table3Row paper_stats() const override;
+    double paper_speedup_plus() const override { return 4.78; }
+    double paper_speedup_fast() const override { return 3.42; }
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_CG_HH

@@ -1,0 +1,34 @@
+#include "apps/ep.hh"
+
+#include "apps/gen.hh"
+
+namespace ap::apps
+{
+
+AppInfo
+Ep::info() const
+{
+    return AppInfo{"EP", "VPP Fortran", pe,
+                   "2^28 pseudo-random numbers, no communication"};
+}
+
+core::Trace
+Ep::generate() const
+{
+    TraceBuilder b(pe);
+    double per_cell_us =
+        total_randoms / pe * flops_per_random * sparc_flop_us;
+    for (CellId c = 0; c < pe; ++c)
+        b.compute(c, per_cell_us);
+    return b.take();
+}
+
+Table3Row
+Ep::paper_stats() const
+{
+    Table3Row r;
+    r.pe = pe;
+    return r; // all zeros: "EP ... has no communication"
+}
+
+} // namespace ap::apps

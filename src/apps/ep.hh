@@ -1,0 +1,41 @@
+/**
+ * @file
+ * EP — the NAS embarrassingly parallel kernel (Section 5.2).
+ *
+ * "EP generates 2^28 pseudo-random numbers and has no communication."
+ * Table 3 is all zeros for EP, so the trace is exactly one compute
+ * event per cell: each cell's slice of the 2^28-number stream of the
+ * NAS linear congruential generator (see base/random.hh's NasLcg),
+ * with ~30 floating-point operations per Gaussian-pair test. EP is
+ * the control: both fast-processor models must show exactly the
+ * processor improvement (8.00 in Table 2).
+ */
+
+#ifndef AP_APPS_EP_HH
+#define AP_APPS_EP_HH
+
+#include "apps/app.hh"
+
+namespace ap::apps
+{
+
+/** The EP kernel. */
+class Ep : public App
+{
+  public:
+    static constexpr int pe = 64;
+    static constexpr double total_randoms = 268435456.0; // 2^28
+    static constexpr double flops_per_random = 30.0;
+    /** base-SPARC time per floating-point operation (us). */
+    static constexpr double sparc_flop_us = 0.16;
+
+    AppInfo info() const override;
+    core::Trace generate() const override;
+    Table3Row paper_stats() const override;
+    double paper_speedup_plus() const override { return 8.00; }
+    double paper_speedup_fast() const override { return 8.00; }
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_EP_HH

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * FT — the NAS 3-D FFT kernel (Section 5.2).
+ *
+ * "FT is a 3-D Fourier transform. The input array size is
+ * 256 x 256 x 128. Six iterations of the FFT were calculated."
+ *
+ * Trace structure, derived from Table 3 (128 PEs, per-PE totals over
+ * the six iterations): PUT 2048, PUTS 7680, GET 9652, GETS 512,
+ * Gop 24 (4/iter), Sync 51 (8/iter + 3 setup), mean transfer
+ * 1638.4 bytes. Each iteration performs the transpose-based
+ * redistribution between the pencil decompositions: contiguous PUTs
+ * carry whole pencils, stride PUTs/GETs carry the re-blocked
+ * columns, and GETs pull remote pencil segments directly (the
+ * SEND/RECEIVE-free all-to-all that direct remote access enables).
+ *
+ * "FT and SP use many communication operations, but the overhead on
+ * the AP1000+ is very small."
+ */
+
+#ifndef AP_APPS_FT_HH
+#define AP_APPS_FT_HH
+
+#include "apps/app.hh"
+
+namespace ap::apps
+{
+
+/** The FT kernel. */
+class Ft : public App
+{
+  public:
+    static constexpr int pe = 128;
+    static constexpr int iterations = 6;
+    static constexpr double points = 256.0 * 256.0 * 128.0;
+    static constexpr double sparc_flop_us = 0.16;
+    /** Computation calibration (see EXPERIMENTS.md / cg.hh). */
+    static constexpr double compute_calibration = 6.1;
+    static constexpr std::uint64_t msg_bytes = 1638;
+
+    /** per-iteration flops per cell: 5 N log2 N / PE (3-D FFT). */
+    static constexpr double
+    flops_per_iter_per_cell()
+    {
+        return 5.0 * points * 23.0 / pe;
+    }
+
+    AppInfo info() const override;
+    core::Trace generate() const override;
+    Table3Row paper_stats() const override;
+    double paper_speedup_plus() const override { return 7.12; }
+    double paper_speedup_fast() const override { return 4.14; }
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_FT_HH

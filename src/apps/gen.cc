@@ -1,0 +1,130 @@
+#include "apps/gen.hh"
+
+#include "base/logging.hh"
+
+namespace ap::apps
+{
+
+using core::TraceEvent;
+using core::TraceOp;
+
+TraceBuilder::TraceBuilder(int cells)
+    : trace(cells),
+      pendingData(static_cast<std::size_t>(cells), 0),
+      acksIssued(static_cast<std::size_t>(cells), 0)
+{
+    if (cells < 1)
+        fatal("trace needs at least one cell");
+}
+
+void
+TraceBuilder::compute(CellId c, double us)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::compute;
+    ev.computeUs = us;
+    trace.record(c, ev);
+}
+
+void
+TraceBuilder::put(CellId src, CellId dst, std::uint64_t bytes,
+                  XferOpts opts)
+{
+    TraceEvent ev;
+    ev.op = opts.stride ? TraceOp::put_stride : TraceOp::put;
+    ev.peer = dst;
+    ev.bytes = bytes;
+    ev.items = opts.stride ? opts.items : 1;
+    ev.ack = opts.ack;
+    ev.viaRts = opts.rts;
+    ev.recvFlagAddr = data_flag;
+    trace.record(src, ev);
+    ++pendingData[static_cast<std::size_t>(dst)];
+    if (opts.ack)
+        ++acksIssued[static_cast<std::size_t>(src)];
+}
+
+void
+TraceBuilder::get(CellId src, CellId dst, std::uint64_t bytes,
+                  XferOpts opts)
+{
+    TraceEvent ev;
+    ev.op = opts.stride ? TraceOp::get_stride : TraceOp::get;
+    ev.peer = dst;
+    ev.bytes = bytes;
+    ev.items = opts.stride ? opts.items : 1;
+    ev.viaRts = opts.rts;
+    ev.recvFlagAddr = data_flag;
+    trace.record(src, ev);
+    ++pendingData[static_cast<std::size_t>(src)];
+}
+
+void
+TraceBuilder::send(CellId src, CellId dst, std::uint64_t bytes)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::send;
+    ev.peer = dst;
+    ev.bytes = bytes;
+    trace.record(src, ev);
+}
+
+void
+TraceBuilder::recv(CellId c, CellId src, std::uint64_t bytes)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::recv;
+    ev.peer = src;
+    ev.bytes = bytes;
+    trace.record(c, ev);
+}
+
+void
+TraceBuilder::wait_data(CellId c)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::flag_wait;
+    ev.recvFlagAddr = data_flag;
+    ev.waitTarget = pendingData[static_cast<std::size_t>(c)];
+    trace.record(c, ev);
+}
+
+void
+TraceBuilder::wait_acks(CellId c)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::ack_wait;
+    ev.waitTarget = acksIssued[static_cast<std::size_t>(c)];
+    trace.record(c, ev);
+}
+
+void
+TraceBuilder::barrier_all()
+{
+    TraceEvent ev;
+    ev.op = TraceOp::barrier;
+    for (CellId c = 0; c < trace.cells(); ++c)
+        trace.record(c, ev);
+}
+
+void
+TraceBuilder::gop_all(std::uint64_t bytes)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::gop;
+    ev.bytes = bytes;
+    for (CellId c = 0; c < trace.cells(); ++c)
+        trace.record(c, ev);
+}
+
+void
+TraceBuilder::vgop_all(std::uint64_t bytes)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::vgop;
+    ev.bytes = bytes;
+    for (CellId c = 0; c < trace.cells(); ++c)
+        trace.record(c, ev);
+}
+
+} // namespace ap::apps

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Trace construction helper for the application generators.
+ *
+ * A TraceBuilder hides the flag bookkeeping the replay engine needs:
+ * every data transfer increments a per-cell completion-flag counter,
+ * and wait_data(cell) emits a flag_wait whose target is "everything
+ * sent toward that cell so far", which is how the VPP Fortran
+ * run-time system detects communication completion (Section 2.2).
+ */
+
+#ifndef AP_APPS_GEN_HH
+#define AP_APPS_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/trace.hh"
+
+namespace ap::apps
+{
+
+/** Options for one generated transfer. */
+struct XferOpts
+{
+    bool stride = false; ///< use the stride op (PUTS / GETS)
+    bool ack = false;    ///< PUT carries an acknowledge probe
+    bool rts = false;    ///< issued by the language runtime
+    std::uint32_t items = 1; ///< stride item count
+};
+
+/** Builds one machine-wide trace. */
+class TraceBuilder
+{
+  public:
+    /** The shared data-completion flag address in every cell. */
+    static constexpr Addr data_flag = 0x80;
+
+    explicit TraceBuilder(int cells);
+
+    int cells() const { return trace.cells(); }
+
+    /** Move the finished trace out. */
+    core::Trace take() { return std::move(trace); }
+
+    /** Emit processor work on @p c (microseconds at SPARC speed). */
+    void compute(CellId c, double us);
+
+    /** Emit a PUT from @p src to @p dst updating dst's data flag. */
+    void put(CellId src, CellId dst, std::uint64_t bytes,
+             XferOpts opts = {});
+
+    /** Emit a GET by @p src from @p dst updating src's data flag. */
+    void get(CellId src, CellId dst, std::uint64_t bytes,
+             XferOpts opts = {});
+
+    /** Emit a SEND (ring-buffer message). */
+    void send(CellId src, CellId dst, std::uint64_t bytes);
+
+    /** Emit the matching RECEIVE on @p c from @p src. */
+    void recv(CellId c, CellId src, std::uint64_t bytes);
+
+    /**
+     * Emit a flag_wait on @p c for every transfer directed at it so
+     * far (the per-iteration completion check).
+     */
+    void wait_data(CellId c);
+
+    /** Emit an ack_wait on @p c for every acked PUT it issued. */
+    void wait_acks(CellId c);
+
+    /** Emit a barrier on every cell. */
+    void barrier_all();
+
+    /** Emit a scalar global operation on every cell. */
+    void gop_all(std::uint64_t bytes = 8);
+
+    /** Emit a vector global operation on every cell. */
+    void vgop_all(std::uint64_t bytes);
+
+  private:
+    core::Trace trace;
+    /** arrivals targeted at each cell's data flag so far. */
+    std::vector<std::uint64_t> pendingData;
+    /** acked PUTs issued by each cell so far. */
+    std::vector<std::uint64_t> acksIssued;
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_GEN_HH

@@ -1,0 +1,48 @@
+#include "apps/matmul.hh"
+
+#include "apps/gen.hh"
+
+namespace ap::apps
+{
+
+AppInfo
+MatMul::info() const
+{
+    return AppInfo{"MatMul", "C", pe, "dense 800x800 matrix product"};
+}
+
+core::Trace
+MatMul::generate() const
+{
+    TraceBuilder b(pe);
+    // Total work 2 n^3 spread over the 64 rotation steps.
+    double step_us = 2.0 * n * n * n / pe / pe * sparc_flop_us *
+                     compute_calibration;
+
+    for (int step = 0; step < pe; ++step) {
+        for (CellId c = 0; c < pe; ++c) {
+            // Push the current block onward (non-blocking; the next
+            // multiplication proceeds while the MSC+ streams it).
+            b.put(c, (c + 1) % pe, block_bytes, XferOpts{});
+        }
+        for (CellId c = 0; c < pe; ++c)
+            b.compute(c, step_us);
+        for (CellId c = 0; c < pe; ++c)
+            b.wait_data(c);
+        b.barrier_all();
+    }
+    return b.take();
+}
+
+Table3Row
+MatMul::paper_stats() const
+{
+    Table3Row r;
+    r.pe = pe;
+    r.sync = 64.0;
+    r.put = 64.0;
+    r.msgSize = 76800.0;
+    return r;
+}
+
+} // namespace ap::apps

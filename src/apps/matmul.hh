@@ -1,0 +1,46 @@
+/**
+ * @file
+ * MatMul — dense matrix multiplication in C (Section 5.2).
+ *
+ * "MatMul calculates A x B = C. The matrix to be calculated is a
+ * dense 800 x 800 matrix." Written directly against the PUT/GET
+ * primitives ("two applications in C language use PUT/GET primitives
+ * directly in the source code") with a rotating-block algorithm: each
+ * of the 64 steps, every cell PUTs its current B block (12 rows x 800
+ * doubles = 76800 bytes, Table 3's message size) to the next cell
+ * while multiplying the block it already holds — communication and
+ * computation overlap, which is why MatMul "almost achieve[s] peak
+ * processor performance" (8.27 in Table 2).
+ */
+
+#ifndef AP_APPS_MATMUL_HH
+#define AP_APPS_MATMUL_HH
+
+#include "apps/app.hh"
+
+namespace ap::apps
+{
+
+/** The dense matrix-multiplication application. */
+class MatMul : public App
+{
+  public:
+    static constexpr int pe = 64;
+    static constexpr int n = 800;
+    static constexpr int block_rows = 12; // rotating block band
+    static constexpr double sparc_flop_us = 0.16;
+    /** Computation calibration (see EXPERIMENTS.md / cg.hh). */
+    static constexpr double compute_calibration = 3.7;
+    static constexpr std::uint64_t block_bytes =
+        static_cast<std::uint64_t>(block_rows) * n * 8; // 76800
+
+    AppInfo info() const override;
+    core::Trace generate() const override;
+    Table3Row paper_stats() const override;
+    double paper_speedup_plus() const override { return 8.27; }
+    double paper_speedup_fast() const override { return 6.22; }
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_MATMUL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SCG — scaled conjugate gradient in C (Section 5.2).
+ *
+ * "SCG solves Poisson's differential equation using the scaled
+ * conjugate gradient method in which the coefficient matrix is scaled
+ * by diagonal elements. The matrix to be solved is a sparse
+ * 40000 x 40000 matrix."
+ *
+ * A 200 x 200 five-point grid, row-band decomposed over 64 cells:
+ * each of the 439 iterations exchanges the two 200-double halo rows
+ * (1600 bytes, Table 3's message size) — one by PUT, one by SEND
+ * (the application mixes both models; Table 3 shows 878.1 of each) —
+ * and performs two scalar reductions (Gop 893 = 2 x 439 + 15 setup).
+ * One final barrier (Sync 1). Hand-written C with overlap, so SCG
+ * "almost achieve[s] peak processor performance" (7.96 in Table 2).
+ */
+
+#ifndef AP_APPS_SCG_HH
+#define AP_APPS_SCG_HH
+
+#include "apps/app.hh"
+
+namespace ap::apps
+{
+
+/** The scaled-conjugate-gradient application. */
+class Scg : public App
+{
+  public:
+    static constexpr int pe = 64;
+    static constexpr int grid = 200;
+    static constexpr int iterations = 439;
+    static constexpr double flops_per_point_per_iter = 30.0;
+    static constexpr double sparc_flop_us = 0.16;
+    /** Computation calibration (see EXPERIMENTS.md / cg.hh). */
+    static constexpr double compute_calibration = 7.6;
+    static constexpr std::uint64_t row_bytes = grid * 8; // 1600
+
+    AppInfo info() const override;
+    core::Trace generate() const override;
+    Table3Row paper_stats() const override;
+    double paper_speedup_plus() const override { return 7.96; }
+    double paper_speedup_fast() const override { return 5.17; }
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_SCG_HH

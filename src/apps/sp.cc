@@ -1,0 +1,82 @@
+#include "apps/sp.hh"
+
+#include "apps/gen.hh"
+
+namespace ap::apps
+{
+
+AppInfo
+Sp::info() const
+{
+    return AppInfo{"SP", "VPP Fortran", pe,
+                   "scalar pentadiagonal, 64^3, 10 iterations"};
+}
+
+core::Trace
+Sp::generate() const
+{
+    TraceBuilder b(pe);
+    double iter_us = points / pe * flops_per_point_per_iter *
+                     sparc_flop_us * compute_calibration;
+
+    constexpr int puts_per_iter = 1088; // 10880 / 10
+    constexpr int gets_per_iter = 1071; // 10710 / 10
+
+    for (int k = 0; k < 2; ++k)
+        b.barrier_all();
+
+    // Neighbour set of the ADI sweeps on the 8x8 torus of cells.
+    auto neighbour = [](CellId c, int k) {
+        static const int offs[4] = {1, 63, 8, 56}; // +-x, +-y
+        return (c + offs[k % 4]) % pe;
+    };
+
+    for (int it = 0; it < iterations; ++it) {
+        // Three directional sweeps; faces move after each.
+        for (int sweep = 0; sweep < 3; ++sweep) {
+            for (CellId c = 0; c < pe; ++c)
+                b.compute(c, iter_us / 3);
+
+            int n_put = puts_per_iter / 3 +
+                        (sweep < puts_per_iter % 3 ? 1 : 0);
+            int n_get = gets_per_iter / 3 +
+                        (sweep < gets_per_iter % 3 ? 1 : 0);
+            for (CellId c = 0; c < pe; ++c) {
+                for (int k = 0; k < n_put; ++k)
+                    b.put(c, neighbour(c, k), msg_bytes,
+                          XferOpts{.ack = true, .rts = true});
+                for (int k = 0; k < n_get; ++k)
+                    b.get(c, neighbour(c, k + 2), msg_bytes,
+                          XferOpts{.rts = true});
+            }
+            for (CellId c = 0; c < pe; ++c)
+                b.wait_acks(c);
+            for (CellId c = 0; c < pe; ++c)
+                b.wait_data(c);
+            b.barrier_all();
+        }
+        b.barrier_all();
+    }
+
+    // Final residual norm: one vector reduction (its chain SEND is
+    // Table 3's single SEND entry).
+    b.vgop_all(msg_bytes);
+
+    return b.take();
+}
+
+Table3Row
+Sp::paper_stats() const
+{
+    Table3Row r;
+    r.pe = pe;
+    r.send = 1.0;
+    r.vgop = 1.0;
+    r.sync = 42.0;
+    r.put = 10880.0;
+    r.get = 10710.0;
+    r.msgSize = 1355.3;
+    return r;
+}
+
+} // namespace ap::apps

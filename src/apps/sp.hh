@@ -1,0 +1,49 @@
+/**
+ * @file
+ * SP — the NAS scalar pentadiagonal kernel (Section 5.2).
+ *
+ * "SP computes the solution for scalar pentadiagonal equations. A
+ * total of 400 iterations are performed on the 64 x 64 x 64 input
+ * array. MLSim simulated the first 10 iterations because of trace
+ * buffer limitations."
+ *
+ * Trace structure, derived from Table 3 (64 PEs, per-PE totals over
+ * the ten simulated iterations): PUT 10880 (1088/iter), GET 10710
+ * (1071/iter), Sync 42 (4/iter + 2), SEND 1 and V Gop 1 (the final
+ * residual norm), mean transfer 1355.3 bytes. The ADI sweeps in the
+ * three grid directions exchange pencil faces with the four torus
+ * neighbours, PUTs pushing updated faces forward and GETs pulling the
+ * back-substitution data.
+ */
+
+#ifndef AP_APPS_SP_HH
+#define AP_APPS_SP_HH
+
+#include "apps/app.hh"
+
+namespace ap::apps
+{
+
+/** The SP kernel. */
+class Sp : public App
+{
+  public:
+    static constexpr int pe = 64;
+    static constexpr int iterations = 10;
+    static constexpr double points = 64.0 * 64.0 * 64.0;
+    static constexpr double flops_per_point_per_iter = 900.0;
+    static constexpr double sparc_flop_us = 0.16;
+    /** Computation calibration (see EXPERIMENTS.md / cg.hh). */
+    static constexpr double compute_calibration = 24.0;
+    static constexpr std::uint64_t msg_bytes = 1355;
+
+    AppInfo info() const override;
+    core::Trace generate() const override;
+    Table3Row paper_stats() const override;
+    double paper_speedup_plus() const override { return 7.62; }
+    double paper_speedup_fast() const override { return 6.05; }
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_SP_HH

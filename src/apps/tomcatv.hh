@@ -1,0 +1,70 @@
+/**
+ * @file
+ * TOMCATV — the SPEC vectorized mesh generator (Section 5.2).
+ *
+ * "TOMCATV is a vectorized mesh generation program. For this program,
+ * two types of simulations were done: one with stride data transfers,
+ * the other without stride data transfers, meaning each item was sent
+ * one by one. MLSim simulated the first 10 iterations."
+ *
+ * The 257 x 257 mesh is block-decomposed along the *second* dimension
+ * (columns), so the overlap areas of Figure 2 are mesh columns and
+ * every boundary refresh is a strided transfer of 257 8-byte items —
+ * 2056 bytes, exactly Table 3's mean message size. Per iteration the
+ * 15 internal boundaries each move two arrays in both directions: 60
+ * stride PUTs plus 60 stride GETs machine-wide, i.e. 3.75 of each per
+ * PE — ten iterations give Table 3's 37.5.
+ *
+ * Without stride support each 257-item column becomes 257 single-
+ * element transfers: 9637.5 per PE of size 8 ("the number of
+ * communications becomes 257 times and the message size one 257th").
+ * "TOMCATV with stride data transfers is about 50% faster than that
+ * without stride data transfers on the AP1000+ model."
+ */
+
+#ifndef AP_APPS_TOMCATV_HH
+#define AP_APPS_TOMCATV_HH
+
+#include "apps/app.hh"
+
+namespace ap::apps
+{
+
+/** The TOMCATV kernel; @p use_stride selects the two Table 3 rows. */
+class Tomcatv : public App
+{
+  public:
+    static constexpr int pe = 16;
+    static constexpr int iterations = 10;
+    static constexpr int mesh = 257;
+    static constexpr double flops_per_point_per_iter = 60.0;
+    static constexpr double sparc_flop_us = 0.16;
+    /** Computation calibration (see EXPERIMENTS.md / cg.hh). */
+    static constexpr double compute_calibration = 15.0;
+    static constexpr std::uint64_t column_bytes = mesh * 8; // 2056
+
+    explicit Tomcatv(bool use_stride) : useStride(use_stride) {}
+
+    AppInfo info() const override;
+    core::Trace generate() const override;
+    Table3Row paper_stats() const override;
+
+    double
+    paper_speedup_plus() const override
+    {
+        return useStride ? 7.83 : 11.55;
+    }
+
+    double
+    paper_speedup_fast() const override
+    {
+        return useStride ? 6.42 : 2.20;
+    }
+
+  private:
+    bool useStride;
+};
+
+} // namespace ap::apps
+
+#endif // AP_APPS_TOMCATV_HH

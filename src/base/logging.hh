@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 style.
+ *
+ * panic()  - an internal simulator invariant broke; aborts.
+ * fatal()  - the user asked for something impossible; exits cleanly.
+ * warn()   - suspicious but survivable condition.
+ * inform() - plain status output.
+ */
+
+#ifndef AP_BASE_LOGGING_HH
+#define AP_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace ap
+{
+
+/** Abort with a formatted message; for simulator bugs. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; for user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Suppress warn()/inform() output (used by tests and benches). */
+void set_quiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool quiet();
+
+/** printf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace ap
+
+#endif // AP_BASE_LOGGING_HH

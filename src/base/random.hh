@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workloads.
+ *
+ * Two generators live here:
+ *  - Random: a splitmix64/xoshiro-style engine used wherever a
+ *    workload needs reproducible randomness (CG/SCG sparsity
+ *    patterns, property-test inputs);
+ *  - NasLcg: the linear congruential generator specified by the NAS
+ *    parallel benchmarks (a = 5^13, modulus 2^46), which the EP
+ *    kernel requires so that its pseudo-random pair counts are the
+ *    real ones.
+ */
+
+#ifndef AP_BASE_RANDOM_HH
+#define AP_BASE_RANDOM_HH
+
+#include <cstdint>
+
+namespace ap
+{
+
+/** Deterministic 64-bit engine (splitmix64 core). */
+class Random
+{
+  public:
+    /** Construct with an explicit seed; identical seeds replay. */
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : state(seed)
+    {}
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        state += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** @return uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** @return uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * The NAS parallel benchmark pseudo-random generator:
+ * x_{k+1} = a * x_k mod 2^46 with a = 5^13, seed 271828183.
+ */
+class NasLcg
+{
+  public:
+    static constexpr std::uint64_t modulus_bits = 46;
+    static constexpr std::uint64_t modulus_mask =
+        (std::uint64_t{1} << modulus_bits) - 1;
+    static constexpr std::uint64_t multiplier = 1220703125ull; // 5^13
+    static constexpr std::uint64_t default_seed = 271828183ull;
+
+    explicit NasLcg(std::uint64_t seed = default_seed) : x(seed) {}
+
+    /** Advance one step and return the new raw state. */
+    std::uint64_t
+    next()
+    {
+        x = mulmod(multiplier, x);
+        return x;
+    }
+
+    /** @return uniform double in (0, 1) per the NAS definition. */
+    double
+    next_double()
+    {
+        return static_cast<double>(next()) * 0x1.0p-46;
+    }
+
+    /**
+     * Jump ahead n steps in O(log n) — this is what lets each EP cell
+     * generate its own disjoint slice of the 2^28 number stream.
+     */
+    void
+    skip(std::uint64_t n)
+    {
+        std::uint64_t a = multiplier;
+        while (n) {
+            if (n & 1)
+                x = mulmod(a, x);
+            a = mulmod(a, a);
+            n >>= 1;
+        }
+    }
+
+    /** @return current raw state. */
+    std::uint64_t state() const { return x; }
+
+  private:
+    static std::uint64_t
+    mulmod(std::uint64_t a, std::uint64_t b)
+    {
+        // 46-bit modulus: 128-bit product then mask.
+        return (static_cast<unsigned __int128>(a) * b) & modulus_mask;
+    }
+
+    std::uint64_t x;
+};
+
+} // namespace ap
+
+#endif // AP_BASE_RANDOM_HH

@@ -1,0 +1,99 @@
+#include "base/strings.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+namespace ap
+{
+
+std::string_view
+trim(std::string_view s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+std::vector<std::string>
+split(std::string_view s, char delim)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == delim) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+split_ws(std::string_view s)
+{
+    std::vector<std::string> out;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        std::size_t start = i;
+        while (i < s.size() &&
+               !std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i > start)
+            out.emplace_back(s.substr(start, i - start));
+    }
+    return out;
+}
+
+std::optional<double>
+parse_double(std::string_view s)
+{
+    std::string buf(trim(s));
+    if (buf.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return v;
+}
+
+std::optional<std::int64_t>
+parse_int(std::string_view s)
+{
+    std::string buf(trim(s));
+    if (buf.empty())
+        return std::nullopt;
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(buf.c_str(), &end, 10);
+    if (errno != 0 || end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return static_cast<std::int64_t>(v);
+}
+
+bool
+starts_with(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+std::string
+to_lower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return out;
+}
+
+} // namespace ap

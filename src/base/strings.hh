@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Small string helpers used by the MLSim parameter/trace parsers.
+ */
+
+#ifndef AP_BASE_STRINGS_HH
+#define AP_BASE_STRINGS_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ap
+{
+
+/** Strip leading and trailing ASCII whitespace. */
+std::string_view trim(std::string_view s);
+
+/** Split on a delimiter character; empty fields are kept. */
+std::vector<std::string> split(std::string_view s, char delim);
+
+/** Split on runs of whitespace; empty fields are dropped. */
+std::vector<std::string> split_ws(std::string_view s);
+
+/** Parse a double; nullopt on any trailing garbage. */
+std::optional<double> parse_double(std::string_view s);
+
+/** Parse a signed 64-bit integer; nullopt on any trailing garbage. */
+std::optional<std::int64_t> parse_int(std::string_view s);
+
+/** True when @p s starts with @p prefix. */
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/** Lower-case an ASCII string. */
+std::string to_lower(std::string_view s);
+
+} // namespace ap
+
+#endif // AP_BASE_STRINGS_HH

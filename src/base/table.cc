@@ -1,0 +1,77 @@
+#include "base/table.hh"
+
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace ap
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headerRow(std::move(headers))
+{
+}
+
+void
+Table::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != headerRow.size())
+        panic("table row has %zu cells, expected %zu", cells.size(),
+              headerRow.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    return strprintf("%.*f", prec, v);
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> width(headerRow.size(), 0);
+    for (std::size_t c = 0; c < headerRow.size(); ++c)
+        width[c] = headerRow[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += ' ';
+            line += row[c];
+            line.append(width[c] - row[c].size(), ' ');
+            line += " |";
+        }
+        line += '\n';
+        return line;
+    };
+
+    std::string rule = "+";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+        rule.append(width[c] + 2, '-');
+        rule += '+';
+    }
+    rule += '\n';
+
+    std::string out;
+    if (!titleText.empty())
+        out += titleText + "\n";
+    out += rule;
+    out += render_row(headerRow);
+    out += rule;
+    for (const auto &row : rows)
+        out += render_row(row);
+    out += rule;
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+} // namespace ap

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table rendering for the bench binaries that reprint the
+ * paper's tables next to our measured values.
+ */
+
+#ifndef AP_BASE_TABLE_HH
+#define AP_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ap
+{
+
+/** Column-aligned ASCII table with an optional title. */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Set a title printed above the table. */
+    void title(std::string t) { titleText = std::move(t); }
+
+    /** Append a row; must have as many cells as there are headers. */
+    void add_row(std::vector<std::string> cells);
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+    /** Format a double with @p prec digits after the point. */
+    static std::string num(double v, int prec = 2);
+
+  private:
+    std::string titleText;
+    std::vector<std::string> headerRow;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace ap
+
+#endif // AP_BASE_TABLE_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental type aliases shared by every AP1000+ library.
+ *
+ * The simulator counts time in integer ticks; one tick is one
+ * nanosecond, so the microsecond-denominated MLSim parameters of the
+ * paper (Figure 6) convert exactly with a factor of 1000.
+ */
+
+#ifndef AP_BASE_TYPES_HH
+#define AP_BASE_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace ap
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick max_tick = std::numeric_limits<Tick>::max();
+
+/** Ticks per microsecond (MLSim parameters are microseconds). */
+constexpr Tick ticks_per_us = 1000;
+
+/** Convert a microsecond value (possibly fractional) to ticks. */
+constexpr Tick
+us_to_ticks(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(ticks_per_us) + 0.5);
+}
+
+/** Convert ticks back to microseconds. */
+constexpr double
+ticks_to_us(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(ticks_per_us);
+}
+
+/** Identifier of a processing element (cell). */
+using CellId = std::int32_t;
+
+/** Sentinel cell id used for "no cell" / broadcast destinations. */
+constexpr CellId invalid_cell = -1;
+
+/** Logical (virtual) address inside a cell. */
+using Addr = std::uint64_t;
+
+/**
+ * The paper's flag-address convention: address 0 means "do not update
+ * any flag" (Section 4.1, "if flag addresses are specified as 0, MSC+
+ * does not update the flag").
+ */
+constexpr Addr no_flag = 0;
+
+/**
+ * The paper's ack convention for GET: destination address 0 makes the
+ * GET packet bounce without copying remote data, so its reply doubles
+ * as a PUT acknowledgement (Section 4.1, "Acknowledge packet").
+ */
+constexpr Addr ack_probe_addr = 0;
+
+} // namespace ap
+
+#endif // AP_BASE_TYPES_HH

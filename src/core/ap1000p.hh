@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Umbrella header: everything a user of the AP1000+ library needs.
+ *
+ * Quickstart:
+ * @code
+ * #include "core/ap1000p.hh"
+ *
+ * ap::hw::Machine m(ap::hw::MachineConfig::ap1000_plus(16));
+ * ap::core::run_spmd(m, [](ap::core::Context &ctx) {
+ *     ap::Addr buf = ctx.alloc(1024);
+ *     ap::Addr flag = ctx.alloc_flag();
+ *     if (ctx.id() == 0)
+ *         ctx.put(1, buf, buf, 1024, ap::no_flag, flag);
+ *     if (ctx.id() == 1)
+ *         ctx.wait_flag(flag, 1);
+ *     ctx.barrier();
+ * });
+ * @endcode
+ */
+
+#ifndef AP_CORE_AP1000P_HH
+#define AP_CORE_AP1000P_HH
+
+#include "base/types.hh"
+#include "core/context.hh"
+#include "core/program.hh"
+#include "core/trace.hh"
+#include "hw/config.hh"
+#include "hw/machine.hh"
+
+#endif // AP_CORE_AP1000P_HH

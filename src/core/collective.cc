@@ -1,0 +1,368 @@
+/**
+ * @file
+ * Barriers and global reductions (Sections 2.3, 4.5).
+ *
+ * - All-cell barriers ride the hardware S-net.
+ * - Scalar all-cell reductions use the communication registers with
+ *   a fold + recursive-doubling + unfold tree: "sending data from
+ *   communication registers to other communication registers can be
+ *   performed with a simple store instruction", and the p-bits
+ *   provide the store/execute/load synchronization.
+ * - Group barriers and group reductions run in software over
+ *   SEND/RECEIVE, as the paper prescribes for specific groups.
+ * - Vector reductions use the ring-buffer pipeline: each cell sends
+ *   its circulating contribution to the next cell's ring buffer and
+ *   combines what arrives *in place*, avoiding the receive copy.
+ */
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "base/logging.hh"
+#include "core/context.hh"
+
+namespace ap::core
+{
+
+namespace
+{
+
+/** FNV-1a over group members: stable tag base per group identity. */
+std::uint64_t
+group_hash(const Group &g)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (CellId c : g.members()) {
+        h ^= static_cast<std::uint64_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Tag spaces: group collectives / vector reductions. */
+constexpr std::int32_t group_tag_bit = 0x40000000;
+constexpr std::int32_t vgop_tag_bit = 0x50000000;
+
+/** Serialize a double into 8 bytes. */
+std::array<std::uint8_t, 8>
+pack_f64(double v)
+{
+    std::array<std::uint8_t, 8> a;
+    std::memcpy(a.data(), &v, 8);
+    return a;
+}
+
+/** Deserialize a double from a payload. */
+double
+unpack_f64(const std::vector<std::uint8_t> &p)
+{
+    double v;
+    std::memcpy(&v, p.data(), 8);
+    return v;
+}
+
+} // namespace
+
+double
+Context::combine(double a, double b, ReduceOp op) const
+{
+    switch (op) {
+      case ReduceOp::sum:
+        return a + b;
+      case ReduceOp::min:
+        return a < b ? a : b;
+      case ReduceOp::max:
+        return a > b ? a : b;
+      case ReduceOp::prod:
+        return a * b;
+    }
+    return a;
+}
+
+// -- communication-register exchange primitive ----------------------------
+
+double
+Context::commreg_exchange(CellId partner, int reg_index, double value)
+{
+    const auto &t = machine.config().timings;
+
+    // Store my value to the partner's register pair: the registers
+    // sit in shared space, so this is one hardware remote store.
+    std::vector<std::uint8_t> data(8);
+    std::memcpy(data.data(), &value, 8);
+    proc.delay(us_to_ticks(t.remoteAccessIssueUs));
+    ++acksOutstanding;
+    cell().msc().issue_remote_store(
+        partner,
+        hw::Mc::commreg_base + static_cast<Addr>(reg_index) * 4,
+        std::move(data));
+
+    // Load my own pair; the p-bit retry stalls until data arrives.
+    proc.delay(us_to_ticks(2 * t.commRegAccessUs));
+    std::uint32_t lo = cell().mc().regs().load(reg_index, proc);
+    std::uint32_t hi = cell().mc().regs().load(reg_index + 1, proc);
+    return std::bit_cast<double>(
+        (static_cast<std::uint64_t>(hi) << 32) | lo);
+}
+
+// -- S-net barrier ---------------------------------------------------------
+
+void
+Context::barrier()
+{
+    TraceEvent ev;
+    ev.op = TraceOp::barrier;
+    trace(ev);
+    ++ctxStats.barriers;
+
+    proc.delay(us_to_ticks(machine.config().timings.barrierIssueUs));
+
+    sim::Condition released;
+    bool done = false;
+    machine.snet().arrive(allBarrier, cellId, [&]() {
+        done = true;
+        released.notify_all();
+    });
+    while (!done)
+        proc.wait(released);
+}
+
+// -- scalar all-cell reduction ----------------------------------------------
+
+double
+Context::allreduce(double value, ReduceOp op)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::gop;
+    ev.bytes = 8;
+    trace(ev);
+    ++ctxStats.gops;
+
+    int p = nprocs();
+    if (p == 1)
+        return value;
+
+    // Two register banks alternate between consecutive reductions so
+    // a fast cell's next reduction can never overwrite a value its
+    // partner has not consumed yet. All-cell collectives are globally
+    // ordered, so every cell agrees on the bank.
+    int bank = (collectiveSeq++ % 2) ? 64 : 0;
+    int me = cellId;
+
+    int r = 1;
+    while (r * 2 <= p)
+        r *= 2;
+
+    double v = value;
+    const auto &t = machine.config().timings;
+
+    if (me >= r) {
+        // Fold my value into my low partner, then pick up the result.
+        std::vector<std::uint8_t> data(8);
+        std::memcpy(data.data(), &v, 8);
+        proc.delay(us_to_ticks(t.remoteAccessIssueUs));
+        ++acksOutstanding;
+        cell().msc().issue_remote_store(
+            me - r, hw::Mc::commreg_base + (bank + 0) * 4,
+            std::move(data));
+
+        proc.delay(us_to_ticks(2 * t.commRegAccessUs));
+        std::uint32_t lo = cell().mc().regs().load(bank + 2, proc);
+        std::uint32_t hi = cell().mc().regs().load(bank + 3, proc);
+        return std::bit_cast<double>(
+            (static_cast<std::uint64_t>(hi) << 32) | lo);
+    }
+
+    if (me + r < p) {
+        proc.delay(us_to_ticks(2 * t.commRegAccessUs));
+        std::uint32_t lo = cell().mc().regs().load(bank + 0, proc);
+        std::uint32_t hi = cell().mc().regs().load(bank + 1, proc);
+        double o = std::bit_cast<double>(
+            (static_cast<std::uint64_t>(hi) << 32) | lo);
+        v = combine(v, o, op);
+    }
+
+    int step = 0;
+    for (int mask = 1; mask < r; mask <<= 1, ++step) {
+        int partner = me ^ mask;
+        int reg = bank + 4 + 2 * step;
+        double o = commreg_exchange(partner, reg, v);
+        v = combine(v, o, op);
+    }
+
+    if (me + r < p) {
+        std::vector<std::uint8_t> data(8);
+        std::memcpy(data.data(), &v, 8);
+        proc.delay(us_to_ticks(t.remoteAccessIssueUs));
+        ++acksOutstanding;
+        cell().msc().issue_remote_store(
+            me + r, hw::Mc::commreg_base + (bank + 2) * 4,
+            std::move(data));
+    }
+    return v;
+}
+
+std::uint64_t
+Context::allreduce_u64(std::uint64_t value, ReduceOp op)
+{
+    // Counts and indices fit a double exactly up to 2^53; the apps
+    // stay far below that.
+    double v = allreduce(static_cast<double>(value), op);
+    return static_cast<std::uint64_t>(v + 0.5);
+}
+
+// -- group collectives over SEND/RECEIVE -------------------------------------
+
+std::int32_t
+Context::group_tag(const Group &group)
+{
+    std::uint64_t h = group_hash(group);
+    std::uint32_t seq = groupSeq[h]++;
+    return group_tag_bit |
+           static_cast<std::int32_t>(((h * 131) + seq * 1031) &
+                                     0x00FFFFFF);
+}
+
+double
+Context::group_reduce(const Group &group, double value, ReduceOp op)
+{
+    int rank = group.rank_of(cellId);
+    if (rank < 0)
+        fatal("cell %d is not a member of this group", cellId);
+
+    int p = group.size();
+    if (p == 1)
+        return value;
+
+    // One tag base per (group, collective#); phases offset the tag so
+    // fold/steps/unfold never collide. Early arrivals simply queue in
+    // the ring buffer, so skewed cells are safe.
+    std::int32_t tag0 = group_tag(group);
+    auto phase_tag = [tag0](int phase) {
+        return tag0 + (phase << 24);
+    };
+
+    int r = 1;
+    while (r * 2 <= p)
+        r *= 2;
+
+    double v = value;
+
+    if (rank >= r) {
+        internal_send(group.at(rank - r), phase_tag(0), pack_f64(v));
+        return unpack_f64(
+            internal_recv(group.at(rank - r), phase_tag(1)).payload);
+    }
+
+    if (rank + r < p) {
+        double o = unpack_f64(
+            internal_recv(group.at(rank + r), phase_tag(0)).payload);
+        v = combine(v, o, op);
+    }
+
+    int step = 0;
+    for (int mask = 1; mask < r; mask <<= 1, ++step) {
+        int partner = rank ^ mask;
+        internal_send(group.at(partner), phase_tag(2 + step),
+                      pack_f64(v));
+        double o = unpack_f64(
+            internal_recv(group.at(partner), phase_tag(2 + step))
+                .payload);
+        v = combine(v, o, op);
+    }
+
+    if (rank + r < p)
+        internal_send(group.at(rank + r), phase_tag(1), pack_f64(v));
+
+    return v;
+}
+
+void
+Context::barrier_group(const Group &group)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::barrier;
+    // Group identity rides in the trace so MLSim can rendezvous the
+    // right subset: member count + a stable group hash.
+    ev.waitTarget = static_cast<std::uint64_t>(group.size());
+    ev.sendFlagAddr = group_hash(group);
+    trace(ev);
+    ++ctxStats.barriers;
+
+    group_reduce(group, 0.0, ReduceOp::sum);
+}
+
+double
+Context::allreduce_group(const Group &group, double value, ReduceOp op)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::gop;
+    ev.bytes = 8;
+    ev.waitTarget = static_cast<std::uint64_t>(group.size());
+    ev.sendFlagAddr = group_hash(group);
+    trace(ev);
+    ++ctxStats.gops;
+
+    return group_reduce(group, value, op);
+}
+
+// -- vector reduction over the ring buffer ------------------------------------
+
+void
+Context::allreduce_vector(Addr vec, std::uint32_t count, ReduceOp op)
+{
+    TraceEvent ev;
+    ev.op = TraceOp::vgop;
+    ev.bytes = static_cast<std::uint64_t>(count) * 8;
+    trace(ev);
+    ++ctxStats.vgops;
+
+    int p = nprocs();
+    if (p <= 1 || count == 0)
+        return;
+
+    std::uint32_t bytes = count * 8;
+
+    // Host-side view of my accumulator.
+    std::vector<std::uint8_t> circulating(bytes);
+    peek(vec, circulating);
+    std::vector<double> acc(count);
+    std::memcpy(acc.data(), circulating.data(), bytes);
+
+    std::int32_t tag0 =
+        vgop_tag_bit | static_cast<std::int32_t>(
+                           (collectiveSeq++ * 2081) & 0x00FFFFFF);
+
+    CellId right = (cellId + 1) % p;
+    CellId left = (cellId - 1 + p) % p;
+
+    // Ring pipeline: my contribution travels the whole ring; I
+    // combine every contribution that passes through me. One tag
+    // serves every step: the T-net is FIFO per source-destination
+    // pair, so ring-buffer matching preserves step order.
+    for (int s = 0; s < p - 1; ++s) {
+        internal_send(right, tag0, circulating);
+
+        hw::SendRecord rec = internal_recv(left, tag0);
+        if (rec.payload.size() != bytes)
+            panic("vgop step %d: expected %u bytes, got %zu", s,
+                  bytes, rec.payload.size());
+
+        std::vector<double> other(count);
+        std::memcpy(other.data(), rec.payload.data(), bytes);
+        for (std::uint32_t i = 0; i < count; ++i)
+            acc[i] = combine(acc[i], other[i], op);
+        // The elementwise combine is processor work.
+        proc.delay(us_to_ticks(static_cast<double>(count) /
+                               machine.config().mflopsPerCell));
+
+        circulating = std::move(rec.payload);
+    }
+
+    std::vector<std::uint8_t> raw(bytes);
+    std::memcpy(raw.data(), acc.data(), bytes);
+    poke(vec, raw);
+}
+
+} // namespace ap::core

@@ -1,0 +1,64 @@
+#include "core/program.hh"
+
+#include <memory>
+
+#include "base/logging.hh"
+
+namespace ap::core
+{
+
+SpmdResult
+run_spmd(hw::Machine &machine, const SpmdBody &body, Trace *trace)
+{
+    int n = machine.size();
+    if (trace && trace->cells() != n)
+        *trace = Trace(n);
+
+    net::Snet::ContextId all_barrier = machine.snet().create_context();
+
+    SpmdResult result;
+    result.cellFinish.assign(static_cast<std::size_t>(n), 0);
+    result.cellBlocked.assign(static_cast<std::size_t>(n), 0);
+
+    std::vector<std::unique_ptr<sim::Process>> procs(
+        static_cast<std::size_t>(n));
+    std::vector<std::unique_ptr<Context>> contexts(
+        static_cast<std::size_t>(n));
+
+    for (int i = 0; i < n; ++i) {
+        auto idx = static_cast<std::size_t>(i);
+        procs[idx] = std::make_unique<sim::Process>(
+            machine.sim(), strprintf("cell%d", i),
+            [&, i](sim::Process &p) {
+                body(*contexts[static_cast<std::size_t>(i)]);
+                result.cellFinish[static_cast<std::size_t>(i)] =
+                    p.simulator().now();
+            });
+        contexts[idx] = std::make_unique<Context>(
+            machine, i, *procs[idx], all_barrier, trace);
+        procs[idx]->start(machine.sim().now());
+    }
+
+    machine.sim().run();
+
+    for (int i = 0; i < n; ++i) {
+        auto idx = static_cast<std::size_t>(i);
+        result.cellBlocked[idx] = procs[idx]->blocked_ticks();
+        if (!procs[idx]->finished()) {
+            result.deadlock = true;
+            result.stuck.push_back(procs[idx]->name());
+        }
+        result.finishTick =
+            std::max(result.finishTick, result.cellFinish[idx]);
+    }
+
+    if (result.deadlock) {
+        warn("SPMD run deadlocked: %zu of %d cells never finished "
+             "(first: %s)",
+             result.stuck.size(), n, result.stuck.front().c_str());
+    }
+
+    return result;
+}
+
+} // namespace ap::core

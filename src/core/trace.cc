@@ -1,0 +1,80 @@
+#include "core/trace.hh"
+
+namespace ap::core
+{
+
+const char *
+to_string(TraceOp op)
+{
+    switch (op) {
+      case TraceOp::compute:
+        return "compute";
+      case TraceOp::put:
+        return "put";
+      case TraceOp::put_stride:
+        return "puts";
+      case TraceOp::get:
+        return "get";
+      case TraceOp::get_stride:
+        return "gets";
+      case TraceOp::send:
+        return "send";
+      case TraceOp::recv:
+        return "recv";
+      case TraceOp::barrier:
+        return "barrier";
+      case TraceOp::gop:
+        return "gop";
+      case TraceOp::vgop:
+        return "vgop";
+      case TraceOp::bcast:
+        return "bcast";
+      case TraceOp::flag_wait:
+        return "flag_wait";
+      case TraceOp::ack_wait:
+        return "ack_wait";
+    }
+    return "?";
+}
+
+bool
+trace_op_from_string(const std::string &s, TraceOp &out)
+{
+    static const struct
+    {
+        const char *name;
+        TraceOp op;
+    } table[] = {
+        {"compute", TraceOp::compute},
+        {"put", TraceOp::put},
+        {"puts", TraceOp::put_stride},
+        {"get", TraceOp::get},
+        {"gets", TraceOp::get_stride},
+        {"send", TraceOp::send},
+        {"recv", TraceOp::recv},
+        {"barrier", TraceOp::barrier},
+        {"gop", TraceOp::gop},
+        {"vgop", TraceOp::vgop},
+        {"bcast", TraceOp::bcast},
+        {"flag_wait", TraceOp::flag_wait},
+        {"ack_wait", TraceOp::ack_wait},
+    };
+    for (const auto &e : table) {
+        if (s == e.name) {
+            out = e.op;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::uint64_t
+Trace::total_events() const
+{
+    std::uint64_t n = 0;
+    for (const auto &t : timelines)
+        n += t.size();
+    return n;
+}
+
+} // namespace ap::core

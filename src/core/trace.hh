@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Message-level trace format — the interchange between the functional
+ * machine and MLSim.
+ *
+ * The paper instrumented the AP1000's communication/synchronization
+ * libraries and interrupt service routines with probes and stored
+ * events "along with time and message information" (Section 5). Our
+ * probes sit at the same level: every Context operation (the
+ * communication library) emits one event. MLSim replays these under a
+ * machine parameter file.
+ */
+
+#ifndef AP_CORE_TRACE_HH
+#define AP_CORE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::core
+{
+
+/** Operation classes — the columns of the paper's Table 3. */
+enum class TraceOp : std::uint8_t
+{
+    compute,   ///< processor work for a given time
+    put,       ///< point-to-point PUT
+    put_stride,///< PUT with stride data transfer (PUTS)
+    get,       ///< point-to-point GET
+    get_stride,///< GET with stride data transfer (GETS)
+    send,      ///< SEND (ring-buffer message)
+    recv,      ///< RECEIVE (blocking search + copy)
+    barrier,   ///< barrier synchronization (Sync)
+    gop,       ///< global operation, scalar (Gop)
+    vgop,      ///< global operation, vector (V Gop)
+    bcast,     ///< B-net broadcast (data distribution)
+    flag_wait, ///< wait for a flag to reach a value
+    ack_wait,  ///< wait for outstanding PUT acknowledgements
+};
+
+/** @return short printable name of an op (trace file mnemonic). */
+const char *to_string(TraceOp op);
+
+/** Parse a trace mnemonic; returns false on unknown names. */
+bool trace_op_from_string(const std::string &s, TraceOp &out);
+
+/** One probe record. */
+struct TraceEvent
+{
+    TraceOp op = TraceOp::compute;
+    /** functional-machine timestamp at the probe (ns). */
+    Tick at = 0;
+    /** peer cell (put/get/send: destination; recv: source). */
+    CellId peer = invalid_cell;
+    /** payload bytes (data ops) or vector bytes (vgop). */
+    std::uint64_t bytes = 0;
+    /** stride item count (stride ops; 1 otherwise). */
+    std::uint32_t items = 1;
+    /** computation duration in microseconds (compute only). */
+    double computeUs = 0.0;
+    /** PUT requested an acknowledgement. */
+    bool ack = false;
+    /**
+     * Wait semantics. flag_wait: wait until the flag at
+     * @ref recvFlagAddr reaches waitTarget. ack_wait: wait until
+     * waitTarget acknowledged PUTs have completed their round trip.
+     */
+    std::uint64_t waitTarget = 0;
+    /** put/get: the send-flag address (0 = none). */
+    Addr sendFlagAddr = 0;
+    /** put/get: the recv-flag address; flag_wait: the waited flag. */
+    Addr recvFlagAddr = 0;
+    /** Issued by the language runtime (charges RTS time in MLSim). */
+    bool viaRts = false;
+};
+
+/** The whole machine's trace: one timeline per cell. */
+class Trace
+{
+  public:
+    Trace() = default;
+
+    /** @param cells number of timelines. */
+    explicit Trace(int cells) : timelines(static_cast<std::size_t>(cells)) {}
+
+    /** Number of cells traced. */
+    int cells() const { return static_cast<int>(timelines.size()); }
+
+    /** Append an event to @p cell's timeline. */
+    void
+    record(CellId cell, TraceEvent ev)
+    {
+        timelines[static_cast<std::size_t>(cell)].push_back(ev);
+    }
+
+    /** One cell's timeline. */
+    const std::vector<TraceEvent> &
+    timeline(CellId cell) const
+    {
+        return timelines[static_cast<std::size_t>(cell)];
+    }
+
+    std::vector<TraceEvent> &
+    timeline(CellId cell)
+    {
+        return timelines[static_cast<std::size_t>(cell)];
+    }
+
+    /** Total events across all cells. */
+    std::uint64_t total_events() const;
+
+  private:
+    std::vector<std::vector<TraceEvent>> timelines;
+};
+
+} // namespace ap::core
+
+#endif // AP_CORE_TRACE_HH

@@ -1,0 +1,170 @@
+#include "core/wtpage.hh"
+
+#include <cstring>
+
+#include "base/logging.hh"
+
+namespace ap::core
+{
+
+WtCache::WtCache(Context &ctx, int frames)
+    : ctx(ctx), numFrames(frames)
+{
+    if (frames < 1)
+        fatal("write-through cache needs at least one frame");
+    for (int i = 0; i < frames; ++i)
+        freeFrames.push_back(ctx.alloc(page_bytes));
+}
+
+Addr
+WtCache::frame_for(CellId owner, Addr raddr)
+{
+    PageKey key = key_of(owner, raddr);
+    auto it = resident.find(key);
+    if (it != resident.end()) {
+        ++wtStats.readHits;
+        return it->second;
+    }
+
+    ++wtStats.readMisses;
+    if (freeFrames.empty()) {
+        // FIFO replacement.
+        PageKey victim = fifo.front();
+        fifo.pop_front();
+        auto vit = resident.find(victim);
+        freeFrames.push_back(vit->second);
+        resident.erase(vit);
+        ++wtStats.evictions;
+    }
+    Addr frame = freeFrames.front();
+    freeFrames.pop_front();
+
+    // Fetch the whole page with one GET.
+    Addr page_base = (raddr / page_bytes) * page_bytes;
+    ctx.read_remote(owner, page_base, frame, page_bytes);
+
+    resident.emplace(key, frame);
+    fifo.push_back(key);
+    return frame;
+}
+
+void
+WtCache::read(CellId owner, Addr raddr, std::span<std::uint8_t> out)
+{
+    Addr off = raddr % page_bytes;
+    if (off + out.size() > page_bytes)
+        fatal("write-through read crosses a page boundary "
+              "(%#llx + %zu)",
+              static_cast<unsigned long long>(raddr), out.size());
+    Addr frame = frame_for(owner, raddr);
+    ctx.peek(frame + off, out);
+}
+
+double
+WtCache::read_f64(CellId owner, Addr raddr)
+{
+    std::uint8_t buf[8];
+    read(owner, raddr, buf);
+    double v;
+    std::memcpy(&v, buf, 8);
+    return v;
+}
+
+std::uint32_t
+WtCache::read_u32(CellId owner, Addr raddr)
+{
+    std::uint8_t buf[4];
+    read(owner, raddr, buf);
+    std::uint32_t v;
+    std::memcpy(&v, buf, 4);
+    return v;
+}
+
+void
+WtCache::write(CellId owner, Addr raddr,
+               std::span<const std::uint8_t> data)
+{
+    if (data.size() > 8)
+        fatal("write-through stores are word-sized (got %zu bytes)",
+              data.size());
+    Addr off = raddr % page_bytes;
+    if (off + data.size() > page_bytes)
+        fatal("write-through store crosses a page boundary");
+
+    ++wtStats.writeThroughs;
+
+    // Update the local copy when present (the "write through" part).
+    auto it = resident.find(key_of(owner, raddr));
+    if (it != resident.end())
+        ctx.poke(it->second + off, data);
+
+    // And push the word to the owner via the hardware remote store.
+    if (owner == ctx.id()) {
+        ctx.poke(raddr, data);
+        return;
+    }
+    // Route through the DSM remote-store path (auto-acked).
+    if (data.size() == 4) {
+        std::uint32_t v;
+        std::memcpy(&v, data.data(), 4);
+        ctx.remote_store_u32(owner, raddr, v);
+    } else if (data.size() == 8) {
+        std::uint64_t v;
+        std::memcpy(&v, data.data(), 8);
+        ctx.remote_store_u64(owner, raddr, v);
+    } else {
+        fatal("write-through stores must be 4 or 8 bytes");
+    }
+}
+
+void
+WtCache::write_f64(CellId owner, Addr raddr, double v)
+{
+    std::uint8_t buf[8];
+    std::memcpy(buf, &v, 8);
+    write(owner, raddr, buf);
+}
+
+void
+WtCache::write_u32(CellId owner, Addr raddr, std::uint32_t v)
+{
+    std::uint8_t buf[4];
+    std::memcpy(buf, &v, 4);
+    write(owner, raddr, buf);
+}
+
+void
+WtCache::invalidate(CellId owner, Addr raddr)
+{
+    PageKey key = key_of(owner, raddr);
+    auto it = resident.find(key);
+    if (it == resident.end())
+        return;
+    ++wtStats.invalidations;
+    freeFrames.push_back(it->second);
+    resident.erase(it);
+    for (auto f = fifo.begin(); f != fifo.end(); ++f) {
+        if (*f == key) {
+            fifo.erase(f);
+            break;
+        }
+    }
+}
+
+void
+WtCache::invalidate_all()
+{
+    wtStats.invalidations += resident.size();
+    for (const auto &[key, frame] : resident)
+        freeFrames.push_back(frame);
+    resident.clear();
+    fifo.clear();
+}
+
+bool
+WtCache::cached(CellId owner, Addr raddr) const
+{
+    return resident.count(key_of(owner, raddr)) > 0;
+}
+
+} // namespace ap::core

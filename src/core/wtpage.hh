@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Write-through pages (Section 4.2).
+ *
+ * "The AP1000+ supports so called write through page to efficiently
+ * execute ... shared memory programming. This mechanism uses part of
+ * local memory as a cache for distributed shared memory space, and
+ * enables the replacement of remote accesses with local accesses."
+ * The paper defers details; this is our implementation of that
+ * mechanism, consistent with the machine's stated philosophy of
+ * "message passing based machines with added software cache
+ * coherence":
+ *
+ *  - reads of remote shared memory are served from a local page copy
+ *    when present; a miss fetches the whole page with one GET;
+ *  - writes go through: the local copy (if any) is updated and the
+ *    word is stored remotely (auto-acked hardware remote store);
+ *  - coherence is software-managed: other cells' writes do NOT
+ *    invalidate your copies. Programs invalidate at synchronization
+ *    points (typically right after a barrier), exactly like the
+ *    era's software-DSM systems.
+ *
+ * The cache holds a bounded number of page frames with FIFO
+ * replacement, carved from the cell's own heap.
+ */
+
+#ifndef AP_CORE_WTPAGE_HH
+#define AP_CORE_WTPAGE_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <span>
+
+#include "core/context.hh"
+
+namespace ap::core
+{
+
+/** Write-through cache statistics. */
+struct WtStats
+{
+    std::uint64_t readHits = 0;
+    std::uint64_t readMisses = 0;  ///< page fetches over the network
+    std::uint64_t writeThroughs = 0;
+    std::uint64_t invalidations = 0;
+    std::uint64_t evictions = 0;
+};
+
+/** A per-cell write-through page cache over remote memories. */
+class WtCache
+{
+  public:
+    /** Cached page size: the MMU's small page (4 KB). */
+    static constexpr std::uint32_t page_bytes = 4096;
+
+    /**
+     * @param ctx the owning cell's context
+     * @param frames page frames to dedicate (heap memory is
+     *               allocated immediately, symmetric across cells)
+     */
+    WtCache(Context &ctx, int frames);
+
+    /**
+     * Read @p out.size() bytes of cell @p owner's memory at logical
+     * @p raddr, through the cache. The access must not cross a page
+     * boundary. Blocking on a miss (one GET round trip).
+     */
+    void read(CellId owner, Addr raddr, std::span<std::uint8_t> out);
+
+    /** Typed convenience reads. */
+    double read_f64(CellId owner, Addr raddr);
+    std::uint32_t read_u32(CellId owner, Addr raddr);
+
+    /**
+     * Write-through store of @p data (at most 8 bytes) to cell
+     * @p owner at @p raddr: updates the local copy when cached and
+     * issues the hardware remote store. Non-blocking; completion via
+     * Context::wait_all_acks().
+     */
+    void write(CellId owner, Addr raddr,
+               std::span<const std::uint8_t> data);
+
+    /** Typed convenience writes. */
+    void write_f64(CellId owner, Addr raddr, double v);
+    void write_u32(CellId owner, Addr raddr, std::uint32_t v);
+
+    /** Drop one cached page (no-op when absent). */
+    void invalidate(CellId owner, Addr raddr);
+
+    /** Drop every cached page (the post-barrier coherence point). */
+    void invalidate_all();
+
+    /** @return true when the page containing @p raddr is cached. */
+    bool cached(CellId owner, Addr raddr) const;
+
+    const WtStats &stats() const { return wtStats; }
+
+  private:
+    /** Key: (owner cell, virtual page number). */
+    using PageKey = std::pair<CellId, Addr>;
+
+    static PageKey
+    key_of(CellId owner, Addr raddr)
+    {
+        return {owner, raddr / page_bytes};
+    }
+
+    /** Local frame holding the page, fetching on miss. */
+    Addr frame_for(CellId owner, Addr raddr);
+
+    Context &ctx;
+    int numFrames;
+    std::deque<Addr> freeFrames;
+    std::map<PageKey, Addr> resident;
+    std::deque<PageKey> fifo;
+    WtStats wtStats;
+};
+
+} // namespace ap::core
+
+#endif // AP_CORE_WTPAGE_HH

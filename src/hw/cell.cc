@@ -1,0 +1,20 @@
+#include "hw/cell.hh"
+
+namespace ap::hw
+{
+
+Cell::Cell(sim::Simulator &sim, const MachineConfig &cfg, CellId id,
+           net::Tnet &tnet)
+    : cellId(id),
+      mem(cfg.memBytesPerCell),
+      mcUnit(mem),
+      ringBuf(cfg.ringBufferBytes),
+      mscUnit(sim, cfg, *this, tnet)
+{
+    // The runtime's default address-space layout: the whole DRAM
+    // identity-mapped with 4 KB pages. Tests exercising faults and
+    // remapping rebuild this as needed.
+    mcUnit.mmu().map_linear(cfg.memBytesPerCell);
+}
+
+} // namespace ap::hw

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * MSC+ command words.
+ *
+ * A PUT/GET is issued by storing 8 parameter words to the MSC+'s
+ * special address (Section 4.1); this struct is that 8-word command
+ * in decoded form. One Command describes one transfer of the
+ * put()/get()/put_stride()/get_stride() interface of Section 3.1.
+ */
+
+#ifndef AP_HW_COMMAND_HH
+#define AP_HW_COMMAND_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+#include "net/message.hh"
+
+namespace ap::hw
+{
+
+/** What a queued command asks the MSC+ to do. */
+enum class CommandKind : std::uint8_t
+{
+    put,               ///< one-sided write (stride-capable)
+    get,               ///< one-sided read (stride-capable)
+    send,              ///< SEND = PUT into the remote ring buffer
+    get_reply,         ///< internal: reply to a GET (reply queue)
+    remote_store,      ///< DSM hardware store (issued by the MC)
+    remote_load,       ///< DSM hardware load (issued by the MC)
+    remote_load_reply, ///< internal: reply to a remote load
+};
+
+/** @return a short printable name for a command kind. */
+const char *to_string(CommandKind kind);
+
+/** A decoded 8-word MSC+ command. */
+struct Command
+{
+    CommandKind kind = CommandKind::put;
+    CellId dst = invalid_cell;
+    Addr raddr = 0;             ///< remote start address (logical)
+    Addr laddr = 0;             ///< local start address (logical)
+    Addr sendFlag = no_flag;    ///< flag on the data-sending cell
+    Addr recvFlag = no_flag;    ///< flag on the data-receiving cell
+    net::StrideSpec localStride;  ///< local-side gather/scatter
+    net::StrideSpec remoteStride; ///< remote-side scatter/gather
+    std::int32_t tag = 0;       ///< SEND message tag
+    std::uint64_t token = 0;    ///< remote-load matching token
+    bool isAckProbe = false;    ///< GET to address 0 (PUT ack trick)
+    /** Inline data for remote stores (processor-supplied word). */
+    std::vector<std::uint8_t> inlineData;
+
+    /** Words occupied in the MSC+ command queue (Section 4.1). */
+    static constexpr int queue_words = 8;
+
+    /** Payload bytes this command will move when sent. */
+    std::uint64_t
+    bytes() const
+    {
+        switch (kind) {
+          case CommandKind::put:
+          case CommandKind::send:
+            return localStride.total_bytes();
+          case CommandKind::get_reply:
+            return remoteStride.total_bytes();
+          case CommandKind::remote_store:
+          case CommandKind::remote_load_reply:
+            return inlineData.size();
+          case CommandKind::get:
+          case CommandKind::remote_load:
+            return 0;
+        }
+        return 0;
+    }
+};
+
+} // namespace ap::hw
+
+#endif // AP_HW_COMMAND_HH

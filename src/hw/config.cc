@@ -1,0 +1,18 @@
+#include "hw/config.hh"
+
+#include "base/logging.hh"
+
+namespace ap::hw
+{
+
+MachineConfig
+MachineConfig::ap1000_plus(int cells)
+{
+    if (cells < 1)
+        fatal("machine must have at least one cell");
+    MachineConfig cfg;
+    cfg.cells = cells;
+    return cfg;
+}
+
+} // namespace ap::hw

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Machine configuration: Table 1 specifications plus the hardware
+ * timing knobs of the functional AP1000+ model.
+ */
+
+#ifndef AP_HW_CONFIG_HH
+#define AP_HW_CONFIG_HH
+
+#include <cstddef>
+#include <string>
+
+#include "base/types.hh"
+#include "net/bnet.hh"
+#include "net/snet.hh"
+#include "net/tnet.hh"
+
+namespace ap::hw
+{
+
+/**
+ * MSC+/MC timing parameters in microseconds. Defaults model the
+ * AP1000+ (hardware message handling): a PUT costs the processor 8
+ * store instructions (8 cycles at 50 MHz = 0.16 us, Section 4.1), the
+ * DMA setup is 0.5 us (Figure 6 put_dma_set_time) and data streams at
+ * the 25 MB/s link rate.
+ */
+struct HwTimings
+{
+    /** processor cost to enqueue one 8-word command. */
+    double enqueueUs = 0.16;
+    /** send DMA setup per command. */
+    double dmaSetUs = 0.50;
+    /** DMA streaming per payload byte (25 MB/s). */
+    double dmaPerByteUs = 0.04;
+    /** receive DMA setup per message. */
+    double recvDmaSetUs = 0.50;
+    /** MC fetch-and-increment of one flag. */
+    double flagUpdateUs = 0.04;
+    /** OS interrupt servicing a queue refill or fault. */
+    double interruptUs = 20.0;
+    /** MSC+ bookkeeping to deposit a SEND in the ring buffer. */
+    double ringDepositUs = 0.50;
+    /** RECEIVE library search of the ring buffer (processor). */
+    double receiveSearchUs = 1.00;
+    /** RECEIVE user-area copy per byte (processor). */
+    double receiveCopyPerByteUs = 0.02;
+    /** processor cost of a local communication-register access. */
+    double commRegAccessUs = 0.08;
+    /** processor cost of issuing a remote load/store (hardware). */
+    double remoteAccessIssueUs = 0.04;
+    /** processor cost of one flag check (read + compare). */
+    double flagCheckUs = 0.10;
+    /** processor cost of entering the S-net barrier. */
+    double barrierIssueUs = 0.20;
+};
+
+/** Full machine configuration (Table 1 plus model knobs). */
+struct MachineConfig
+{
+    /** Number of cells; the real machine scales 4 - 1024. */
+    int cells = 64;
+    /** DRAM per cell. Real machine: 16 or 64 MB; model default is
+     *  smaller so tests stay light. */
+    std::size_t memBytesPerCell = 4 * 1024 * 1024;
+    /** Processor clock (SuperSPARC, 50 MHz). */
+    double clockMhz = 50.0;
+    /** Peak MFLOPS per cell (Table 1). */
+    double mflopsPerCell = 50.0;
+    /** Write-through cache per cell (Table 1: 36 KB). */
+    std::size_t cacheBytes = 36 * 1024;
+    /** MSC+ command queue capacity in words (Section 4.1: 64). */
+    int queueCapacityWords = 64;
+    /** Initial ring buffer capacity per cell. */
+    std::size_t ringBufferBytes = 256 * 1024;
+
+    net::TnetParams tnet;
+    net::BnetParams bnet;
+    net::SnetParams snet;
+    HwTimings timings;
+
+    /** Peak system GFLOPS (Table 1: 0.2 - 51.2). */
+    double
+    system_gflops() const
+    {
+        return cells * mflopsPerCell / 1000.0;
+    }
+
+    /** @return the canonical AP1000+ configuration of Table 1. */
+    static MachineConfig ap1000_plus(int cells = 64);
+};
+
+} // namespace ap::hw
+
+#endif // AP_HW_CONFIG_HH

@@ -1,0 +1,125 @@
+#include "hw/dma.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ap::hw
+{
+
+namespace
+{
+
+constexpr Addr small_page_size = Addr{1} << Mmu::small_page_bits;
+
+/** Largest chunk at @p va that stays within one small page. */
+std::size_t
+page_chunk(Addr va, std::size_t remaining)
+{
+    Addr off = va & (small_page_size - 1);
+    return std::min<std::size_t>(remaining,
+                                 static_cast<std::size_t>(
+                                     small_page_size - off));
+}
+
+} // namespace
+
+DmaResult
+DmaEngine::read_run(Mmu &mmu, const CellMemory &mem, Addr addr,
+                    std::span<std::uint8_t> buf)
+{
+    DmaResult res;
+    std::size_t done = 0;
+    while (done < buf.size()) {
+        Addr va = addr + done;
+        Translation t = mmu.translate(va, false);
+        if (!t.valid) {
+            res.ok = false;
+            res.faultAddr = va;
+            return res;
+        }
+        std::size_t chunk = page_chunk(va, buf.size() - done);
+        mem.read(t.paddr, buf.subspan(done, chunk));
+        done += chunk;
+        res.bytesMoved += chunk;
+    }
+    return res;
+}
+
+DmaResult
+DmaEngine::write_run(Mmu &mmu, CellMemory &mem, Addr addr,
+                     std::span<const std::uint8_t> buf)
+{
+    DmaResult res;
+    std::size_t done = 0;
+    while (done < buf.size()) {
+        Addr va = addr + done;
+        Translation t = mmu.translate(va, true);
+        if (!t.valid) {
+            res.ok = false;
+            res.faultAddr = va;
+            return res;
+        }
+        std::size_t chunk = page_chunk(va, buf.size() - done);
+        mem.write(t.paddr, buf.subspan(done, chunk));
+        done += chunk;
+        res.bytesMoved += chunk;
+    }
+    return res;
+}
+
+DmaResult
+DmaEngine::gather(Mmu &mmu, const CellMemory &mem, Addr addr,
+                  net::StrideSpec spec, std::vector<std::uint8_t> &out)
+{
+    DmaResult total;
+    std::size_t base = out.size();
+    out.resize(base + spec.total_bytes());
+    Addr cursor = addr;
+    std::size_t off = base;
+    for (std::uint32_t i = 0; i < spec.count; ++i) {
+        std::span<std::uint8_t> dst(out.data() + off, spec.itemSize);
+        DmaResult r = read_run(mmu, mem, cursor, dst);
+        total.bytesMoved += r.bytesMoved;
+        if (!r.ok) {
+            total.ok = false;
+            total.faultAddr = r.faultAddr;
+            out.resize(base + static_cast<std::size_t>(
+                                  total.bytesMoved));
+            return total;
+        }
+        off += spec.itemSize;
+        cursor += spec.itemSize + spec.skip;
+    }
+    return total;
+}
+
+DmaResult
+DmaEngine::scatter(Mmu &mmu, CellMemory &mem, Addr addr,
+                   net::StrideSpec spec,
+                   std::span<const std::uint8_t> buf)
+{
+    if (buf.size() != spec.total_bytes())
+        panic("scatter buffer %zu bytes != stride pattern %llu bytes",
+              buf.size(),
+              static_cast<unsigned long long>(spec.total_bytes()));
+    DmaResult total;
+    Addr cursor = addr;
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < spec.count; ++i) {
+        std::span<const std::uint8_t> src = buf.subspan(off,
+                                                        spec.itemSize);
+        DmaResult r = write_run(mmu, mem, cursor, src);
+        total.bytesMoved += r.bytesMoved;
+        if (!r.ok) {
+            total.ok = false;
+            total.faultAddr = r.faultAddr;
+            return total;
+        }
+        off += spec.itemSize;
+        cursor += spec.itemSize + spec.skip;
+    }
+    return total;
+}
+
+} // namespace ap::hw

@@ -1,0 +1,49 @@
+#include "hw/dsm.hh"
+
+#include "base/logging.hh"
+
+namespace ap::hw
+{
+
+DsmMap::DsmMap(int cells, Addr shared_bytes_per_cell)
+    : numCells(cells), blockBytes(shared_bytes_per_cell)
+{
+    if (cells < 1)
+        fatal("DSM map needs at least one cell");
+    if (blockBytes == 0)
+        fatal("DSM block size must be positive");
+    if (static_cast<Addr>(cells) * blockBytes > phys_space / 2)
+        fatal("DSM blocks exceed the 32 GB shared space");
+}
+
+Addr
+DsmMap::block_base(CellId cell) const
+{
+    if (cell < 0 || cell >= numCells)
+        panic("DSM block for invalid cell %d", cell);
+    return shared_base + static_cast<Addr>(cell) * blockBytes;
+}
+
+std::optional<DsmTarget>
+DsmMap::decode(Addr addr) const
+{
+    if (!is_shared(addr))
+        return std::nullopt;
+    Addr off = addr - shared_base;
+    Addr cell = off / blockBytes;
+    if (cell >= static_cast<Addr>(numCells))
+        return std::nullopt;
+    return DsmTarget{static_cast<CellId>(cell), off % blockBytes};
+}
+
+Addr
+DsmMap::encode(CellId cell, Addr local) const
+{
+    if (local >= blockBytes)
+        panic("DSM encode: local offset %#llx beyond %#llx block",
+              static_cast<unsigned long long>(local),
+              static_cast<unsigned long long>(blockBytes));
+    return block_base(cell) + local;
+}
+
+} // namespace ap::hw

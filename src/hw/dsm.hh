@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Distributed shared memory address layout (Section 4.2).
+ *
+ * The SuperSPARC's 64 GB physical space is split in half: 32 GB of
+ * local space and 32 GB of shared space divided into equal per-cell
+ * blocks. A shared-space access is translated by the MSC+ into a
+ * remote load/store: the upper bits select the destination cell, the
+ * rest the local address there. This class is that address math.
+ */
+
+#ifndef AP_HW_DSM_HH
+#define AP_HW_DSM_HH
+
+#include <optional>
+
+#include "base/types.hh"
+
+namespace ap::hw
+{
+
+/** Decoded shared-space address. */
+struct DsmTarget
+{
+    CellId cell = invalid_cell;
+    Addr localAddr = 0;
+};
+
+/** Shared-memory address map of one machine. */
+class DsmMap
+{
+  public:
+    /** Total physical space: 36-bit addresses = 64 GB. */
+    static constexpr Addr phys_space = Addr{1} << 36;
+    /** Shared space starts at the upper half (32 GB). */
+    static constexpr Addr shared_base = phys_space / 2;
+
+    /**
+     * @param cells machine size
+     * @param shared_bytes_per_cell size of each cell's exported block
+     */
+    DsmMap(int cells, Addr shared_bytes_per_cell);
+
+    /** Start of cell @p cell's block in shared space. */
+    Addr block_base(CellId cell) const;
+
+    /** Bytes each cell exports. */
+    Addr block_size() const { return blockBytes; }
+
+    /**
+     * Decode a shared-space address. @return nullopt when the address
+     * is not in shared space or beyond the last cell's block.
+     */
+    std::optional<DsmTarget> decode(Addr addr) const;
+
+    /** @return true when @p addr lies in shared space. */
+    static bool
+    is_shared(Addr addr)
+    {
+        return addr >= shared_base && addr < phys_space;
+    }
+
+    /** Encode (cell, local address) into a shared-space address. */
+    Addr encode(CellId cell, Addr local) const;
+
+  private:
+    int numCells;
+    Addr blockBytes;
+};
+
+} // namespace ap::hw
+
+#endif // AP_HW_DSM_HH

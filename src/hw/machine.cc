@@ -1,0 +1,153 @@
+#include "hw/machine.hh"
+
+#include "base/logging.hh"
+
+namespace ap::hw
+{
+
+Machine::Machine(MachineConfig config)
+    : cfg(config),
+      tnetNet(simulator, net::Torus::squarest(cfg.cells), cfg.tnet),
+      bnetNet(simulator, cfg.cells, cfg.bnet),
+      snetNet(simulator, cfg.cells, cfg.snet),
+      dsmMap(cfg.cells, cfg.memBytesPerCell / 2)
+{
+    cells.reserve(static_cast<std::size_t>(cfg.cells));
+    for (int i = 0; i < cfg.cells; ++i) {
+        cells.push_back(std::make_unique<Cell>(simulator, cfg, i,
+                                               tnetNet));
+        Cell *c = cells.back().get();
+        tnetNet.attach(i, [c](net::Message msg) {
+            c->msc().deliver(std::move(msg));
+        });
+        bnetNet.attach(i, [c](net::Message msg) {
+            c->msc().deliver(std::move(msg));
+        });
+    }
+}
+
+Cell &
+Machine::cell(CellId id)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= cells.size())
+        panic("cell id %d outside machine of %zu cells", id,
+              cells.size());
+    return *cells[static_cast<std::size_t>(id)];
+}
+
+const Cell &
+Machine::cell(CellId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= cells.size())
+        panic("cell id %d outside machine of %zu cells", id,
+              cells.size());
+    return *cells[static_cast<std::size_t>(id)];
+}
+
+void
+Machine::set_fault_hook(FaultHook hook)
+{
+    for (auto &c : cells)
+        c->msc().set_fault_hook(hook);
+}
+
+std::string
+Machine::report() const
+{
+    const net::TnetStats &t = tnetNet.stats();
+    std::string out;
+    out += strprintf("=== machine report: %d cells (%dx%d torus), "
+                     "t = %.1f us ===\n",
+                     cfg.cells, tnetNet.topology().width(),
+                     tnetNet.topology().height(),
+                     ticks_to_us(simulator.now()));
+    out += strprintf("T-net: %llu messages, %llu payload bytes, "
+                     "mean size %.1f B, mean distance %.2f hops\n",
+                     static_cast<unsigned long long>(t.messages),
+                     static_cast<unsigned long long>(t.payloadBytes),
+                     t.messageSize.scalar().mean(),
+                     t.distance.scalar().mean());
+    out += strprintf("B-net: %llu broadcasts\n",
+                     static_cast<unsigned long long>(
+                         bnetNet.count()));
+
+    MscStats msc{};
+    McStats mc{};
+    TlbStats tlb{};
+    RingBufferStats ring{};
+    QueueStats q{};
+    std::uint64_t busiest_sent = 0;
+    CellId busiest = 0;
+    for (const auto &c : cells) {
+        const MscStats &s = c->msc().stats();
+        msc.putsSent += s.putsSent;
+        msc.getsSent += s.getsSent;
+        msc.sendsSent += s.sendsSent;
+        msc.acksReceived += s.acksReceived;
+        msc.remoteStores += s.remoteStores;
+        msc.remoteLoads += s.remoteLoads;
+        msc.localFaults += s.localFaults;
+        msc.remoteFaults += s.remoteFaults;
+        std::uint64_t sent = s.putsSent + s.getsSent + s.sendsSent;
+        if (sent > busiest_sent) {
+            busiest_sent = sent;
+            busiest = c->id();
+        }
+        const McStats &m2 = c->mc().stats();
+        mc.flagIncrements += m2.flagIncrements;
+        tlb.hits += c->mc().mmu().stats().hits;
+        tlb.misses += c->mc().mmu().stats().misses;
+        tlb.faults += c->mc().mmu().stats().faults;
+        const RingBufferStats &r = c->ring().stats();
+        ring.deposits += r.deposits;
+        ring.copies += r.copies;
+        ring.inPlaceReads += r.inPlaceReads;
+        ring.growInterrupts += r.growInterrupts;
+        const QueueStats &uq = c->msc().user_queue().stats();
+        q.pushes += uq.pushes;
+        q.spills += uq.spills;
+        q.refillInterrupts += uq.refillInterrupts;
+    }
+    out += strprintf("MSC+: %llu PUTs, %llu GETs, %llu SENDs, "
+                     "%llu acks, %llu rstores, %llu rloads, "
+                     "faults %llu/%llu (local/remote)\n",
+                     static_cast<unsigned long long>(msc.putsSent),
+                     static_cast<unsigned long long>(msc.getsSent),
+                     static_cast<unsigned long long>(msc.sendsSent),
+                     static_cast<unsigned long long>(
+                         msc.acksReceived),
+                     static_cast<unsigned long long>(
+                         msc.remoteStores),
+                     static_cast<unsigned long long>(
+                         msc.remoteLoads),
+                     static_cast<unsigned long long>(msc.localFaults),
+                     static_cast<unsigned long long>(
+                         msc.remoteFaults));
+    out += strprintf("user queues: %llu commands, %llu spills, "
+                     "%llu refill interrupts\n",
+                     static_cast<unsigned long long>(q.pushes),
+                     static_cast<unsigned long long>(q.spills),
+                     static_cast<unsigned long long>(
+                         q.refillInterrupts));
+    out += strprintf("MC: %llu flag increments; TLB %llu hits / "
+                     "%llu misses / %llu faults\n",
+                     static_cast<unsigned long long>(
+                         mc.flagIncrements),
+                     static_cast<unsigned long long>(tlb.hits),
+                     static_cast<unsigned long long>(tlb.misses),
+                     static_cast<unsigned long long>(tlb.faults));
+    out += strprintf("ring buffers: %llu deposits, %llu copies, "
+                     "%llu in-place reads, %llu grow interrupts\n",
+                     static_cast<unsigned long long>(ring.deposits),
+                     static_cast<unsigned long long>(ring.copies),
+                     static_cast<unsigned long long>(
+                         ring.inPlaceReads),
+                     static_cast<unsigned long long>(
+                         ring.growInterrupts));
+    out += strprintf("busiest sender: cell %d (%llu messages)\n",
+                     busiest,
+                     static_cast<unsigned long long>(busiest_sent));
+    return out;
+}
+
+} // namespace ap::hw

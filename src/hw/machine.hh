@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The whole machine: cells plus the three networks (Figure 4).
+ */
+
+#ifndef AP_HW_MACHINE_HH
+#define AP_HW_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/cell.hh"
+#include "hw/config.hh"
+#include "hw/dsm.hh"
+#include "net/bnet.hh"
+#include "net/snet.hh"
+#include "net/tnet.hh"
+#include "net/topology.hh"
+#include "sim/eventq.hh"
+
+namespace ap::hw
+{
+
+/** A complete AP1000+ system. */
+class Machine
+{
+  public:
+    /** Build the machine described by @p cfg. */
+    explicit Machine(MachineConfig cfg);
+
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    /** The event kernel driving this machine. */
+    sim::Simulator &sim() { return simulator; }
+
+    /** Number of cells. */
+    int size() const { return static_cast<int>(cells.size()); }
+
+    /** Access one cell. */
+    Cell &cell(CellId id);
+    const Cell &cell(CellId id) const;
+
+    net::Tnet &tnet() { return tnetNet; }
+    net::Bnet &bnet() { return bnetNet; }
+    net::Snet &snet() { return snetNet; }
+    const net::Torus &topology() const { return tnetNet.topology(); }
+    const DsmMap &dsm() const { return dsmMap; }
+
+    const MachineConfig &config() const { return cfg; }
+
+    /** Install a PUT/GET page-fault observer on every cell. */
+    void set_fault_hook(FaultHook hook);
+
+    /**
+     * Render a machine-wide statistics report: network traffic,
+     * aggregated MSC+/MC/TLB/ring-buffer counters, and the busiest
+     * cells — the post-run dashboard.
+     */
+    std::string report() const;
+
+  private:
+    MachineConfig cfg;
+    sim::Simulator simulator;
+    net::Tnet tnetNet;
+    net::Bnet bnetNet;
+    net::Snet snetNet;
+    DsmMap dsmMap;
+    std::vector<std::unique_ptr<Cell>> cells;
+};
+
+} // namespace ap::hw
+
+#endif // AP_HW_MACHINE_HH

@@ -1,0 +1,96 @@
+#include "hw/memory.hh"
+
+#include "base/logging.hh"
+
+namespace ap::hw
+{
+
+CellMemory::CellMemory(std::size_t bytes) : data(bytes, 0)
+{
+}
+
+void
+CellMemory::check(Addr addr, std::size_t len) const
+{
+    if (addr + len > data.size() || addr + len < addr)
+        panic("physical access [%#llx, +%zu) beyond %zu-byte DRAM",
+              static_cast<unsigned long long>(addr), len, data.size());
+}
+
+void
+CellMemory::write(Addr addr, std::span<const std::uint8_t> buf)
+{
+    check(addr, buf.size());
+    std::memcpy(data.data() + addr, buf.data(), buf.size());
+}
+
+void
+CellMemory::read(Addr addr, std::span<std::uint8_t> buf) const
+{
+    check(addr, buf.size());
+    std::memcpy(buf.data(), data.data() + addr, buf.size());
+}
+
+std::uint32_t
+CellMemory::read_u32(Addr addr) const
+{
+    check(addr, 4);
+    std::uint32_t v;
+    std::memcpy(&v, data.data() + addr, 4);
+    return v;
+}
+
+void
+CellMemory::write_u32(Addr addr, std::uint32_t value)
+{
+    check(addr, 4);
+    std::memcpy(data.data() + addr, &value, 4);
+}
+
+std::uint64_t
+CellMemory::read_u64(Addr addr) const
+{
+    check(addr, 8);
+    std::uint64_t v;
+    std::memcpy(&v, data.data() + addr, 8);
+    return v;
+}
+
+void
+CellMemory::write_u64(Addr addr, std::uint64_t value)
+{
+    check(addr, 8);
+    std::memcpy(data.data() + addr, &value, 8);
+}
+
+double
+CellMemory::read_f64(Addr addr) const
+{
+    check(addr, 8);
+    double v;
+    std::memcpy(&v, data.data() + addr, 8);
+    return v;
+}
+
+void
+CellMemory::write_f64(Addr addr, double value)
+{
+    check(addr, 8);
+    std::memcpy(data.data() + addr, &value, 8);
+}
+
+std::uint32_t
+CellMemory::fetch_increment_u32(Addr addr)
+{
+    std::uint32_t v = read_u32(addr);
+    write_u32(addr, v + 1);
+    return v;
+}
+
+void
+CellMemory::clear()
+{
+    std::fill(data.begin(), data.end(), 0);
+}
+
+} // namespace ap::hw

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-cell DRAM model.
+ *
+ * The functional machine moves real bytes, so each cell owns a flat
+ * physical memory image. All accesses are bounds-checked; an
+ * out-of-range physical access is a simulator bug (the MMU is in
+ * charge of rejecting bad logical addresses first).
+ */
+
+#ifndef AP_HW_MEMORY_HH
+#define AP_HW_MEMORY_HH
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::hw
+{
+
+/** Flat byte-addressable physical memory of one cell. */
+class CellMemory
+{
+  public:
+    /** @param bytes capacity of the DRAM image. */
+    explicit CellMemory(std::size_t bytes);
+
+    /** Capacity in bytes. */
+    std::size_t size() const { return data.size(); }
+
+    /** Copy @p buf.size() bytes into memory at physical @p addr. */
+    void write(Addr addr, std::span<const std::uint8_t> buf);
+
+    /** Copy @p buf.size() bytes out of memory at physical @p addr. */
+    void read(Addr addr, std::span<std::uint8_t> buf) const;
+
+    /** Read a little-endian 32-bit word. */
+    std::uint32_t read_u32(Addr addr) const;
+
+    /** Write a little-endian 32-bit word. */
+    void write_u32(Addr addr, std::uint32_t value);
+
+    /** Read a little-endian 64-bit word. */
+    std::uint64_t read_u64(Addr addr) const;
+
+    /** Write a little-endian 64-bit word. */
+    void write_u64(Addr addr, std::uint64_t value);
+
+    /** Read a double (8 bytes). */
+    double read_f64(Addr addr) const;
+
+    /** Write a double (8 bytes). */
+    void write_f64(Addr addr, double value);
+
+    /** Atomic-in-simulation fetch-and-increment of a 32-bit word. */
+    std::uint32_t fetch_increment_u32(Addr addr);
+
+    /** Zero-fill the whole image. */
+    void clear();
+
+  private:
+    void check(Addr addr, std::size_t len) const;
+
+    std::vector<std::uint8_t> data;
+};
+
+} // namespace ap::hw
+
+#endif // AP_HW_MEMORY_HH

@@ -1,0 +1,172 @@
+#include "hw/mmu.hh"
+
+#include "base/logging.hh"
+
+namespace ap::hw
+{
+
+namespace
+{
+
+constexpr Addr
+page_mask(std::size_t bits)
+{
+    return (Addr{1} << bits) - 1;
+}
+
+} // namespace
+
+Mmu::Mmu()
+    : smallTlb(small_tlb_entries), largeTlb(large_tlb_entries)
+{
+}
+
+void
+Mmu::map(Addr vaddr, Addr paddr, bool large, bool writable)
+{
+    std::size_t bits = large ? large_page_bits : small_page_bits;
+    if (vaddr & page_mask(bits))
+        fatal("map: logical %#llx not aligned to %zu-bit page",
+              static_cast<unsigned long long>(vaddr), bits);
+    if (paddr & page_mask(bits))
+        fatal("map: physical %#llx not aligned to %zu-bit page",
+              static_cast<unsigned long long>(paddr), bits);
+    Addr vpn = vaddr >> bits;
+    table[(vpn << 1) | (large ? 1 : 0)] =
+        PageEntry{paddr >> bits, large, writable};
+}
+
+void
+Mmu::unmap(Addr vaddr)
+{
+    table.erase((vaddr >> small_page_bits) << 1);
+    table.erase(((vaddr >> large_page_bits) << 1) | 1);
+    flush_tlb();
+}
+
+void
+Mmu::map_linear(std::size_t bytes, bool writable)
+{
+    Addr pages = (bytes + page_mask(small_page_bits)) >>
+                 small_page_bits;
+    for (Addr p = 0; p < pages; ++p)
+        map(p << small_page_bits, p << small_page_bits, false,
+            writable);
+}
+
+std::optional<Mmu::PageEntry>
+Mmu::lookup_table(Addr vaddr, Addr &vpn_out, bool &large_out) const
+{
+    // Small pages take precedence; a large mapping acts as backstop.
+    Addr svpn = vaddr >> small_page_bits;
+    auto it = table.find(svpn << 1);
+    if (it != table.end()) {
+        vpn_out = svpn;
+        large_out = false;
+        return it->second;
+    }
+    Addr lvpn = vaddr >> large_page_bits;
+    it = table.find((lvpn << 1) | 1);
+    if (it != table.end()) {
+        vpn_out = lvpn;
+        large_out = true;
+        return it->second;
+    }
+    return std::nullopt;
+}
+
+Translation
+Mmu::translate(Addr vaddr, bool write)
+{
+    Translation t;
+
+    // TLB probe: both arrays, direct-mapped.
+    Addr svpn = vaddr >> small_page_bits;
+    TlbEntry &se = smallTlb[svpn % small_tlb_entries];
+    if (se.valid && se.vpn == svpn) {
+        if (write && !se.writable) {
+            ++tlbStats.faults;
+            return t;
+        }
+        ++tlbStats.hits;
+        t.valid = true;
+        t.tlbHit = true;
+        t.writable = se.writable;
+        t.paddr = (se.pframe << small_page_bits) |
+                  (vaddr & page_mask(small_page_bits));
+        return t;
+    }
+    Addr lvpn = vaddr >> large_page_bits;
+    TlbEntry &le = largeTlb[lvpn % large_tlb_entries];
+    if (le.valid && le.vpn == lvpn) {
+        if (write && !le.writable) {
+            ++tlbStats.faults;
+            return t;
+        }
+        ++tlbStats.hits;
+        t.valid = true;
+        t.tlbHit = true;
+        t.writable = le.writable;
+        t.paddr = (le.pframe << large_page_bits) |
+                  (vaddr & page_mask(large_page_bits));
+        return t;
+    }
+
+    // TLB miss: walk the page table.
+    Addr vpn = 0;
+    bool large = false;
+    auto entry = lookup_table(vaddr, vpn, large);
+    if (!entry) {
+        ++tlbStats.faults;
+        return t;
+    }
+    ++tlbStats.misses;
+    if (write && !entry->writable) {
+        ++tlbStats.faults;
+        return t;
+    }
+
+    // Fill the appropriate TLB (direct-mapped replacement).
+    if (large) {
+        TlbEntry &e = largeTlb[vpn % large_tlb_entries];
+        e = TlbEntry{true, vpn, entry->pframe, entry->writable};
+        t.paddr = (entry->pframe << large_page_bits) |
+                  (vaddr & page_mask(large_page_bits));
+    } else {
+        TlbEntry &e = smallTlb[vpn % small_tlb_entries];
+        e = TlbEntry{true, vpn, entry->pframe, entry->writable};
+        t.paddr = (entry->pframe << small_page_bits) |
+                  (vaddr & page_mask(small_page_bits));
+    }
+    t.valid = true;
+    t.tlbHit = false;
+    t.writable = entry->writable;
+    return t;
+}
+
+Translation
+Mmu::peek(Addr vaddr) const
+{
+    Translation t;
+    Addr vpn = 0;
+    bool large = false;
+    auto entry = lookup_table(vaddr, vpn, large);
+    if (!entry)
+        return t;
+    std::size_t bits = large ? large_page_bits : small_page_bits;
+    t.valid = true;
+    t.writable = entry->writable;
+    t.paddr = (entry->pframe << bits) | (vaddr & page_mask(bits));
+    return t;
+}
+
+void
+Mmu::flush_tlb()
+{
+    for (auto &e : smallTlb)
+        e.valid = false;
+    for (auto &e : largeTlb)
+        e.valid = false;
+}
+
+} // namespace ap::hw

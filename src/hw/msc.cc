@@ -1,0 +1,435 @@
+#include "hw/msc.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "base/logging.hh"
+#include "hw/cell.hh"
+#include "hw/dma.hh"
+
+namespace ap::hw
+{
+
+Msc::Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
+         net::Tnet &tnet)
+    : sim(sim), cfg(cfg), cell(cell), tnet(tnet),
+      userQ(cfg.queueCapacityWords),
+      systemQ(cfg.queueCapacityWords),
+      remoteQ(cfg.queueCapacityWords),
+      getReplyQ(cfg.queueCapacityWords),
+      loadReplyQ(cfg.queueCapacityWords)
+{
+}
+
+void
+Msc::issue_user(Command cmd)
+{
+    userQ.push(std::move(cmd));
+    kick();
+}
+
+void
+Msc::issue_system(Command cmd)
+{
+    systemQ.push(std::move(cmd));
+    kick();
+}
+
+std::uint64_t
+Msc::issue_remote_load(CellId dst, Addr raddr, std::uint32_t size)
+{
+    Command cmd;
+    cmd.kind = CommandKind::remote_load;
+    cmd.dst = dst;
+    cmd.raddr = raddr;
+    cmd.remoteStride = net::StrideSpec::contiguous(size);
+    cmd.token = nextLoadToken++;
+    std::uint64_t token = cmd.token;
+    remoteQ.push(std::move(cmd));
+    kick();
+    return token;
+}
+
+bool
+Msc::take_load_reply(std::uint64_t token,
+                     std::vector<std::uint8_t> &out)
+{
+    auto it = loadReplies.find(token);
+    if (it == loadReplies.end())
+        return false;
+    out = std::move(it->second);
+    loadReplies.erase(it);
+    return true;
+}
+
+void
+Msc::issue_remote_store(CellId dst, Addr raddr,
+                        std::vector<std::uint8_t> data)
+{
+    Command cmd;
+    cmd.kind = CommandKind::remote_store;
+    cmd.dst = dst;
+    cmd.raddr = raddr;
+    cmd.inlineData = std::move(data);
+    remoteQ.push(std::move(cmd));
+    kick();
+}
+
+CommandQueue *
+Msc::pick_queue()
+{
+    // Priority (Section 4.1): remote access is privileged because the
+    // processor blocks on remote loads; remote-load replies precede
+    // GET replies; system PUT/GET precedes user PUT/GET.
+    CommandQueue *order[] = {&remoteQ, &loadReplyQ, &getReplyQ,
+                             &systemQ, &userQ};
+    for (CommandQueue *q : order)
+        if (q->hw_depth() > 0)
+            return q;
+    return nullptr;
+}
+
+void
+Msc::maybe_refill(CommandQueue &q)
+{
+    // "When the queue empties, the MSC+ interrupts the operating
+    // system, which then loads data from the buffer in DRAM back into
+    // the queue." Refills run concurrently with other queues' sends.
+    if (!q.needs_refill() || q.refill_scheduled())
+        return;
+    q.set_refill_scheduled(true);
+    sim.schedule_after(us_to_ticks(cfg.timings.interruptUs),
+                       [this, &q]() {
+                           q.refill();
+                           q.set_refill_scheduled(false);
+                           kick();
+                       });
+}
+
+void
+Msc::kick()
+{
+    if (senderBusy)
+        return;
+    CommandQueue *q = pick_queue();
+    if (!q)
+        return;
+    senderBusy = true;
+    Command cmd = q->pop();
+    maybe_refill(*q);
+    // Send DMA setup, then the payload gather and injection.
+    sim.schedule_after(us_to_ticks(cfg.timings.dmaSetUs),
+                       [this, cmd = std::move(cmd)]() mutable {
+                           process(std::move(cmd));
+                       });
+}
+
+void
+Msc::process(Command cmd)
+{
+    // Gather the payload this command sends, if any.
+    std::vector<std::uint8_t> payload;
+    switch (cmd.kind) {
+      case CommandKind::put:
+      case CommandKind::send: {
+        DmaResult r = DmaEngine::gather(cell.mc().mmu(),
+                                        cell.mc().memory(), cmd.laddr,
+                                        cmd.localStride, payload);
+        if (!r.ok) {
+            local_fault(r.faultAddr);
+            return;
+        }
+        break;
+      }
+      case CommandKind::get_reply: {
+        if (!cmd.isAckProbe) {
+            DmaResult r = DmaEngine::gather(
+                cell.mc().mmu(), cell.mc().memory(), cmd.raddr,
+                cmd.remoteStride, payload);
+            if (!r.ok) {
+                local_fault(r.faultAddr);
+                return;
+            }
+        }
+        break;
+      }
+      case CommandKind::remote_store:
+      case CommandKind::remote_load_reply:
+        payload = std::move(cmd.inlineData);
+        break;
+      case CommandKind::get:
+      case CommandKind::remote_load:
+        break; // header-only requests
+    }
+
+    // Stream the payload into the network, then finish.
+    Tick stream = us_to_ticks(cfg.timings.dmaPerByteUs *
+                              static_cast<double>(payload.size()));
+    sim.schedule_after(stream, [this, cmd = std::move(cmd),
+                                payload = std::move(payload)]() mutable {
+        finish_send(std::move(cmd), std::move(payload));
+    });
+}
+
+void
+Msc::finish_send(Command cmd, std::vector<std::uint8_t> payload)
+{
+    net::Message msg;
+    msg.src = cell.id();
+    msg.dst = cmd.dst;
+    mscStats.payloadBytesSent += payload.size();
+
+    switch (cmd.kind) {
+      case CommandKind::put:
+        msg.kind = net::MsgKind::put_data;
+        msg.raddr = cmd.raddr;
+        msg.laddr = cmd.laddr;
+        msg.destFlag = cmd.recvFlag;
+        msg.remoteStride = cmd.remoteStride;
+        msg.payload = std::move(payload);
+        ++mscStats.putsSent;
+        break;
+      case CommandKind::send:
+        msg.kind = net::MsgKind::put_data;
+        msg.toRingBuffer = true;
+        msg.tag = cmd.tag;
+        msg.destFlag = cmd.recvFlag;
+        msg.payload = std::move(payload);
+        ++mscStats.sendsSent;
+        break;
+      case CommandKind::get:
+        msg.kind = net::MsgKind::get_request;
+        msg.raddr = cmd.raddr;
+        msg.laddr = cmd.laddr;
+        msg.destFlag = cmd.sendFlag;   // bumps at the data owner
+        msg.originFlag = cmd.recvFlag; // rides back in the reply
+        msg.remoteStride = cmd.remoteStride;
+        msg.localStride = cmd.localStride;
+        msg.isAckProbe = cmd.isAckProbe;
+        ++mscStats.getsSent;
+        break;
+      case CommandKind::get_reply:
+        msg.kind = net::MsgKind::get_reply;
+        msg.laddr = cmd.laddr;
+        msg.originFlag = cmd.recvFlag;
+        msg.localStride = cmd.localStride;
+        msg.isAckProbe = cmd.isAckProbe;
+        msg.payload = std::move(payload);
+        ++mscStats.getRepliesSent;
+        break;
+      case CommandKind::remote_store:
+        msg.kind = net::MsgKind::remote_store;
+        msg.raddr = cmd.raddr;
+        msg.payload = std::move(payload);
+        break;
+      case CommandKind::remote_load:
+        msg.kind = net::MsgKind::remote_load;
+        msg.raddr = cmd.raddr;
+        msg.remoteStride = cmd.remoteStride;
+        msg.token = cmd.token;
+        break;
+      case CommandKind::remote_load_reply:
+        msg.kind = net::MsgKind::remote_load_reply;
+        msg.token = cmd.token;
+        msg.payload = std::move(payload);
+        break;
+    }
+
+    tnet.send(std::move(msg));
+
+    // Combined flag update: the send flag increments when the send
+    // DMA completes (PUT/SEND at the origin; GET at the data owner,
+    // via the get_reply command's sendFlag).
+    if (cmd.kind == CommandKind::put ||
+        cmd.kind == CommandKind::send ||
+        cmd.kind == CommandKind::get_reply) {
+        if (cmd.sendFlag != no_flag) {
+            sim.schedule_after(
+                us_to_ticks(cfg.timings.flagUpdateUs),
+                [this, flag = cmd.sendFlag]() {
+                    cell.mc().increment_flag(flag);
+                });
+        }
+    }
+
+    senderBusy = false;
+    kick();
+}
+
+void
+Msc::local_fault(Addr addr)
+{
+    ++mscStats.localFaults;
+    if (faultHook)
+        faultHook(cell.id(), addr, false);
+    // The OS services the fault; the command is dropped.
+    sim.schedule_after(us_to_ticks(cfg.timings.interruptUs),
+                       [this]() {
+                           senderBusy = false;
+                           kick();
+                       });
+}
+
+void
+Msc::remote_fault(Addr addr)
+{
+    // "If a page fault happens in a remote cell during message
+    // transfer, the MSC+ interrupts the operating system and pulls
+    // the remaining message from the network."
+    ++mscStats.remoteFaults;
+    ++mscStats.flushedMessages;
+    if (faultHook)
+        faultHook(cell.id(), addr, true);
+    recvBusyUntil =
+        std::max(recvBusyUntil, sim.now()) +
+        us_to_ticks(cfg.timings.interruptUs);
+}
+
+void
+Msc::deliver(net::Message msg)
+{
+    // Serialize the receive DMA: one message at a time drains from
+    // the network into memory.
+    Tick start = std::max(sim.now(), recvBusyUntil);
+    Tick dma = us_to_ticks(
+        cfg.timings.recvDmaSetUs +
+        cfg.timings.dmaPerByteUs *
+            static_cast<double>(msg.payload.size()));
+    Tick finish = start + dma;
+    recvBusyUntil = finish;
+    sim.schedule(finish, [this, msg = std::move(msg)]() mutable {
+        receive_body(std::move(msg));
+    });
+}
+
+void
+Msc::receive_body(net::Message msg)
+{
+    mscStats.payloadBytesReceived += msg.payload.size();
+
+    switch (msg.kind) {
+      case net::MsgKind::put_data: {
+        if (msg.toRingBuffer) {
+            ++mscStats.sendsReceived;
+            cell.ring().deposit(SendRecord{msg.src, msg.tag,
+                                           std::move(msg.payload)});
+        } else {
+            ++mscStats.putsReceived;
+            DmaResult r = DmaEngine::scatter(
+                cell.mc().mmu(), cell.mc().memory(), msg.raddr,
+                msg.remoteStride, msg.payload);
+            if (!r.ok) {
+                remote_fault(r.faultAddr);
+                return;
+            }
+        }
+        cell.mc().increment_flag(msg.destFlag);
+        break;
+      }
+      case net::MsgKind::get_request: {
+        ++mscStats.getRequestsReceived;
+        Command reply;
+        reply.kind = CommandKind::get_reply;
+        reply.dst = msg.src;
+        reply.raddr = msg.raddr;
+        reply.laddr = msg.laddr;
+        reply.sendFlag = msg.destFlag;
+        reply.recvFlag = msg.originFlag;
+        reply.remoteStride = msg.remoteStride;
+        reply.localStride = msg.localStride;
+        reply.isAckProbe = msg.isAckProbe;
+        getReplyQ.push(std::move(reply));
+        kick();
+        break;
+      }
+      case net::MsgKind::get_reply: {
+        ++mscStats.getRepliesReceived;
+        if (!msg.isAckProbe && !msg.payload.empty()) {
+            DmaResult r = DmaEngine::scatter(
+                cell.mc().mmu(), cell.mc().memory(), msg.laddr,
+                msg.localStride, msg.payload);
+            if (!r.ok) {
+                remote_fault(r.faultAddr);
+                return;
+            }
+        }
+        if (msg.isAckProbe) {
+            ++ackFlag;
+            ++mscStats.acksReceived;
+            ackCond.notify_all();
+        }
+        cell.mc().increment_flag(msg.originFlag);
+        break;
+      }
+      case net::MsgKind::remote_store: {
+        ++mscStats.remoteStores;
+        if (Mc::is_commreg(msg.raddr)) {
+            // Communication registers live in shared space; remote
+            // stores to them land in the register file (Section 4.4).
+            if (msg.payload.size() != 4 && msg.payload.size() != 8)
+                panic("commreg store of %zu bytes (need 4 or 8)",
+                      msg.payload.size());
+            int index = Mc::commreg_index(msg.raddr);
+            for (std::size_t w = 0; w < msg.payload.size() / 4; ++w) {
+                std::uint32_t v = 0;
+                std::memcpy(&v, msg.payload.data() + 4 * w, 4);
+                cell.mc().regs().store(index + static_cast<int>(w), v);
+            }
+        } else if (!cell.mc().store(msg.raddr, msg.payload)) {
+            remote_fault(msg.raddr);
+            return;
+        }
+        // Automatic acknowledgement (Section 4.2).
+        net::Message ack;
+        ack.kind = net::MsgKind::remote_store_ack;
+        ack.src = cell.id();
+        ack.dst = msg.src;
+        tnet.send(std::move(ack));
+        break;
+      }
+      case net::MsgKind::remote_store_ack:
+        ++ackFlag;
+        ++mscStats.acksReceived;
+        ackCond.notify_all();
+        break;
+      case net::MsgKind::remote_load: {
+        ++mscStats.remoteLoads;
+        std::vector<std::uint8_t> data;
+        DmaResult r = DmaEngine::gather(cell.mc().mmu(),
+                                        cell.mc().memory(), msg.raddr,
+                                        msg.remoteStride, data);
+        if (!r.ok) {
+            remote_fault(r.faultAddr);
+            return;
+        }
+        Command reply;
+        reply.kind = CommandKind::remote_load_reply;
+        reply.dst = msg.src;
+        reply.token = msg.token;
+        reply.inlineData = std::move(data);
+        loadReplyQ.push(std::move(reply));
+        kick();
+        break;
+      }
+      case net::MsgKind::remote_load_reply:
+        loadReplies[msg.token] = std::move(msg.payload);
+        loadCond.notify_all();
+        break;
+      case net::MsgKind::broadcast: {
+        // B-net data distribution: land the payload like a PUT.
+        DmaResult r = DmaEngine::scatter(
+            cell.mc().mmu(), cell.mc().memory(), msg.raddr,
+            net::StrideSpec::contiguous(static_cast<std::uint32_t>(
+                msg.payload.size())),
+            msg.payload);
+        if (!r.ok) {
+            remote_fault(r.faultAddr);
+            return;
+        }
+        cell.mc().increment_flag(msg.destFlag);
+        break;
+      }
+    }
+}
+
+} // namespace ap::hw

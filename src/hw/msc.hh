@@ -1,0 +1,182 @@
+/**
+ * @file
+ * The MSC+: message controller of one cell (Sections 3.2, 4.1).
+ *
+ * The MSC+ is the paper's answer to "the handler for PUT/GET should
+ * be supported by hardware". It owns five queues in its own RAM —
+ * three send queues (user PUT/GET, system PUT/GET, remote access) and
+ * two reply queues (GET replies, remote-load replies) — and performs
+ * message handling independently of the processor:
+ *
+ *  - the send controller drains the queues by priority (remote access
+ *    first, remote-load replies before GET replies), sets up the send
+ *    DMA, streams the payload onto the T-net and asks the MC to
+ *    increment the send flag when the DMA completes;
+ *  - the receive controller analyzes arriving headers, runs the
+ *    receive DMA (scattering stride patterns directly into user
+ *    memory through the MMU), increments the receive flag, answers
+ *    GET requests automatically, deposits SENDs in the ring buffer,
+ *    and services distributed-shared-memory loads/stores;
+ *  - queue overflow spills to DRAM and raises the OS refill interrupt
+ *    (Section 4.1, "Queues and queue overflows");
+ *  - a page fault during a remote transfer interrupts the OS and
+ *    flushes the remainder of the message from the network.
+ */
+
+#ifndef AP_HW_MSC_HH
+#define AP_HW_MSC_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.hh"
+#include "hw/command.hh"
+#include "hw/config.hh"
+#include "hw/queues.hh"
+#include "net/message.hh"
+#include "net/tnet.hh"
+#include "sim/eventq.hh"
+#include "sim/process.hh"
+
+namespace ap::hw
+{
+
+class Cell;
+
+/** MSC+ statistics. */
+struct MscStats
+{
+    std::uint64_t putsSent = 0;
+    std::uint64_t getsSent = 0;
+    std::uint64_t sendsSent = 0;
+    std::uint64_t getRepliesSent = 0;
+    std::uint64_t putsReceived = 0;
+    std::uint64_t sendsReceived = 0;
+    std::uint64_t getRequestsReceived = 0;
+    std::uint64_t getRepliesReceived = 0;
+    std::uint64_t remoteStores = 0;
+    std::uint64_t remoteLoads = 0;
+    std::uint64_t acksReceived = 0;
+    std::uint64_t payloadBytesSent = 0;
+    std::uint64_t payloadBytesReceived = 0;
+    std::uint64_t localFaults = 0;   ///< faults while gathering
+    std::uint64_t remoteFaults = 0;  ///< faults while scattering
+    std::uint64_t flushedMessages = 0;
+};
+
+/**
+ * Hook invoked when a PUT/GET faults; (cell, faulting logical
+ * address, true when the fault happened on the receiving side).
+ */
+using FaultHook = std::function<void(CellId, Addr, bool)>;
+
+/** The message controller of one cell. */
+class Msc
+{
+  public:
+    /**
+     * @param sim owning simulator
+     * @param cfg machine configuration (timings, queue sizes)
+     * @param cell the cell this controller belongs to
+     * @param tnet the torus network
+     */
+    Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
+        net::Tnet &tnet);
+
+    // -- processor side ------------------------------------------------
+
+    /**
+     * Enqueue a user PUT/GET/SEND command (the 8 stores to the
+     * special address). Non-blocking; the caller charges itself the
+     * enqueue time.
+     */
+    void issue_user(Command cmd);
+
+    /** Enqueue a system (OS-issued) PUT/GET command. */
+    void issue_system(Command cmd);
+
+    /**
+     * Issue a hardware remote load of @p size bytes from @p raddr on
+     * @p dst. @return a token to pass to take_load_reply().
+     */
+    std::uint64_t issue_remote_load(CellId dst, Addr raddr,
+                                    std::uint32_t size);
+
+    /**
+     * Collect a completed remote load. @return true and move the data
+     * into @p out when the reply has arrived.
+     */
+    bool take_load_reply(std::uint64_t token,
+                         std::vector<std::uint8_t> &out);
+
+    /** Condition notified when a remote-load reply lands. */
+    sim::Condition &load_cond() { return loadCond; }
+
+    /** Issue a hardware remote store (non-blocking, auto-acked). */
+    void issue_remote_store(CellId dst, Addr raddr,
+                            std::vector<std::uint8_t> data);
+
+    /** The implicit acknowledge flag (Section 4.2). */
+    std::uint64_t ack_count() const { return ackFlag; }
+
+    /** Condition notified when the acknowledge flag increments. */
+    sim::Condition &ack_cond() { return ackCond; }
+
+    // -- network side --------------------------------------------------
+
+    /** T-net delivery entry point (attached by the Machine). */
+    void deliver(net::Message msg);
+
+    // -- observation ---------------------------------------------------
+
+    const MscStats &stats() const { return mscStats; }
+    const CommandQueue &user_queue() const { return userQ; }
+    const CommandQueue &system_queue() const { return systemQ; }
+    const CommandQueue &remote_queue() const { return remoteQ; }
+    const CommandQueue &get_reply_queue() const { return getReplyQ; }
+    const CommandQueue &load_reply_queue() const { return loadReplyQ; }
+
+    /** Install a page-fault observer. */
+    void set_fault_hook(FaultHook hook) { faultHook = std::move(hook); }
+
+  private:
+    void kick();
+    void maybe_refill(CommandQueue &q);
+    CommandQueue *pick_queue();
+    void process(Command cmd);
+    void finish_send(Command cmd, std::vector<std::uint8_t> payload);
+    void receive_body(net::Message msg);
+    void local_fault(Addr addr);
+    void remote_fault(Addr addr);
+
+    sim::Simulator &sim;
+    const MachineConfig &cfg;
+    Cell &cell;
+    net::Tnet &tnet;
+
+    CommandQueue userQ;
+    CommandQueue systemQ;
+    CommandQueue remoteQ;
+    CommandQueue getReplyQ;
+    CommandQueue loadReplyQ;
+
+    bool senderBusy = false;
+    Tick recvBusyUntil = 0;
+
+    std::uint64_t ackFlag = 0;
+    sim::Condition ackCond;
+
+    std::uint64_t nextLoadToken = 1;
+    std::unordered_map<std::uint64_t, std::vector<std::uint8_t>>
+        loadReplies;
+    sim::Condition loadCond;
+
+    MscStats mscStats;
+    FaultHook faultHook;
+};
+
+} // namespace ap::hw
+
+#endif // AP_HW_MSC_HH

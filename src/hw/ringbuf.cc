@@ -1,0 +1,87 @@
+#include "hw/ringbuf.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ap::hw
+{
+
+RingBuffer::RingBuffer(std::size_t capacity_bytes)
+    : capacityBytes(capacity_bytes)
+{
+}
+
+void
+RingBuffer::deposit(SendRecord rec)
+{
+    while (usedBytes + rec.payload.size() > capacityBytes) {
+        // "If the ring buffer becomes full, the MSC+ interrupts the
+        // operating system, which then allocates a new buffer."
+        capacityBytes *= 2;
+        ++rbStats.growInterrupts;
+    }
+    usedBytes += rec.payload.size();
+    records.push_back(std::move(rec));
+    ++rbStats.deposits;
+    arrival.notify_all();
+}
+
+std::optional<std::size_t>
+RingBuffer::find(CellId src, std::int32_t tag) const
+{
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const SendRecord &r = records[i];
+        if ((src == any_source || r.src == src) &&
+            (tag == any_tag || r.tag == tag))
+            return i;
+    }
+    return std::nullopt;
+}
+
+SendRecord
+RingBuffer::take(std::size_t index)
+{
+    SendRecord r = std::move(records[index]);
+    records.erase(records.begin() +
+                  static_cast<std::ptrdiff_t>(index));
+    usedBytes -= r.payload.size();
+    return r;
+}
+
+SendRecord
+RingBuffer::receive(CellId src, std::int32_t tag, sim::Process &proc)
+{
+    std::optional<std::size_t> hit;
+    while (!(hit = find(src, tag)))
+        proc.wait(arrival);
+    ++rbStats.receives;
+    ++rbStats.copies;
+    return take(*hit);
+}
+
+bool
+RingBuffer::try_receive(CellId src, std::int32_t tag, SendRecord &out)
+{
+    auto hit = find(src, tag);
+    if (!hit)
+        return false;
+    ++rbStats.receives;
+    ++rbStats.copies;
+    out = take(*hit);
+    return true;
+}
+
+SendRecord
+RingBuffer::consume_in_place(CellId src, std::int32_t tag,
+                             sim::Process &proc)
+{
+    std::optional<std::size_t> hit;
+    while (!(hit = find(src, tag)))
+        proc.wait(arrival);
+    ++rbStats.receives;
+    ++rbStats.inPlaceReads;
+    return take(*hit);
+}
+
+} // namespace ap::hw

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ring buffers: the SEND/RECEIVE receive area (Section 4.3).
+ *
+ * SEND is a PUT whose destination is the receiving cell's ring buffer
+ * rather than a user address. RECEIVE searches the ring buffer and
+ * copies the message out to the user area — the intrinsic buffering
+ * copy the PUT/GET model exists to avoid. When the buffer fills, the
+ * MSC+ interrupts the operating system, which allocates a new buffer
+ * (modelled as growth plus a counted interrupt).
+ *
+ * Vector global reductions read their operands directly out of the
+ * ring buffer (peek/consume) without the user-area copy — the paper's
+ * optimization for reduction pipelines.
+ */
+
+#ifndef AP_HW_RINGBUF_HH
+#define AP_HW_RINGBUF_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/process.hh"
+
+namespace ap::hw
+{
+
+/** One buffered SEND message. */
+struct SendRecord
+{
+    CellId src = invalid_cell;
+    std::int32_t tag = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/** Ring buffer statistics. */
+struct RingBufferStats
+{
+    std::uint64_t deposits = 0;
+    std::uint64_t receives = 0;
+    std::uint64_t copies = 0;        ///< receive-side user copies
+    std::uint64_t inPlaceReads = 0;  ///< copy-free consumptions
+    std::uint64_t growInterrupts = 0;///< OS buffer reallocation
+};
+
+/** Match-any wildcard for receive filters. */
+constexpr CellId any_source = -1;
+/** Match-any wildcard for tag filters. */
+constexpr std::int32_t any_tag = -1;
+
+/** The circular receive buffer of one cell. */
+class RingBuffer
+{
+  public:
+    /** @param capacity_bytes initial payload capacity. */
+    explicit RingBuffer(std::size_t capacity_bytes = 64 * 1024);
+
+    /**
+     * Deposit an arriving SEND (called by the MSC+ receive path).
+     * Grows via a counted OS interrupt when the message doesn't fit.
+     */
+    void deposit(SendRecord rec);
+
+    /**
+     * Blocking receive with an explicit user-area copy. Parks
+     * @p proc until a record matching (@p src, @p tag) exists.
+     */
+    SendRecord receive(CellId src, std::int32_t tag,
+                       sim::Process &proc);
+
+    /**
+     * Non-blocking probe; fills @p out and returns true on a match.
+     */
+    bool try_receive(CellId src, std::int32_t tag, SendRecord &out);
+
+    /**
+     * Blocking copy-free consumption (vector reductions): identical
+     * matching, but counted as an in-place read.
+     */
+    SendRecord consume_in_place(CellId src, std::int32_t tag,
+                                sim::Process &proc);
+
+    /** Messages currently buffered. */
+    std::size_t depth() const { return records.size(); }
+
+    /** Payload bytes currently buffered. */
+    std::size_t bytes() const { return usedBytes; }
+
+    /** Current capacity (grows on overflow). */
+    std::size_t capacity() const { return capacityBytes; }
+
+    const RingBufferStats &stats() const { return rbStats; }
+
+  private:
+    std::optional<std::size_t> find(CellId src, std::int32_t tag) const;
+    SendRecord take(std::size_t index);
+
+    std::size_t capacityBytes;
+    std::size_t usedBytes = 0;
+    std::deque<SendRecord> records;
+    sim::Condition arrival;
+    RingBufferStats rbStats;
+};
+
+} // namespace ap::hw
+
+#endif // AP_HW_RINGBUF_HH

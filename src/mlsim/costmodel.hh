@@ -1,0 +1,228 @@
+/**
+ * @file
+ * The PUT communication cost model of Figure 7, for both machine
+ * styles.
+ *
+ * Software (AP1000): the paper's formulas —
+ *
+ *   Send overhead = put_prolog_time + put_enqueue_time
+ *                 + put_msg_post_time * msg_size
+ *                 + put_dma_set_time + put_epilog_time
+ *
+ *   Interrupt reception overhead = intr_rtc_time
+ *                 + recv_msg_invalid_time * msg_size
+ *                 + recv_dma_set_time
+ *
+ * Hardware (AP1000+): "the overhead of PUT communication on the
+ * AP1000+ is only put_enqueue_time on sending"; reception costs the
+ * processor nothing.
+ */
+
+#ifndef AP_MLSIM_COSTMODEL_HH
+#define AP_MLSIM_COSTMODEL_HH
+
+#include <cstdint>
+
+#include "mlsim/params.hh"
+
+namespace ap::mlsim
+{
+
+/** All quantities in microseconds. */
+class CostModel
+{
+  public:
+    explicit CostModel(Params params) : p(std::move(params)) {}
+
+    const Params &params() const { return p; }
+
+    /** Scale a base-SPARC computation time to this machine. */
+    double
+    compute(double us) const
+    {
+        return us * p.computation_factor;
+    }
+
+    /** Network transit time for @p bytes over @p distance hops. */
+    double
+    network(int distance, std::uint64_t bytes) const
+    {
+        return p.network_prolog_time +
+               p.network_delay_time * distance +
+               p.network_msg_time * static_cast<double>(bytes) +
+               p.network_epilog_time;
+    }
+
+    /** Processor time to issue one PUT (the paper's send overhead). */
+    double
+    put_send_overhead(std::uint64_t bytes) const
+    {
+        if (p.hw())
+            return p.put_enqueue_time;
+        return p.put_prolog_time + p.put_enqueue_time +
+               p.put_msg_post_time * static_cast<double>(bytes) +
+               p.put_dma_set_time + p.put_epilog_time;
+    }
+
+    /** Processor time to issue one GET request (no payload). */
+    double
+    get_request_overhead() const
+    {
+        if (p.hw())
+            return p.put_enqueue_time;
+        return p.put_prolog_time + p.put_enqueue_time +
+               p.put_dma_set_time + p.put_epilog_time;
+    }
+
+    /**
+     * Processor time stolen at the receiver per arriving message
+     * (the paper's interrupt reception overhead; 0 in hardware).
+     */
+    double
+    recv_interrupt_overhead(std::uint64_t bytes) const
+    {
+        if (p.hw())
+            return 0.0;
+        return p.intr_rtc_time +
+               p.recv_msg_invalid_time * static_cast<double>(bytes) +
+               p.recv_dma_set_time + p.recv_complete_time +
+               p.recv_complete_flag_time;
+    }
+
+    /**
+     * Latency from message arrival until its data (and flag) are
+     * usable at the receiver.
+     */
+    double
+    recv_ready_latency(std::uint64_t bytes) const
+    {
+        if (p.hw())
+            return p.recv_dma_set_time + p.recv_complete_flag_time;
+        return p.intr_rtc_time +
+               p.recv_msg_invalid_time * static_cast<double>(bytes) +
+               p.recv_dma_set_time;
+    }
+
+    /**
+     * Delay between command issue and network injection (the MSC+
+     * DMA setup; inline and therefore zero extra in software, where
+     * the send overhead already covers it).
+     */
+    double
+    injection_latency(std::uint64_t bytes) const
+    {
+        if (p.hw())
+            return p.put_dma_set_time + p.put_msg_time;
+        (void)bytes;
+        return p.put_msg_time;
+    }
+
+    /** Asynchronous send-completion handling charged to the sender. */
+    double
+    send_complete_overhead() const
+    {
+        if (p.hw())
+            return 0.0;
+        return p.send_complete_time + p.send_complete_flag_time;
+    }
+
+    /** Processor time for one SEND (blocking in software). */
+    double
+    send_overhead(std::uint64_t bytes, int distance) const
+    {
+        double issue = put_send_overhead(bytes);
+        if (p.send_blocking != 0.0)
+            return issue + network(distance, bytes);
+        return issue;
+    }
+
+    /** Processor time for one RECEIVE (search + user copy). */
+    double
+    receive_overhead(std::uint64_t bytes) const
+    {
+        return p.recv_search_time +
+               p.recv_copy_time * static_cast<double>(bytes);
+    }
+
+    /** Processor time for one flag check. */
+    double
+    flag_check_overhead() const
+    {
+        return p.flag_check_prolog_time + p.flag_check_epilog_time;
+    }
+
+    /** Tree levels for a reduction over @p cells. */
+    static int
+    levels(int cells)
+    {
+        int l = 0;
+        while ((1 << l) < cells)
+            ++l;
+        return l;
+    }
+
+    /** Duration of a barrier episode after the last arrival. */
+    double
+    barrier_latency() const
+    {
+        return p.barrier_time;
+    }
+
+    /** Duration of a scalar reduction after the last arrival. */
+    double
+    gop_latency(int cells) const
+    {
+        return levels(cells) * p.gop_step_time;
+    }
+
+    /** Per-cell active cost inside a scalar reduction. */
+    double
+    gop_overhead(int cells) const
+    {
+        return levels(cells) * p.gop_step_time;
+    }
+
+    /** One ring step of a vector reduction of @p bytes. */
+    double
+    vgop_step(std::uint64_t bytes) const
+    {
+        // send + neighbour transit + in-place consumption, plus
+        // the per-byte ring-buffer memory traffic.
+        return p.vgop_step_time + send_overhead(bytes, 1) +
+               (p.send_blocking != 0.0 ? 0.0 : network(1, bytes)) +
+               recv_ready_latency(bytes) + p.recv_search_time +
+               p.vgop_byte_time * static_cast<double>(bytes);
+    }
+
+    /** Elementwise-combine compute time for one ring step. */
+    double
+    vgop_combine(std::uint64_t bytes) const
+    {
+        return compute(static_cast<double>(bytes / 8) * p.flop_time);
+    }
+
+    /** Full duration of a vector reduction after the last arrival. */
+    double
+    vgop_latency(int cells, std::uint64_t bytes) const
+    {
+        if (cells <= 1)
+            return 0.0;
+        return (cells - 1) * (vgop_step(bytes) + vgop_combine(bytes));
+    }
+
+    /** Run-time system time per runtime-issued transfer. */
+    double
+    rts_transfer(bool strided) const
+    {
+        double t = p.rts_putget_time +
+                   (strided ? p.rts_stride_time : 0.0);
+        return compute(t);
+    }
+
+  private:
+    Params p;
+};
+
+} // namespace ap::mlsim
+
+#endif // AP_MLSIM_COSTMODEL_HH

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * MLSim: trace-driven message-level replay (Section 5).
+ *
+ * "MLSim simulates communication behavior based on the trace
+ * information and parameter file, preserving the order of message
+ * communications and barrier synchronization between processors with
+ * a delay parameter. MLSim calculates the time needed for message
+ * handling, barrier synchronization, and computation from the input
+ * parameters. MLSim can calculate such statistics as user time, idle
+ * time, communication overhead time, transferred message size,
+ * communication distance, and the number of communication events."
+ *
+ * The replay runs every cell's trace timeline as a process on the
+ * event kernel. Messages carry no data — only sizes — and all costs
+ * come from the parameter file via the CostModel. Waits are replayed
+ * against per-flag counters recorded in the trace, receives against
+ * per-source FIFO arrival queues, and collectives against rendezvous
+ * objects matched by occurrence index.
+ *
+ * Like the paper's MLSim, this model assumes queues are long enough
+ * (no overflow); the functional machine models overflow, and the
+ * queue ablation bench quantifies it.
+ */
+
+#ifndef AP_MLSIM_REPLAY_HH
+#define AP_MLSIM_REPLAY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "core/trace.hh"
+#include "mlsim/costmodel.hh"
+#include "mlsim/params.hh"
+
+namespace ap::mlsim
+{
+
+/** The paper's four execution-time components for one cell. */
+struct CellBreakdown
+{
+    double execUs = 0;     ///< Execution time (scaled computation)
+    double rtsUs = 0;      ///< Run-time system time
+    double overheadUs = 0; ///< communication library time
+    double idleUs = 0;     ///< waiting (flags, barriers, receives)
+    double totalUs = 0;    ///< finish time of this cell
+};
+
+/** Full replay result. */
+struct ReplayReport
+{
+    /** Machine completion time: max over cells. */
+    double totalUs = 0;
+    /** Per-cell breakdowns. */
+    std::vector<CellBreakdown> cells;
+    /** True when some timeline never completed. */
+    bool deadlock = false;
+
+    /** Point-to-point data messages transferred. */
+    std::uint64_t messages = 0;
+    /** Payload bytes transferred point-to-point. */
+    std::uint64_t payloadBytes = 0;
+    /** Message size distribution. */
+    Histogram messageSize;
+    /** Hop-distance distribution. */
+    Histogram distance;
+
+    /** Average of the per-cell breakdowns. */
+    CellBreakdown mean() const;
+};
+
+/** One MLSim run: a trace replayed under one parameter set. */
+class Replay
+{
+  public:
+    /**
+     * @param trace the application trace (one timeline per cell)
+     * @param params the machine model
+     */
+    Replay(const core::Trace &trace, const Params &params);
+
+    /** Execute the replay. Callable once per Replay object. */
+    ReplayReport run();
+
+  private:
+    const core::Trace &trace;
+    Params params;
+};
+
+} // namespace ap::mlsim
+
+#endif // AP_MLSIM_REPLAY_HH

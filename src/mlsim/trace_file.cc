@@ -1,0 +1,136 @@
+#include "mlsim/trace_file.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace ap::mlsim
+{
+
+using core::Trace;
+using core::TraceEvent;
+using core::TraceOp;
+
+std::string
+trace_to_text(const Trace &trace)
+{
+    std::string out;
+    out += "aptrace 1\n";
+    out += strprintf("cells %d\n", trace.cells());
+    out += "# cell op peer bytes items computeUs ack waitTarget "
+           "sendFlag recvFlag viaRts\n";
+    for (CellId c = 0; c < trace.cells(); ++c) {
+        for (const TraceEvent &ev : trace.timeline(c)) {
+            out += strprintf(
+                "%d %s %d %llu %u %.6f %d %llu %llu %llu %d\n", c,
+                to_string(ev.op), ev.peer,
+                static_cast<unsigned long long>(ev.bytes), ev.items,
+                ev.computeUs, ev.ack ? 1 : 0,
+                static_cast<unsigned long long>(ev.waitTarget),
+                static_cast<unsigned long long>(ev.sendFlagAddr),
+                static_cast<unsigned long long>(ev.recvFlagAddr),
+                ev.viaRts ? 1 : 0);
+        }
+    }
+    return out;
+}
+
+Trace
+trace_from_text(const std::string &text)
+{
+    Trace trace;
+    bool have_header = false;
+    int lineno = 0;
+    for (const std::string &raw : split(text, '\n')) {
+        ++lineno;
+        std::string_view line = trim(raw);
+        if (line.empty() || line[0] == '#')
+            continue;
+        auto toks = split_ws(line);
+        if (!have_header) {
+            if (toks.size() != 2 || toks[0] != "aptrace" ||
+                toks[1] != "1")
+                fatal("trace line %d: expected 'aptrace 1' header",
+                      lineno);
+            have_header = true;
+            continue;
+        }
+        if (toks[0] == "cells") {
+            if (toks.size() != 2)
+                fatal("trace line %d: malformed cells line", lineno);
+            auto v = parse_int(toks[1]);
+            if (!v || *v < 1)
+                fatal("trace line %d: bad cell count", lineno);
+            trace = Trace(static_cast<int>(*v));
+            continue;
+        }
+        if (trace.cells() == 0)
+            fatal("trace line %d: event before 'cells' line", lineno);
+        if (toks.size() != 11)
+            fatal("trace line %d: expected 11 fields, got %zu",
+                  lineno, toks.size());
+
+        auto cell = parse_int(toks[0]);
+        if (!cell || *cell < 0 || *cell >= trace.cells())
+            fatal("trace line %d: bad cell id '%s'", lineno,
+                  toks[0].c_str());
+
+        TraceEvent ev;
+        if (!trace_op_from_string(toks[1], ev.op))
+            fatal("trace line %d: unknown op '%s'", lineno,
+                  toks[1].c_str());
+
+        auto peer = parse_int(toks[2]);
+        auto bytes = parse_int(toks[3]);
+        auto items = parse_int(toks[4]);
+        auto compute = parse_double(toks[5]);
+        auto ack = parse_int(toks[6]);
+        auto target = parse_int(toks[7]);
+        auto sflag = parse_int(toks[8]);
+        auto rflag = parse_int(toks[9]);
+        auto rts = parse_int(toks[10]);
+        if (!peer || !bytes || !items || !compute || !ack ||
+            !target || !sflag || !rflag || !rts)
+            fatal("trace line %d: malformed field", lineno);
+
+        ev.peer = static_cast<CellId>(*peer);
+        ev.bytes = static_cast<std::uint64_t>(*bytes);
+        ev.items = static_cast<std::uint32_t>(*items);
+        ev.computeUs = *compute;
+        ev.ack = *ack != 0;
+        ev.waitTarget = static_cast<std::uint64_t>(*target);
+        ev.sendFlagAddr = static_cast<Addr>(*sflag);
+        ev.recvFlagAddr = static_cast<Addr>(*rflag);
+        ev.viaRts = *rts != 0;
+        trace.record(static_cast<CellId>(*cell), ev);
+    }
+    if (!have_header)
+        fatal("trace: missing 'aptrace 1' header");
+    return trace;
+}
+
+void
+save_trace(const Trace &trace, const std::string &path)
+{
+    std::ofstream f(path);
+    if (!f)
+        fatal("cannot open '%s' for writing", path.c_str());
+    f << trace_to_text(trace);
+    if (!f)
+        fatal("error writing trace to '%s'", path.c_str());
+}
+
+Trace
+load_trace(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        fatal("cannot open trace '%s'", path.c_str());
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    return trace_from_text(ss.str());
+}
+
+} // namespace ap::mlsim

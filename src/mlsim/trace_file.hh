@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Text serialization of message-level traces.
+ *
+ * The paper collected traces on the real AP1000 and fed them to
+ * MLSim as files; this format is our equivalent, so traces captured
+ * from the functional machine (or generated analytically) can be
+ * stored, inspected and replayed from disk (see examples/mlsim_run).
+ *
+ * Format (whitespace-separated, '#' comments):
+ *
+ *   aptrace 1
+ *   cells <N>
+ *   <cell> <op> <peer> <bytes> <items> <computeUs> <ack>
+ *          <waitTarget> <sendFlag> <recvFlag> <viaRts>
+ */
+
+#ifndef AP_MLSIM_TRACE_FILE_HH
+#define AP_MLSIM_TRACE_FILE_HH
+
+#include <string>
+
+#include "core/trace.hh"
+
+namespace ap::mlsim
+{
+
+/** Serialize a trace to the text format. */
+std::string trace_to_text(const core::Trace &trace);
+
+/** Parse a trace from the text format; fatal on malformed input. */
+core::Trace trace_from_text(const std::string &text);
+
+/** Write a trace to a file; fatal on I/O failure. */
+void save_trace(const core::Trace &trace, const std::string &path);
+
+/** Read a trace from a file; fatal on I/O failure. */
+core::Trace load_trace(const std::string &path);
+
+} // namespace ap::mlsim
+
+#endif // AP_MLSIM_TRACE_FILE_HH

@@ -1,0 +1,47 @@
+#include "net/bnet.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ap::net
+{
+
+Bnet::Bnet(sim::Simulator &sim, int cells, BnetParams params)
+    : sim(sim), prm(params), handlers(static_cast<std::size_t>(cells))
+{
+}
+
+void
+Bnet::attach(CellId id, Deliver deliver)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= handlers.size())
+        panic("B-net attach to invalid cell %d", id);
+    handlers[static_cast<std::size_t>(id)] = std::move(deliver);
+}
+
+Tick
+Bnet::broadcast(Message msg)
+{
+    Tick start = std::max(sim.now(), busyUntil);
+    Tick occupy = us_to_ticks(
+        prm.prologUs +
+        prm.perByteUs * static_cast<double>(msg.wire_bytes()));
+    Tick arrive = start + occupy;
+    busyUntil = arrive;
+    ++numBroadcasts;
+
+    for (std::size_t id = 0; id < handlers.size(); ++id) {
+        if (static_cast<CellId>(id) == msg.src || !handlers[id])
+            continue;
+        Message copy = msg;
+        copy.dst = static_cast<CellId>(id);
+        sim.schedule(arrive, [this, copy = std::move(copy)]() mutable {
+            handlers[static_cast<std::size_t>(copy.dst)](
+                std::move(copy));
+        });
+    }
+    return arrive;
+}
+
+} // namespace ap::net

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The B-net: shared broadcast bus (50 MB/s on the real machine).
+ *
+ * Used for program/data distribution and host communication. Modelled
+ * as a single serialized channel: one broadcast occupies the bus for
+ * size / bandwidth and is then delivered to every attached cell.
+ */
+
+#ifndef AP_NET_BNET_HH
+#define AP_NET_BNET_HH
+
+#include <functional>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "net/message.hh"
+#include "sim/eventq.hh"
+
+namespace ap::net
+{
+
+/** B-net timing parameters (microseconds). */
+struct BnetParams
+{
+    /** fixed bus acquisition cost. */
+    double prologUs = 0.5;
+    /** per-byte time; 50 MB/s -> 0.02 us/byte. */
+    double perByteUs = 0.02;
+};
+
+/** The broadcast network. */
+class Bnet
+{
+  public:
+    using Deliver = std::function<void(Message)>;
+
+    /**
+     * @param sim owning simulator
+     * @param cells number of attached cells
+     * @param params timing parameters
+     */
+    Bnet(sim::Simulator &sim, int cells, BnetParams params);
+
+    /** Register the receive handler for cell @p id. */
+    void attach(CellId id, Deliver deliver);
+
+    /**
+     * Broadcast @p msg from msg.src to every other cell.
+     * @return the delivery tick (same for all receivers).
+     */
+    Tick broadcast(Message msg);
+
+    /** Number of broadcasts so far. */
+    std::uint64_t count() const { return numBroadcasts; }
+
+  private:
+    sim::Simulator &sim;
+    BnetParams prm;
+    std::vector<Deliver> handlers;
+    Tick busyUntil = 0;
+    std::uint64_t numBroadcasts = 0;
+};
+
+} // namespace ap::net
+
+#endif // AP_NET_BNET_HH

@@ -1,0 +1,42 @@
+#include "net/message.hh"
+
+#include "base/logging.hh"
+
+namespace ap::net
+{
+
+const char *
+to_string(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::put_data:
+        return "PUT";
+      case MsgKind::get_request:
+        return "GET";
+      case MsgKind::get_reply:
+        return "GET_REPLY";
+      case MsgKind::remote_store:
+        return "RSTORE";
+      case MsgKind::remote_store_ack:
+        return "RSTORE_ACK";
+      case MsgKind::remote_load:
+        return "RLOAD";
+      case MsgKind::remote_load_reply:
+        return "RLOAD_REPLY";
+      case MsgKind::broadcast:
+        return "BCAST";
+    }
+    return "?";
+}
+
+std::string
+Message::describe() const
+{
+    return strprintf("%s %d->%d raddr=%#llx laddr=%#llx size=%zu",
+                     to_string(kind), src, dst,
+                     static_cast<unsigned long long>(raddr),
+                     static_cast<unsigned long long>(laddr),
+                     payload.size());
+}
+
+} // namespace ap::net

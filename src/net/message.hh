@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Wire-level message formats of the AP1000+ networks.
+ *
+ * The functional machine moves real bytes: a PUT data message carries
+ * its payload, a GET request carries the descriptor the remote MSC+
+ * needs to synthesize the reply, and so on. Header fields mirror the
+ * parameters of the paper's put()/get() interface (Section 3.1).
+ */
+
+#ifndef AP_NET_MESSAGE_HH
+#define AP_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::net
+{
+
+/** Kinds of traffic the T-net / B-net carry. */
+enum class MsgKind : std::uint8_t
+{
+    put_data,          ///< one-sided write (also carries SENDs)
+    get_request,       ///< one-sided read request
+    get_reply,         ///< data coming back for a GET
+    remote_store,      ///< DSM hardware store
+    remote_store_ack,  ///< automatic ack for a remote store
+    remote_load,       ///< DSM hardware load (blocking)
+    remote_load_reply, ///< data coming back for a remote load
+    broadcast,         ///< B-net broadcast payload
+};
+
+/** @return a short printable name for a message kind. */
+const char *to_string(MsgKind kind);
+
+/**
+ * One-dimensional stride descriptor, exactly the put_stride()
+ * parameter set of Section 3.1 (item size / item count / skip between
+ * items), one instance for each side of the transfer.
+ */
+struct StrideSpec
+{
+    std::uint32_t itemSize = 0; ///< bytes per item
+    std::uint32_t count = 0;    ///< number of items
+    std::uint32_t skip = 0;     ///< bytes to skip between items
+
+    /** A degenerate spec meaning "contiguous block of @p size". */
+    static StrideSpec
+    contiguous(std::uint32_t size)
+    {
+        return StrideSpec{size, 1, 0};
+    }
+
+    /** @return true for a contiguous (count <= 1) pattern. */
+    bool is_contiguous() const { return count <= 1; }
+
+    /** Total payload bytes described. */
+    std::uint64_t
+    total_bytes() const
+    {
+        return static_cast<std::uint64_t>(itemSize) * count;
+    }
+
+    /** Footprint in memory: payload plus skipped gaps. */
+    std::uint64_t
+    footprint() const
+    {
+        if (count == 0)
+            return 0;
+        return static_cast<std::uint64_t>(count) * itemSize +
+               static_cast<std::uint64_t>(count - 1) * skip;
+    }
+
+    bool operator==(const StrideSpec &o) const = default;
+};
+
+/**
+ * A network message. Payload is carried by value; the functional
+ * layer is correctness-first and the timing layer never copies these.
+ */
+struct Message
+{
+    MsgKind kind = MsgKind::put_data;
+    CellId src = invalid_cell;
+    CellId dst = invalid_cell;
+
+    /** Remote (destination-side) start address, logical. */
+    Addr raddr = 0;
+    /** Local (origin-side) start address, logical. */
+    Addr laddr = 0;
+
+    /** Flag to bump on the origin when the reply lands (GET). */
+    Addr originFlag = no_flag;
+    /** Flag to bump on the destination when receive DMA completes. */
+    Addr destFlag = no_flag;
+
+    /** Receive-side scatter pattern (PUT) / send-side gather (GET). */
+    StrideSpec remoteStride;
+    /** Origin-side pattern for the reply (GET only). */
+    StrideSpec localStride;
+
+    /** True when this PUT should land in the ring buffer (SEND). */
+    bool toRingBuffer = false;
+
+    /** True for a GET to address 0 — the PUT-acknowledge probe. */
+    bool isAckProbe = false;
+
+    /** Message tag carried by SENDs for RECEIVE matching. */
+    std::int32_t tag = 0;
+
+    /** Matching token for remote-load replies. */
+    std::uint64_t token = 0;
+
+    /** Payload bytes (data-bearing kinds only). */
+    std::vector<std::uint8_t> payload;
+
+    /** Header size on the wire, bytes (8 words, Section 4.1). */
+    static constexpr std::uint32_t header_bytes = 32;
+
+    /** Total wire size: header plus payload. */
+    std::uint64_t
+    wire_bytes() const
+    {
+        return header_bytes + payload.size();
+    }
+
+    /** Diagnostic one-liner. */
+    std::string describe() const;
+};
+
+} // namespace ap::net
+
+#endif // AP_NET_MESSAGE_HH

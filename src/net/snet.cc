@@ -1,0 +1,77 @@
+#include "net/snet.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ap::net
+{
+
+Snet::Snet(sim::Simulator &sim, int cells, SnetParams params)
+    : sim(sim), numCells(cells), prm(params)
+{
+}
+
+Snet::ContextId
+Snet::create_context(std::vector<CellId> members)
+{
+    if (members.empty()) {
+        members.resize(static_cast<std::size_t>(numCells));
+        for (int i = 0; i < numCells; ++i)
+            members[static_cast<std::size_t>(i)] = i;
+    }
+    for (CellId c : members)
+        if (c < 0 || c >= numCells)
+            fatal("barrier member %d outside machine of %d cells", c,
+                  numCells);
+
+    Context ctx;
+    ctx.members = std::move(members);
+    ctx.arrived.assign(static_cast<std::size_t>(numCells), false);
+    contexts.push_back(std::move(ctx));
+    return static_cast<ContextId>(contexts.size()) - 1;
+}
+
+void
+Snet::arrive(ContextId id, CellId cell, std::function<void()> on_release)
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= contexts.size())
+        panic("unknown barrier context %d", id);
+    Context &ctx = contexts[static_cast<std::size_t>(id)];
+
+    bool member = std::find(ctx.members.begin(), ctx.members.end(),
+                            cell) != ctx.members.end();
+    if (!member)
+        panic("cell %d is not a member of barrier context %d", cell,
+              id);
+    if (ctx.arrived[static_cast<std::size_t>(cell)])
+        panic("cell %d arrived twice at barrier context %d", cell, id);
+
+    ctx.arrived[static_cast<std::size_t>(cell)] = true;
+    ctx.callbacks.push_back(std::move(on_release));
+    ctx.count++;
+
+    if (ctx.count == static_cast<int>(ctx.members.size())) {
+        // Last arrival: release everyone after the combine latency.
+        Tick release = sim.now() + us_to_ticks(prm.releaseUs);
+        std::vector<std::function<void()>> cbs;
+        cbs.swap(ctx.callbacks);
+        ctx.count = 0;
+        ctx.completed++;
+        for (CellId m : ctx.members)
+            ctx.arrived[static_cast<std::size_t>(m)] = false;
+        for (auto &cb : cbs)
+            sim.schedule(release, std::move(cb));
+    }
+}
+
+std::uint64_t
+Snet::episodes(ContextId id) const
+{
+    if (id < 0 || static_cast<std::size_t>(id) >= contexts.size())
+        panic("unknown barrier context %d", id);
+    return contexts[static_cast<std::size_t>(id)].completed;
+}
+
+} // namespace ap::net

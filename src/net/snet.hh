@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The S-net: dedicated hardware barrier-synchronization network.
+ *
+ * The paper's machine uses the S-net for all-cell barriers and
+ * software (communication registers) for group barriers; this model
+ * supports arbitrary member sets so both modes and the group
+ * extension can be exercised. A barrier context collects arrivals and
+ * releases every member a fixed latency after the last arrival.
+ */
+
+#ifndef AP_NET_SNET_HH
+#define AP_NET_SNET_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/eventq.hh"
+
+namespace ap::net
+{
+
+/** S-net timing parameters (microseconds). */
+struct SnetParams
+{
+    /** Combine-and-release latency after the last arrival. */
+    double releaseUs = 1.0;
+};
+
+/** Hardware barrier engine. */
+class Snet
+{
+  public:
+    /** Identifier of a barrier context. */
+    using ContextId = int;
+
+    /**
+     * @param sim owning simulator
+     * @param cells machine size
+     * @param params timing parameters
+     */
+    Snet(sim::Simulator &sim, int cells, SnetParams params);
+
+    /**
+     * Create a barrier context over @p members (empty = all cells).
+     * Contexts are reusable: the barrier re-arms after each release.
+     */
+    ContextId create_context(std::vector<CellId> members = {});
+
+    /**
+     * Cell @p cell arrives at barrier @p ctx; @p on_release fires at
+     * the release tick. Arriving twice before release is an error.
+     */
+    void arrive(ContextId ctx, CellId cell,
+                std::function<void()> on_release);
+
+    /** Number of completed barrier episodes on @p ctx. */
+    std::uint64_t episodes(ContextId ctx) const;
+
+  private:
+    struct Context
+    {
+        std::vector<CellId> members;
+        std::vector<bool> arrived;
+        std::vector<std::function<void()>> callbacks;
+        int count = 0;
+        std::uint64_t completed = 0;
+    };
+
+    sim::Simulator &sim;
+    int numCells;
+    SnetParams prm;
+    std::vector<Context> contexts;
+};
+
+} // namespace ap::net
+
+#endif // AP_NET_SNET_HH

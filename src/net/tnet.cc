@@ -1,0 +1,97 @@
+#include "net/tnet.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ap::net
+{
+
+Tnet::Tnet(sim::Simulator &sim, Torus topo, TnetParams params)
+    : sim(sim), topo(topo), prm(params),
+      handlers(static_cast<std::size_t>(topo.size()))
+{
+}
+
+void
+Tnet::attach(CellId id, Deliver deliver)
+{
+    if (!topo.valid(id))
+        panic("attach to invalid cell %d", id);
+    handlers[static_cast<std::size_t>(id)] = std::move(deliver);
+}
+
+Tick
+Tnet::latency(CellId src, CellId dst, std::uint64_t bytes) const
+{
+    int dist = topo.distance(src, dst);
+    double us = prm.prologUs + prm.delayPerHopUs * dist +
+                prm.perByteUs * static_cast<double>(bytes) +
+                prm.epilogUs;
+    return us_to_ticks(us);
+}
+
+Tick
+Tnet::contention_arrival(const Message &msg, Tick inject)
+{
+    // Wormhole approximation: the head pays per-hop delay and queues
+    // behind busy links; each link stays occupied while the body
+    // streams through at link bandwidth.
+    Tick head = inject + us_to_ticks(prm.prologUs);
+    Tick body = us_to_ticks(prm.perByteUs *
+                            static_cast<double>(msg.wire_bytes()));
+    auto hops = topo.route(msg.src, msg.dst);
+    for (const Hop &hop : hops) {
+        std::uint64_t key =
+            static_cast<std::uint64_t>(hop.from) *
+                static_cast<std::uint64_t>(topo.size()) +
+            static_cast<std::uint64_t>(hop.to);
+        Tick &busy = linkBusy[key];
+        head = std::max(head, busy) + us_to_ticks(prm.delayPerHopUs);
+        busy = head + body;
+    }
+    return head + body + us_to_ticks(prm.epilogUs);
+}
+
+Tick
+Tnet::send(Message msg)
+{
+    if (!topo.valid(msg.src) || !topo.valid(msg.dst))
+        panic("send between invalid cells %d -> %d", msg.src, msg.dst);
+
+    Tick inject = sim.now();
+    Tick arrive;
+    if (prm.linkContention && msg.src != msg.dst) {
+        arrive = contention_arrival(msg, inject);
+    } else {
+        arrive = inject + latency(msg.src, msg.dst, msg.wire_bytes());
+    }
+
+    // Enforce FIFO per source-destination pair: a later injection may
+    // never arrive before an earlier one.
+    std::uint64_t key = static_cast<std::uint64_t>(msg.src) *
+                            static_cast<std::uint64_t>(topo.size()) +
+                        static_cast<std::uint64_t>(msg.dst);
+    Tick &last = lastArrival[key];
+    if (arrive < last)
+        arrive = last;
+    last = arrive;
+
+    netStats.messages++;
+    netStats.payloadBytes += msg.payload.size();
+    netStats.wireBytes += msg.wire_bytes();
+    netStats.distance.sample(
+        static_cast<std::uint64_t>(topo.distance(msg.src, msg.dst)));
+    netStats.messageSize.sample(msg.payload.size());
+
+    auto &handler = handlers[static_cast<std::size_t>(msg.dst)];
+    if (!handler)
+        panic("no receive handler attached to cell %d", msg.dst);
+
+    sim.schedule(arrive, [this, msg = std::move(msg)]() mutable {
+        handlers[static_cast<std::size_t>(msg.dst)](std::move(msg));
+    });
+    return arrive;
+}
+
+} // namespace ap::net

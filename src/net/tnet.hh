@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The T-net: point-to-point 2-D torus interconnect.
+ *
+ * Timing follows MLSim's network model (Figure 7, items 15-18):
+ *
+ *   latency = network_prolog_time
+ *           + network_delay_time * distance
+ *           + network_msg_time   * wire_bytes
+ *           + network_epilog_time
+ *
+ * Delivery is FIFO per source-destination pair, matching the T-net's
+ * static routing ("passes messages in order", Section 4.1) — the
+ * property that makes a GET reply usable as a PUT acknowledgement.
+ *
+ * An optional link-contention mode (beyond the paper's MLSim, which
+ * has no contention model) serializes messages over each directed
+ * torus link at the link bandwidth.
+ */
+
+#ifndef AP_NET_TNET_HH
+#define AP_NET_TNET_HH
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "base/types.hh"
+#include "net/message.hh"
+#include "net/topology.hh"
+#include "sim/eventq.hh"
+
+namespace ap::net
+{
+
+/** Timing parameters of the T-net (microseconds, Figure 6 names). */
+struct TnetParams
+{
+    /** network_prolog_time: fixed injection cost. */
+    double prologUs = 0.16;
+    /** network_delay_time: per-hop routing delay. */
+    double delayPerHopUs = 0.16;
+    /** per-byte transfer time; 25 MB/s links -> 0.04 us/byte. */
+    double perByteUs = 0.04;
+    /** network_epilog_time: fixed ejection cost. */
+    double epilogUs = 0.0;
+    /** model per-link serialization (extension; off = paper model). */
+    bool linkContention = false;
+};
+
+/** Aggregate T-net statistics. */
+struct TnetStats
+{
+    std::uint64_t messages = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t wireBytes = 0;
+    Histogram distance;
+    Histogram messageSize;
+};
+
+/**
+ * The torus network. Cells attach a delivery callback; send() injects
+ * a message and schedules that callback at the arrival tick.
+ */
+class Tnet
+{
+  public:
+    using Deliver = std::function<void(Message)>;
+
+    /**
+     * @param sim owning simulator
+     * @param topo torus shape
+     * @param params timing parameters
+     */
+    Tnet(sim::Simulator &sim, Torus topo, TnetParams params);
+
+    /** Register the receive handler for cell @p id. */
+    void attach(CellId id, Deliver deliver);
+
+    /**
+     * Inject @p msg now. @return the arrival tick at the destination.
+     * Messages between the same pair never reorder.
+     */
+    Tick send(Message msg);
+
+    /** Point-to-point pure latency for a @p bytes-byte wire message. */
+    Tick latency(CellId src, CellId dst, std::uint64_t bytes) const;
+
+    const Torus &topology() const { return topo; }
+    const TnetStats &stats() const { return netStats; }
+    const TnetParams &params() const { return prm; }
+
+  private:
+    Tick contention_arrival(const Message &msg, Tick inject);
+
+    sim::Simulator &sim;
+    Torus topo;
+    TnetParams prm;
+    std::vector<Deliver> handlers;
+    /** last arrival tick per (src * size + dst) pair, for FIFO. */
+    std::unordered_map<std::uint64_t, Tick> lastArrival;
+    /** per directed link (from * size + to) busy-until (contention). */
+    std::unordered_map<std::uint64_t, Tick> linkBusy;
+    TnetStats netStats;
+};
+
+} // namespace ap::net
+
+#endif // AP_NET_TNET_HH

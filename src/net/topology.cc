@@ -1,0 +1,93 @@
+#include "net/topology.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "base/logging.hh"
+
+namespace ap::net
+{
+
+Torus::Torus(int width, int height) : w(width), h(height)
+{
+    if (width < 1 || height < 1)
+        fatal("torus dimensions must be positive (%dx%d)", width,
+              height);
+}
+
+Torus
+Torus::squarest(int cells)
+{
+    if (cells < 1)
+        fatal("torus must have at least one cell");
+    int best = 1;
+    for (int d = 1; d * d <= cells; ++d)
+        if (cells % d == 0)
+            best = d;
+    return Torus(best, cells / best);
+}
+
+Coord
+Torus::coord_of(CellId id) const
+{
+    if (!valid(id))
+        panic("cell id %d outside %dx%d torus", id, w, h);
+    return Coord{id % w, id / w};
+}
+
+CellId
+Torus::id_of(Coord c) const
+{
+    int x = ((c.x % w) + w) % w;
+    int y = ((c.y % h) + h) % h;
+    return y * w + x;
+}
+
+int
+Torus::wrap_delta(int a, int b, int n)
+{
+    int d = ((b - a) % n + n) % n; // forward distance in [0, n)
+    if (d > n / 2)
+        d -= n; // exactly halfway stays positive
+    return d;
+}
+
+int
+Torus::distance(CellId a, CellId b) const
+{
+    Coord ca = coord_of(a);
+    Coord cb = coord_of(b);
+    return std::abs(wrap_delta(ca.x, cb.x, w)) +
+           std::abs(wrap_delta(ca.y, cb.y, h));
+}
+
+std::vector<Hop>
+Torus::route(CellId a, CellId b) const
+{
+    Coord ca = coord_of(a);
+    Coord cb = coord_of(b);
+    std::vector<Hop> hops;
+
+    int dx = wrap_delta(ca.x, cb.x, w);
+    int step = dx > 0 ? 1 : -1;
+    Coord cur = ca;
+    for (int i = 0; i != dx; i += step) {
+        Coord nxt{cur.x + step, cur.y};
+        hops.push_back(Hop{id_of(cur), id_of(nxt)});
+        cur = nxt;
+        cur.x = ((cur.x % w) + w) % w;
+    }
+
+    int dy = wrap_delta(ca.y, cb.y, h);
+    step = dy > 0 ? 1 : -1;
+    for (int i = 0; i != dy; i += step) {
+        Coord nxt{cur.x, cur.y + step};
+        hops.push_back(Hop{id_of(cur), id_of(nxt)});
+        cur = nxt;
+        cur.y = ((cur.y % h) + h) % h;
+    }
+
+    return hops;
+}
+
+} // namespace ap::net

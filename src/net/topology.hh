@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Two-dimensional torus topology of the AP1000/AP1000+ T-net.
+ *
+ * Cells are arranged in a width x height torus; cell id is
+ * y * width + x. The T-net uses static dimension-order (X first, then
+ * Y) routing, which gives in-order delivery per source-destination
+ * pair — the property the paper's GET-as-acknowledge trick relies on.
+ */
+
+#ifndef AP_NET_TOPOLOGY_HH
+#define AP_NET_TOPOLOGY_HH
+
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::net
+{
+
+/** (x, y) coordinate on the torus. */
+struct Coord
+{
+    int x = 0;
+    int y = 0;
+
+    bool operator==(const Coord &o) const = default;
+};
+
+/** One hop of a route: from one cell to a torus neighbour. */
+struct Hop
+{
+    CellId from = invalid_cell;
+    CellId to = invalid_cell;
+
+    bool operator==(const Hop &o) const = default;
+};
+
+/** Shape of and index math for a 2-D torus. */
+class Torus
+{
+  public:
+    /**
+     * Construct a torus.
+     * @param width cells per row (>= 1)
+     * @param height rows (>= 1)
+     */
+    Torus(int width, int height);
+
+    /**
+     * Construct the squarest torus with @p cells cells; width is the
+     * largest divisor of @p cells not exceeding sqrt(cells).
+     */
+    static Torus squarest(int cells);
+
+    int width() const { return w; }
+    int height() const { return h; }
+    int size() const { return w * h; }
+
+    /** @return true when @p id names a cell of this torus. */
+    bool valid(CellId id) const { return id >= 0 && id < w * h; }
+
+    /** Cell id -> coordinate. */
+    Coord coord_of(CellId id) const;
+
+    /** Coordinate -> cell id (coordinates are wrapped). */
+    CellId id_of(Coord c) const;
+
+    /**
+     * Signed shortest offset from a to b along one dimension of
+     * length n, in [-n/2, n/2].
+     */
+    static int wrap_delta(int a, int b, int n);
+
+    /** Torus (Manhattan-with-wraparound) hop distance. */
+    int distance(CellId a, CellId b) const;
+
+    /**
+     * The static dimension-order route from @p a to @p b: X hops
+     * (taking the shorter way around, ties broken toward positive),
+     * then Y hops. Empty when a == b.
+     */
+    std::vector<Hop> route(CellId a, CellId b) const;
+
+  private:
+    int w;
+    int h;
+};
+
+} // namespace ap::net
+
+#endif // AP_NET_TOPOLOGY_HH

@@ -1,0 +1,79 @@
+#include "runtime/decomp.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ap::rt
+{
+
+Decomp1D::Decomp1D(DecompKind kind, int n, int cells)
+    : decompKind(kind), n(n), p(cells)
+{
+    if (n < 1)
+        fatal("decomposition needs a positive extent (got %d)", n);
+    if (cells < 1)
+        fatal("decomposition needs at least one cell");
+}
+
+void
+Decomp1D::check_index(int i) const
+{
+    if (i < 0 || i >= n)
+        panic("global index %d outside [0, %d)", i, n);
+}
+
+CellId
+Decomp1D::owner(int i) const
+{
+    check_index(i);
+    if (decompKind == DecompKind::block)
+        return i / block_size();
+    return i % p;
+}
+
+int
+Decomp1D::local_index(int i) const
+{
+    check_index(i);
+    if (decompKind == DecompKind::block)
+        return i % block_size();
+    return i / p;
+}
+
+int
+Decomp1D::local_count(CellId cell) const
+{
+    if (cell < 0 || cell >= p)
+        panic("cell %d outside decomposition of %d cells", cell, p);
+    if (decompKind == DecompKind::block) {
+        int b = block_size();
+        int lo = cell * b;
+        if (lo >= n)
+            return 0;
+        return std::min(b, n - lo);
+    }
+    // cyclic: cells with id < n % p get one extra.
+    return n / p + (cell < n % p ? 1 : 0);
+}
+
+int
+Decomp1D::global_index(CellId cell, int li) const
+{
+    if (li < 0 || li >= local_count(cell))
+        panic("local index %d outside cell %d's %d elements", li,
+              cell, local_count(cell));
+    if (decompKind == DecompKind::block)
+        return cell * block_size() + li;
+    return li * p + cell;
+}
+
+int
+Decomp1D::block_lo(CellId cell) const
+{
+    if (decompKind != DecompKind::block)
+        panic("block_lo on a non-block decomposition");
+    return cell * block_size();
+}
+
+} // namespace ap::rt

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Data decompositions of the VPP Fortran / HPF model (Section 2.1).
+ *
+ * "Both models include global memory space, block and cyclic
+ * decomposition, and SPMD program execution." The index partition
+ * directive corresponds to ALIGN + DISTRIBUTE in HPF. This class is
+ * the global-index <-> (owner cell, local index) math the translator
+ * inserts around every distributed array reference.
+ */
+
+#ifndef AP_RT_DECOMP_HH
+#define AP_RT_DECOMP_HH
+
+#include <cstdint>
+
+#include "base/types.hh"
+
+namespace ap::rt
+{
+
+/** How a dimension is spread over cells. */
+enum class DecompKind : std::uint8_t
+{
+    block,  ///< contiguous chunks (ceil(n/p) per cell)
+    cyclic, ///< round-robin single elements
+};
+
+/** A one-dimensional decomposition of n indices over p cells. */
+class Decomp1D
+{
+  public:
+    /**
+     * @param kind block or cyclic
+     * @param n global extent
+     * @param cells number of cells
+     */
+    Decomp1D(DecompKind kind, int n, int cells);
+
+    /** Block decomposition of @p n indices over @p cells. */
+    static Decomp1D
+    block(int n, int cells)
+    {
+        return Decomp1D(DecompKind::block, n, cells);
+    }
+
+    /** Cyclic decomposition of @p n indices over @p cells. */
+    static Decomp1D
+    cyclic(int n, int cells)
+    {
+        return Decomp1D(DecompKind::cyclic, n, cells);
+    }
+
+    DecompKind kind() const { return decompKind; }
+    int extent() const { return n; }
+    int cells() const { return p; }
+
+    /** Owner cell of global index @p i. */
+    CellId owner(int i) const;
+
+    /** Local index of global index @p i on its owner. */
+    int local_index(int i) const;
+
+    /** Number of indices owned by @p cell. */
+    int local_count(CellId cell) const;
+
+    /** Global index of local index @p li on @p cell. */
+    int global_index(CellId cell, int li) const;
+
+    /** First global index owned by @p cell (block only). */
+    int block_lo(CellId cell) const;
+
+    /** Block size (ceil(n / p)); block decomposition only. */
+    int
+    block_size() const
+    {
+        return (n + p - 1) / p;
+    }
+
+  private:
+    void check_index(int i) const;
+
+    DecompKind decompKind;
+    int n;
+    int p;
+};
+
+} // namespace ap::rt
+
+#endif // AP_RT_DECOMP_HH

@@ -1,0 +1,151 @@
+#include "runtime/garray.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ap::rt
+{
+
+// ------------------------------------------------------------- GArray1D
+
+GArray1D::GArray1D(core::Context &ctx, Decomp1D decomp)
+    : ctx(ctx), dist(decomp)
+{
+    // Symmetric allocation: every cell reserves the worst-case local
+    // extent so the base address is identical machine-wide.
+    int max_local = 0;
+    for (CellId c = 0; c < dist.cells(); ++c)
+        max_local = std::max(max_local, dist.local_count(c));
+    baseAddr = ctx.alloc(static_cast<std::size_t>(max_local) * 8);
+    tmpAddr = ctx.alloc(8);
+}
+
+Addr
+GArray1D::addr_of(int i) const
+{
+    return baseAddr + static_cast<Addr>(dist.local_index(i)) * 8;
+}
+
+double
+GArray1D::get_local(int i) const
+{
+    if (!is_local(i))
+        panic("cell %d: get_local of element %d owned by cell %d",
+              ctx.id(), i, owner(i));
+    return ctx.peek_f64(addr_of(i));
+}
+
+void
+GArray1D::set_local(int i, double v)
+{
+    if (!is_local(i))
+        panic("cell %d: set_local of element %d owned by cell %d",
+              ctx.id(), i, owner(i));
+    ctx.poke_f64(addr_of(i), v);
+}
+
+double
+GArray1D::read(int i)
+{
+    if (is_local(i))
+        return get_local(i);
+    ctx.read_remote(owner(i), addr_of(i), tmpAddr, 8);
+    return ctx.peek_f64(tmpAddr);
+}
+
+void
+GArray1D::write(int i, double v)
+{
+    if (is_local(i)) {
+        set_local(i, v);
+        return;
+    }
+    ctx.poke_f64(tmpAddr, v);
+    ctx.write_remote(owner(i), addr_of(i), tmpAddr, 8);
+}
+
+// ------------------------------------------------------------- GArray2D
+
+GArray2D::GArray2D(core::Context &ctx, int rows, int cols,
+                   SplitDim split, int overlap)
+    : ctx(ctx), nRows(rows), nCols(cols), splitDim(split),
+      ovl(overlap),
+      dist(Decomp1D::block(split == SplitDim::rows ? rows : cols,
+                           ctx.nprocs()))
+{
+    if (overlap < 0)
+        fatal("negative overlap width");
+    // Worst-case band plus both overlap fringes, symmetric.
+    std::size_t band =
+        static_cast<std::size_t>(dist.block_size()) + 2 * ovl;
+    std::size_t other = static_cast<std::size_t>(
+        splitDim == SplitDim::rows ? nCols : nRows);
+    baseAddr = ctx.alloc(band * other * 8);
+}
+
+int
+GArray2D::band_lo(CellId cell) const
+{
+    return dist.block_lo(cell);
+}
+
+int
+GArray2D::band_count(CellId cell) const
+{
+    return dist.local_count(cell);
+}
+
+Addr
+GArray2D::row_pitch() const
+{
+    if (splitDim == SplitDim::rows)
+        return static_cast<Addr>(nCols) * 8;
+    return (static_cast<Addr>(dist.block_size()) + 2 * ovl) * 8;
+}
+
+Addr
+GArray2D::addr_on(CellId cell, int r, int c) const
+{
+    // Layout (row split):   [band_count + 2*ovl rows] x nCols
+    // Layout (col split):   nRows x [band_count + 2*ovl cols]
+    int s = splitDim == SplitDim::rows ? r : c;
+    int off = s - band_lo(cell) + ovl; // position inside the band
+    if (off < 0 ||
+        off >= band_count(cell) + 2 * ovl)
+        panic("cell %d: (%d, %d) outside band+overlap of cell %d",
+              ctx.id(), r, c, cell);
+    if (splitDim == SplitDim::rows) {
+        return baseAddr +
+               (static_cast<Addr>(off) * nCols +
+                static_cast<Addr>(c)) *
+                   8;
+    }
+    Addr pitch_elems = static_cast<Addr>(dist.block_size()) + 2 * ovl;
+    return baseAddr +
+           (static_cast<Addr>(r) * pitch_elems +
+            static_cast<Addr>(off)) *
+               8;
+}
+
+bool
+GArray2D::is_local(int r, int c) const
+{
+    int s = splitDim == SplitDim::rows ? r : c;
+    int off = s - band_lo(ctx.id()) + ovl;
+    return off >= 0 && off < band_count(ctx.id()) + 2 * ovl;
+}
+
+double
+GArray2D::get_local(int r, int c) const
+{
+    return ctx.peek_f64(addr_on(ctx.id(), r, c));
+}
+
+void
+GArray2D::set_local(int r, int c, double v)
+{
+    ctx.poke_f64(addr_on(ctx.id(), r, c), v);
+}
+
+} // namespace ap::rt

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Global arrays: the VPP Fortran global memory space (Figure 1).
+ *
+ * "Processors share global memory space ... Because objects in global
+ * memory space are accessible to all processors, the programmer can
+ * use a memory model similar to that of conventional uniprocessor
+ * machines." A GArray is a distributed array of doubles whose owner
+ * cell holds each element in its local memory at an address every
+ * cell can compute — which is exactly what lets the runtime turn
+ * global references into direct remote accesses (PUT/GET) with no
+ * SEND/RECEIVE pairing.
+ *
+ * Construction is collective and symmetric: every cell allocates the
+ * same local extent at the same address.
+ */
+
+#ifndef AP_RT_GARRAY_HH
+#define AP_RT_GARRAY_HH
+
+#include "core/context.hh"
+#include "runtime/decomp.hh"
+
+namespace ap::rt
+{
+
+/** A 1-D distributed array of doubles. */
+class GArray1D
+{
+  public:
+    /**
+     * Collectively build a global array (call on every cell).
+     * @param ctx the calling cell's context
+     * @param decomp how indices map to cells
+     */
+    GArray1D(core::Context &ctx, Decomp1D decomp);
+
+    int size() const { return dist.extent(); }
+    const Decomp1D &decomp() const { return dist; }
+
+    /** Owner cell of element @p i. */
+    CellId owner(int i) const { return dist.owner(i); }
+
+    /** @return true when this cell owns element @p i. */
+    bool is_local(int i) const { return owner(i) == ctx.id(); }
+
+    /** Logical address of element @p i in its owner's memory. */
+    Addr addr_of(int i) const;
+
+    /** Local base address (same on every cell). */
+    Addr base() const { return baseAddr; }
+
+    /** Elements owned by this cell. */
+    int local_count() const { return dist.local_count(ctx.id()); }
+
+    /** Read a locally owned element. */
+    double get_local(int i) const;
+
+    /** Write a locally owned element. */
+    void set_local(int i, double v);
+
+    /** Blocking remote read of any element (readRemote). */
+    double read(int i);
+
+    /** Blocking remote write of any element (writeRemote). */
+    void write(int i, double v);
+
+  private:
+    core::Context &ctx;
+    Decomp1D dist;
+    Addr baseAddr;
+    Addr tmpAddr; ///< scratch word for remote element access
+};
+
+/** Which dimension of a 2-D array is decomposed. */
+enum class SplitDim : std::uint8_t
+{
+    rows, ///< dimension 1: each cell owns a band of rows
+    cols, ///< dimension 2: each cell owns a band of columns
+};
+
+/**
+ * A 2-D distributed array of doubles (row-major), block-decomposed
+ * along one dimension, with an optional overlap area — the boundary
+ * data replicated in adjacent cells (Figure 2).
+ */
+class GArray2D
+{
+  public:
+    /**
+     * Collectively build a 2-D global array.
+     * @param ctx the calling cell's context
+     * @param rows global rows
+     * @param cols global columns
+     * @param split which dimension is distributed (block)
+     * @param overlap replicated boundary width on each side
+     */
+    GArray2D(core::Context &ctx, int rows, int cols, SplitDim split,
+             int overlap = 0);
+
+    int rows() const { return nRows; }
+    int cols() const { return nCols; }
+    SplitDim split() const { return splitDim; }
+    int overlap() const { return ovl; }
+    const Decomp1D &decomp() const { return dist; }
+
+    /** Owner cell of element (r, c). */
+    CellId
+    owner(int r, int c) const
+    {
+        return dist.owner(splitDim == SplitDim::rows ? r : c);
+    }
+
+    /** First split-dimension index owned by @p cell. */
+    int lo(CellId cell) const { return dist.block_lo(cell); }
+
+    /** Split-dimension indices owned by @p cell. */
+    int count(CellId cell) const { return dist.local_count(cell); }
+
+    /**
+     * Logical address of (r, c) as stored on @p cell. The element
+     * must lie in @p cell's owned band or its overlap area.
+     */
+    Addr addr_on(CellId cell, int r, int c) const;
+
+    /** Logical address of (r, c) on its owner. */
+    Addr
+    addr_of(int r, int c) const
+    {
+        return addr_on(owner(r, c), r, c);
+    }
+
+    /** Local row stride in bytes (distance between rows). */
+    Addr row_pitch() const;
+
+    /** Read an element available locally (owned or overlap). */
+    double get_local(int r, int c) const;
+
+    /** Write an element available locally (owned or overlap). */
+    void set_local(int r, int c, double v);
+
+    /** @return true when (r, c) is readable on this cell. */
+    bool is_local(int r, int c) const;
+
+  private:
+    int band_lo(CellId cell) const;
+    int band_count(CellId cell) const;
+
+    core::Context &ctx;
+    int nRows;
+    int nCols;
+    SplitDim splitDim;
+    int ovl;
+    Decomp1D dist;
+    Addr baseAddr;
+};
+
+} // namespace ap::rt
+
+#endif // AP_RT_GARRAY_HH

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The VPP Fortran run-time system (Section 2.1-2.2).
+ *
+ * "The translator translates a VPP Fortran program into FORTRAN77
+ * sequential code with run-time system calls for each processing
+ * element. ... The translator inserts an index calculation code which
+ * converts global addresses to local addresses. It also inserts
+ * communication library calls for accessing remote data."
+ *
+ * This class is that run-time system: the collective data transfers
+ * the compiler emits (SPREAD MOVE, OVERLAP FIX, transpose
+ * redistribution) lowered onto (stride) PUT/GET with the
+ * Ack & Barrier completion model. Every transfer it issues is marked
+ * viaRts so MLSim bills the translator-inserted address arithmetic as
+ * "Run-time system" time.
+ *
+ * The acknowledgement policy is selectable: the paper's current
+ * implementation "requires an acknowledgment for every put() and
+ * put_stride()", and notes that acknowledging only the last PUT per
+ * destination would cut the GET traffic dramatically — that planned
+ * improvement is AckPolicy::last_put_per_dest, and the ack ablation
+ * bench measures exactly this difference.
+ */
+
+#ifndef AP_RT_RTS_HH
+#define AP_RT_RTS_HH
+
+#include <cstdint>
+#include <set>
+
+#include "core/context.hh"
+#include "runtime/garray.hh"
+
+namespace ap::rt
+{
+
+/** When PUTs carry acknowledgement probes. */
+enum class AckPolicy : std::uint8_t
+{
+    every_put,         ///< paper's current implementation (5.4)
+    last_put_per_dest, ///< the planned improvement (5.4)
+};
+
+/** Counters the runtime keeps per cell. */
+struct RuntimeStats
+{
+    std::uint64_t putsIssued = 0;
+    std::uint64_t getsIssued = 0;
+    std::uint64_t acksIssued = 0;
+    std::uint64_t moves = 0;
+};
+
+/** The per-cell run-time system instance. */
+class Runtime
+{
+  public:
+    /**
+     * @param ctx this cell's context
+     * @param policy acknowledgement policy for collective moves
+     */
+    explicit Runtime(core::Context &ctx,
+                     AckPolicy policy = AckPolicy::every_put);
+
+    core::Context &context() { return ctx; }
+    AckPolicy policy() const { return ackPolicy; }
+    const RuntimeStats &stats() const { return rtStats; }
+
+    // -- collective data transfers -------------------------------------
+
+    /**
+     * OVERLAP FIX: refresh @p a's overlap areas from the owning
+     * neighbours (Figure 2). Column-split arrays use stride PUTs;
+     * row-split arrays use contiguous PUTs. Collective.
+     */
+    void overlap_fix(GArray2D &a);
+
+    /**
+     * OVERLAP FIX over several arrays in one completion round (the
+     * compiler aggregates adjacent fixes); under the last-PUT ack
+     * policy this needs only one probe per neighbour regardless of
+     * how many arrays move. Collective.
+     */
+    void overlap_fix_many(std::vector<GArray2D *> arrays);
+
+    /**
+     * SPREAD MOVE (List 1): dst(j) = src(j, fixed_col) for all j.
+     * @p src must be row-split; stride PUTs gather the column.
+     * Collective.
+     */
+    void spread_move_col(GArray1D &dst, GArray2D &src, int fixed_col);
+
+    /**
+     * SPREAD MOVE: dst(j) = src(fixed_row, j) for all j; contiguous
+     * PUTs. @p src must be row-split. Collective.
+     */
+    void spread_move_row(GArray1D &dst, GArray2D &src, int fixed_row);
+
+    /**
+     * Transpose redistribution: dst = src^T for square row-split
+     * arrays (the FT/matrix pattern): one stride PUT per destination
+     * band plus a local rearrangement pass. Collective.
+     */
+    void transpose(GArray2D &dst, GArray2D &src);
+
+    /** MOVEWAIT: complete all outstanding collective transfers. */
+    void movewait();
+
+  private:
+    /** Exchange one array's boundaries (no completion wait). */
+    void fix_one(GArray2D &a);
+
+    /** Issue one runtime PUT under the ack policy. */
+    void rts_put(CellId dst, Addr raddr, Addr laddr,
+                 net::StrideSpec send_spec, net::StrideSpec recv_spec,
+                 Addr recv_flag);
+
+    /** Close out the per-destination ack bookkeeping. */
+    void flush_acks();
+
+    core::Context &ctx;
+    AckPolicy ackPolicy;
+    /** destinations with an unacknowledged PUT (last-put policy). */
+    std::set<CellId> dirtyDests;
+    /** shared completion flag for collective receives. */
+    Addr moveFlag;
+    /** cumulative arrivals expected on moveFlag. */
+    std::uint32_t moveFlagTarget = 0;
+    RuntimeStats rtStats;
+};
+
+} // namespace ap::rt
+
+#endif // AP_RT_RTS_HH

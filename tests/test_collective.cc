@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Barrier and reduction tests (Sections 2.3, 4.5): S-net barriers,
+ * communication-register scalar trees, SEND/RECEIVE group
+ * collectives, ring-buffer vector reductions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/ap1000p.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+hw::MachineConfig
+small(int cells)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(cells);
+    cfg.memBytesPerCell = 1 << 20;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Barrier, NoCellLeavesBeforeAllArrive)
+{
+    hw::Machine m(small(8));
+    std::vector<Tick> entered(8), left(8);
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        // Skewed arrivals: cell i computes i*100 us first.
+        ctx.compute_us(ctx.id() * 100.0);
+        entered[static_cast<std::size_t>(ctx.id())] = ctx.now();
+        ctx.barrier();
+        left[static_cast<std::size_t>(ctx.id())] = ctx.now();
+    });
+    ASSERT_FALSE(r.deadlock);
+    Tick latest_entry = *std::max_element(entered.begin(),
+                                          entered.end());
+    for (Tick t : left)
+        EXPECT_GE(t, latest_entry);
+}
+
+TEST(Barrier, ReusableAcrossEpisodes)
+{
+    hw::Machine m(small(4));
+    auto r = run_spmd(m, [&](Context &ctx) {
+        for (int i = 0; i < 20; ++i)
+            ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(m.snet().episodes(0), 20u);
+}
+
+class AllreduceSizes : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AllreduceSizes, SumOfIdsIsExact)
+{
+    int n = GetParam();
+    hw::Machine m(small(n));
+    std::vector<double> results(static_cast<std::size_t>(n), -1);
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        double v = ctx.allreduce(static_cast<double>(ctx.id()),
+                                 ReduceOp::sum);
+        results[static_cast<std::size_t>(ctx.id())] = v;
+    });
+    ASSERT_FALSE(r.deadlock);
+    double expect = n * (n - 1) / 2.0;
+    for (double v : results)
+        EXPECT_DOUBLE_EQ(v, expect);
+}
+
+TEST_P(AllreduceSizes, MinMaxProd)
+{
+    int n = GetParam();
+    hw::Machine m(small(n));
+    std::vector<double> mins(static_cast<std::size_t>(n)),
+        maxs(static_cast<std::size_t>(n)),
+        prods(static_cast<std::size_t>(n));
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        double x = 1.0 + ctx.id();
+        auto i = static_cast<std::size_t>(ctx.id());
+        mins[i] = ctx.allreduce(x, ReduceOp::min);
+        maxs[i] = ctx.allreduce(x, ReduceOp::max);
+        prods[i] = ctx.allreduce(ctx.id() < 2 ? 2.0 : 1.0,
+                                 ReduceOp::prod);
+    });
+    ASSERT_FALSE(r.deadlock);
+    for (int i = 0; i < n; ++i) {
+        auto s = static_cast<std::size_t>(i);
+        EXPECT_DOUBLE_EQ(mins[s], 1.0);
+        EXPECT_DOUBLE_EQ(maxs[s], static_cast<double>(n));
+        EXPECT_DOUBLE_EQ(prods[s], n >= 2 ? 4.0 : 2.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(CellCounts, AllreduceSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12,
+                                           16, 27, 32, 64));
+
+TEST(Allreduce, BackToBackReductionsDoNotCorrupt)
+{
+    // Exercises the two-bank register protocol: consecutive
+    // reductions with skewed cells must not overwrite unconsumed
+    // values.
+    hw::Machine m(small(8));
+    std::vector<double> sums(8 * 10);
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        for (int k = 0; k < 10; ++k) {
+            // Skew cells differently each round.
+            ctx.compute_us(((ctx.id() * 7 + k * 13) % 5) * 3.0);
+            double v = ctx.allreduce(ctx.id() + k * 100.0,
+                                     ReduceOp::sum);
+            sums[static_cast<std::size_t>(ctx.id() * 10 + k)] = v;
+        }
+    });
+    ASSERT_FALSE(r.deadlock);
+    for (int k = 0; k < 10; ++k) {
+        double expect = 8 * k * 100.0 + 28.0;
+        for (int c = 0; c < 8; ++c)
+            EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(c * 10 + k)],
+                             expect)
+                << "cell " << c << " round " << k;
+    }
+}
+
+TEST(Allreduce, IntegerCountsAreExact)
+{
+    hw::Machine m(small(16));
+    std::vector<std::uint64_t> counts(16);
+    auto r = run_spmd(m, [&](Context &ctx) {
+        counts[static_cast<std::size_t>(ctx.id())] =
+            ctx.allreduce_u64(3, ReduceOp::sum);
+    });
+    ASSERT_FALSE(r.deadlock);
+    for (auto c : counts)
+        EXPECT_EQ(c, 48u);
+}
+
+TEST(GroupCollective, DisjointGroupsReduceIndependently)
+{
+    hw::Machine m(small(8));
+    std::vector<double> results(8);
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Group low = Group::range(0, 4);
+        Group high = Group::range(4, 4);
+        const Group &mine = ctx.id() < 4 ? low : high;
+        results[static_cast<std::size_t>(ctx.id())] =
+            ctx.allreduce_group(mine, 1.0 + ctx.id(), ReduceOp::sum);
+    });
+    ASSERT_FALSE(r.deadlock);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(i)], 10.0);
+    for (int i = 4; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(i)], 26.0);
+}
+
+TEST(GroupCollective, UnevenGroupSchedulesStaySafe)
+{
+    // One group reduces many times while the other is idle; then a
+    // group spanning different counts runs. Ring-buffer matching must
+    // keep every exchange straight.
+    hw::Machine m(small(8));
+    std::vector<double> last(8, -1);
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Group low = Group::range(0, 4);
+        Group high = Group::range(4, 4);
+        if (ctx.id() < 4) {
+            double v = 0;
+            for (int k = 0; k < 7; ++k)
+                v = ctx.allreduce_group(low, 1.0, ReduceOp::sum);
+            last[static_cast<std::size_t>(ctx.id())] = v;
+        } else {
+            last[static_cast<std::size_t>(ctx.id())] =
+                ctx.allreduce_group(high, 2.0, ReduceOp::sum);
+        }
+    });
+    ASSERT_FALSE(r.deadlock);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_DOUBLE_EQ(last[static_cast<std::size_t>(i)], 4.0);
+    for (int i = 4; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(last[static_cast<std::size_t>(i)], 8.0);
+}
+
+TEST(GroupCollective, StridedGroupMembers)
+{
+    hw::Machine m(small(8));
+    std::vector<double> results(8, 0);
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Group evens = Group::strided(0, 4, 2);
+        if (evens.contains(ctx.id()))
+            results[static_cast<std::size_t>(ctx.id())] =
+                ctx.allreduce_group(evens, 1.0, ReduceOp::sum);
+    });
+    ASSERT_FALSE(r.deadlock);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(results[static_cast<std::size_t>(i)],
+                         i % 2 == 0 ? 4.0 : 0.0);
+}
+
+TEST(GroupCollective, GroupBarrierOrdersMembers)
+{
+    hw::Machine m(small(6));
+    std::vector<Tick> entered(6), left(6);
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Group g = Group::range(1, 4); // cells 1..4
+        if (!g.contains(ctx.id()))
+            return;
+        ctx.compute_us(ctx.id() * 50.0);
+        entered[static_cast<std::size_t>(ctx.id())] = ctx.now();
+        ctx.barrier_group(g);
+        left[static_cast<std::size_t>(ctx.id())] = ctx.now();
+    });
+    ASSERT_FALSE(r.deadlock);
+    Tick latest = 0;
+    for (int i = 1; i <= 4; ++i)
+        latest = std::max(latest,
+                          entered[static_cast<std::size_t>(i)]);
+    for (int i = 1; i <= 4; ++i)
+        EXPECT_GE(left[static_cast<std::size_t>(i)], latest);
+}
+
+class VectorReduceSizes
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(VectorReduceSizes, ElementwiseSumMatches)
+{
+    auto [cells, count] = GetParam();
+    hw::Machine m(small(cells));
+    std::vector<double> result(static_cast<std::size_t>(count));
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr vec = ctx.alloc(static_cast<std::size_t>(count) * 8);
+        for (int i = 0; i < count; ++i)
+            ctx.poke_f64(vec + static_cast<Addr>(i) * 8,
+                         ctx.id() * 1000.0 + i);
+        ctx.allreduce_vector(vec, static_cast<std::uint32_t>(count),
+                             ReduceOp::sum);
+        if (ctx.id() == 0)
+            for (int i = 0; i < count; ++i)
+                result[static_cast<std::size_t>(i)] = ctx.peek_f64(
+                    vec + static_cast<Addr>(i) * 8);
+    });
+    ASSERT_FALSE(r.deadlock);
+    for (int i = 0; i < count; ++i) {
+        double expect = cells * (cells - 1) / 2.0 * 1000.0 +
+                        static_cast<double>(cells) * i;
+        EXPECT_DOUBLE_EQ(result[static_cast<std::size_t>(i)], expect)
+            << "element " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VectorReduceSizes,
+    ::testing::Values(std::pair{2, 1}, std::pair{4, 16},
+                      std::pair{8, 100}, std::pair{16, 1400},
+                      std::pair{3, 7}, std::pair{5, 64}));
+
+TEST(VectorReduce, UsesInPlaceRingBufferReads)
+{
+    hw::Machine m(small(4));
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr vec = ctx.alloc(80);
+        for (int i = 0; i < 10; ++i)
+            ctx.poke_f64(vec + static_cast<Addr>(i) * 8, 1.0);
+        ctx.allreduce_vector(vec, 10, ReduceOp::sum);
+    });
+    ASSERT_FALSE(r.deadlock);
+    // Every step consumed straight from the ring buffer — no copies.
+    for (int c = 0; c < 4; ++c) {
+        EXPECT_EQ(m.cell(c).ring().stats().inPlaceReads, 3u);
+        EXPECT_EQ(m.cell(c).ring().stats().copies, 0u);
+    }
+}
+
+TEST(VectorReduce, MaxAcrossCells)
+{
+    hw::Machine m(small(5));
+    double got = 0;
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr vec = ctx.alloc(8);
+        ctx.poke_f64(vec, std::sin(ctx.id() * 1.7));
+        ctx.allreduce_vector(vec, 1, ReduceOp::max);
+        if (ctx.id() == 3)
+            got = ctx.peek_f64(vec);
+    });
+    ASSERT_FALSE(r.deadlock);
+    double expect = 0;
+    for (int i = 0; i < 5; ++i)
+        expect = std::max(expect, std::sin(i * 1.7));
+    EXPECT_DOUBLE_EQ(got, expect);
+}
+
+TEST(Collective, GopsAndSyncsCounted)
+{
+    hw::Machine m(small(4));
+    Trace trace;
+    auto r = run_spmd(
+        m,
+        [&](Context &ctx) {
+            ctx.barrier();
+            ctx.allreduce(1.0, ReduceOp::sum);
+            Addr vec = ctx.alloc(32);
+            ctx.allreduce_vector(vec, 4, ReduceOp::sum);
+            ctx.barrier();
+        },
+        &trace);
+    ASSERT_FALSE(r.deadlock);
+    for (int c = 0; c < 4; ++c) {
+        int sync = 0, gop = 0, vgop = 0;
+        for (const auto &ev : trace.timeline(c)) {
+            sync += ev.op == TraceOp::barrier;
+            gop += ev.op == TraceOp::gop;
+            vgop += ev.op == TraceOp::vgop;
+        }
+        EXPECT_EQ(sync, 2);
+        EXPECT_EQ(gop, 1);
+        EXPECT_EQ(vgop, 1);
+    }
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Context API tests: allocation discipline, typed access, shared
+ * space addressing, 2-D stride-by-repetition, group helpers, machine
+ * report, and error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "base/logging.hh"
+#include "core/ap1000p.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+hw::MachineConfig
+small(int cells)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(cells);
+    cfg.memBytesPerCell = 1 << 20;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Context, AllocIsAlignedAndSymmetric)
+{
+    hw::Machine m(small(4));
+    std::vector<Addr> a1(4), a2(4);
+    run_spmd(m, [&](Context &ctx) {
+        a1[static_cast<std::size_t>(ctx.id())] = ctx.alloc(3);
+        a2[static_cast<std::size_t>(ctx.id())] = ctx.alloc(8);
+    });
+    for (int c = 1; c < 4; ++c) {
+        EXPECT_EQ(a1[static_cast<std::size_t>(c)], a1[0]);
+        EXPECT_EQ(a2[static_cast<std::size_t>(c)], a2[0]);
+    }
+    EXPECT_EQ(a1[0] % 8, 0u);
+    EXPECT_EQ(a2[0] - a1[0], 8u); // 3 bytes rounded up
+    EXPECT_NE(a1[0], no_flag);    // address 0 stays reserved
+}
+
+TEST(ContextDeath, AllocBeyondMemoryIsFatal)
+{
+    hw::Machine m(small(1));
+    EXPECT_DEATH(run_spmd(m,
+                          [](Context &ctx) {
+                              ctx.alloc(2 << 20); // > 1 MB cell
+                          }),
+                 "out of memory");
+}
+
+TEST(ContextDeath, NegativeComputeIsFatal)
+{
+    hw::Machine m(small(1));
+    EXPECT_DEATH(
+        run_spmd(m, [](Context &ctx) { ctx.compute_us(-1.0); }),
+        "negative");
+}
+
+TEST(Context, TypedPokePeekRoundTrip)
+{
+    hw::Machine m(small(1));
+    run_spmd(m, [](Context &ctx) {
+        Addr a = ctx.alloc(16);
+        ctx.poke_f64(a, -1.5e300);
+        EXPECT_DOUBLE_EQ(ctx.peek_f64(a), -1.5e300);
+        ctx.poke_u32(a + 8, 0xffffffff);
+        EXPECT_EQ(ctx.peek_u32(a + 8), 0xffffffffu);
+    });
+}
+
+TEST(Context, SharedAddrRoundTrips)
+{
+    hw::Machine m(small(4));
+    std::uint32_t got = 0;
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr slot = ctx.alloc(8);
+        ctx.barrier();
+        // Cell 1 writes through cell 3's shared-space address.
+        if (ctx.id() == 1) {
+            ctx.shared_store_u32(ctx.shared_addr(3, slot), 777);
+            ctx.wait_all_acks();
+        }
+        ctx.barrier();
+        if (ctx.id() == 0)
+            got = ctx.shared_load_u32(ctx.shared_addr(3, slot));
+        ctx.barrier();
+        // Self-references short-circuit locally.
+        if (ctx.id() == 3) {
+            EXPECT_EQ(ctx.shared_load_u32(ctx.shared_addr(3, slot)),
+                      777u);
+        }
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(got, 777u);
+}
+
+TEST(Context, PutStride2dMovesAMatrixBlock)
+{
+    // Move a 4x6-element sub-block (8-byte elements) out of a 16-wide
+    // row-major matrix into a 12-wide one, one plane per row.
+    hw::Machine m(small(2));
+    int bad = 0;
+    auto r = run_spmd(m, [&](Context &ctx) {
+        constexpr int src_w = 16, dst_w = 12, rows = 4, cols = 6;
+        Addr src = ctx.alloc(src_w * rows * 8);
+        Addr dst = ctx.alloc(dst_w * rows * 8);
+        Addr rf = ctx.alloc_flag();
+        if (ctx.id() == 0) {
+            for (int y = 0; y < rows; ++y)
+                for (int x = 0; x < src_w; ++x)
+                    ctx.poke_f64(src + static_cast<Addr>(
+                                           (y * src_w + x) * 8),
+                                 y * 100.0 + x);
+            net::StrideSpec row{cols * 8, 1, 0};
+            ctx.put_stride_2d(1, dst, src, true, no_flag, rf, row,
+                              row, rows, src_w * 8, dst_w * 8);
+            ctx.wait_all_acks();
+        }
+        if (ctx.id() == 1) {
+            ctx.wait_flag(rf, rows);
+            for (int y = 0; y < rows; ++y)
+                for (int x = 0; x < cols; ++x)
+                    if (ctx.peek_f64(dst + static_cast<Addr>(
+                                               (y * dst_w + x) * 8)) !=
+                        y * 100.0 + x)
+                        ++bad;
+        }
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(bad, 0);
+    // Only the final plane carried an acknowledge probe.
+    EXPECT_EQ(m.cell(0).msc().stats().acksReceived, 1u);
+}
+
+TEST(Context, GroupHelpers)
+{
+    Group g = Group::strided(2, 4, 3); // 2, 5, 8, 11
+    EXPECT_EQ(g.size(), 4);
+    EXPECT_EQ(g.at(0), 2);
+    EXPECT_EQ(g.at(3), 11);
+    EXPECT_EQ(g.rank_of(5), 1);
+    EXPECT_EQ(g.rank_of(6), -1);
+    EXPECT_TRUE(g.contains(8));
+    EXPECT_FALSE(g.contains(3));
+
+    Group dup(std::vector<CellId>{3, 1, 3, 2});
+    EXPECT_EQ(dup.size(), 3); // sorted, deduplicated
+    EXPECT_EQ(dup.at(0), 1);
+}
+
+TEST(Context, StatsCountOperations)
+{
+    hw::Machine m(small(2));
+    run_spmd(m, [](Context &ctx) {
+        Addr buf = ctx.alloc(256);
+        Addr rf = ctx.alloc_flag();
+        if (ctx.id() == 0) {
+            ctx.put(1, buf, buf, 128, no_flag, rf, true);
+            ctx.put_stride(1, buf, buf, false, no_flag, rf,
+                           net::StrideSpec{8, 4, 8},
+                           net::StrideSpec::contiguous(32));
+            ctx.get(1, buf, buf, 64, no_flag, rf);
+            ctx.send(1, 1, buf, 16);
+            EXPECT_EQ(ctx.stats().puts, 1u);
+            EXPECT_EQ(ctx.stats().putStrides, 1u);
+            EXPECT_EQ(ctx.stats().gets, 1u);
+            EXPECT_EQ(ctx.stats().sends, 1u);
+            EXPECT_EQ(ctx.stats().acksRequested, 1u);
+            EXPECT_EQ(ctx.stats().putBytes, 160u);
+            EXPECT_EQ(ctx.stats().getBytes, 64u);
+        }
+        if (ctx.id() == 1) {
+            ctx.wait_flag(rf, 3);
+            ctx.recv(0, 1, buf, 64);
+        }
+        ctx.barrier();
+    });
+}
+
+TEST(Context, MachineReportSummarizesActivity)
+{
+    hw::Machine m(small(4));
+    run_spmd(m, [](Context &ctx) {
+        Addr buf = ctx.alloc(128);
+        Addr rf = ctx.alloc_flag();
+        CellId right = (ctx.id() + 1) % ctx.nprocs();
+        ctx.put(right, buf, buf, 128, no_flag, rf);
+        ctx.wait_flag(rf, 1);
+        ctx.allreduce(1.0, ReduceOp::sum);
+        ctx.barrier();
+    });
+    std::string rep = m.report();
+    EXPECT_NE(rep.find("machine report: 4 cells"), std::string::npos);
+    EXPECT_NE(rep.find("T-net:"), std::string::npos);
+    EXPECT_NE(rep.find("4 PUTs"), std::string::npos);
+    EXPECT_NE(rep.find("flag increments"), std::string::npos);
+    EXPECT_NE(rep.find("busiest sender"), std::string::npos);
+}
+
+TEST(Context, SpmdResultBlockedTimeTracksIdleCells)
+{
+    hw::Machine m(small(2));
+    auto r = run_spmd(m, [](Context &ctx) {
+        if (ctx.id() == 0)
+            ctx.compute_us(1000.0);
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    // Cell 1 idled at the barrier roughly as long as cell 0 worked.
+    EXPECT_GT(r.cellBlocked[1], us_to_ticks(900.0));
+    EXPECT_LT(r.cellBlocked[0], us_to_ticks(100.0));
+}
+
+TEST(ContextDeath, MismatchedStridePatternsAreFatal)
+{
+    hw::Machine m(small(2));
+    EXPECT_DEATH(
+        run_spmd(m,
+                 [](Context &ctx) {
+                     Addr buf = ctx.alloc(64);
+                     ctx.put_stride(1, buf, buf, false, no_flag,
+                                    no_flag, net::StrideSpec{8, 4, 0},
+                                    net::StrideSpec{8, 3, 0});
+                 }),
+        "pattern");
+}

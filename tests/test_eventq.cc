@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Unit tests of the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/eventq.hh"
+
+using namespace ap;
+using namespace ap::sim;
+
+TEST(EventQueue, StartsAtTickZeroAndEmpty)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+    EXPECT_TRUE(sim.empty());
+    EXPECT_EQ(sim.pending(), 0u);
+    EXPECT_FALSE(sim.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&]() { order.push_back(3); });
+    sim.schedule(10, [&]() { order.push_back(1); });
+    sim.schedule(20, [&]() { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        sim.schedule(5, [&, i]() { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, HandlersMayScheduleMoreEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            sim.schedule(sim.now() + 10, chain);
+    };
+    sim.schedule(0, chain);
+    sim.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(sim.now(), 40u);
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&]() { ++fired; });
+    sim.schedule(20, [&]() { ++fired; });
+    sim.schedule(30, [&]() { ++fired; });
+    sim.run_until(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.pending(), 1u);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, ZeroDelayEventRunsAtCurrentTick)
+{
+    Simulator sim;
+    Tick seen = max_tick;
+    sim.schedule(15, [&]() {
+        sim.schedule_after(0, [&]() { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 15u);
+}
+
+TEST(EventQueue, ExecutedCounterCounts)
+{
+    Simulator sim;
+    for (int i = 0; i < 7; ++i)
+        sim.schedule(static_cast<Tick>(i), []() {});
+    sim.run();
+    EXPECT_EQ(sim.executed(), 7u);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    Simulator sim;
+    sim.schedule(10, []() {});
+    sim.run();
+    EXPECT_DEATH(sim.schedule(5, []() {}), "past");
+}
+
+TEST(TickConversion, MicrosecondRoundTrip)
+{
+    EXPECT_EQ(us_to_ticks(1.0), 1000u);
+    EXPECT_EQ(us_to_ticks(0.16), 160u);
+    EXPECT_EQ(us_to_ticks(0.0), 0u);
+    EXPECT_DOUBLE_EQ(ticks_to_us(2500), 2.5);
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Unit tests of fibers, processes and conditions.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fiber.hh"
+#include "sim/process.hh"
+
+using namespace ap;
+using namespace ap::sim;
+
+TEST(Fiber, RunsBodyOnResume)
+{
+    bool ran = false;
+    Fiber f([&]() { ran = true; });
+    EXPECT_FALSE(ran);
+    f.resume();
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, YieldSuspendsAndResumes)
+{
+    std::vector<int> order;
+    Fiber f([&]() {
+        order.push_back(1);
+        Fiber::yield();
+        order.push_back(3);
+    });
+    f.resume();
+    order.push_back(2);
+    f.resume();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(f.finished());
+}
+
+TEST(Fiber, CurrentTracksRunningFiber)
+{
+    Fiber *seen = nullptr;
+    Fiber f([&]() { seen = Fiber::current(); });
+    EXPECT_EQ(Fiber::current(), nullptr);
+    f.resume();
+    EXPECT_EQ(seen, &f);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Process, DelayAdvancesSimulatedTime)
+{
+    Simulator sim;
+    Tick seen = 0;
+    Process p(sim, "p", [&](Process &self) {
+        self.delay(100);
+        seen = sim.now();
+        self.delay(50);
+    });
+    p.start(0);
+    sim.run();
+    EXPECT_EQ(seen, 100u);
+    EXPECT_EQ(sim.now(), 150u);
+    EXPECT_TRUE(p.finished());
+    EXPECT_EQ(p.delayed_ticks(), 150u);
+}
+
+TEST(Process, WaitBlocksUntilNotify)
+{
+    Simulator sim;
+    Condition cond;
+    bool woke = false;
+    Process waiter(sim, "waiter", [&](Process &self) {
+        self.wait(cond);
+        woke = true;
+    });
+    Process notifier(sim, "notifier", [&](Process &self) {
+        self.delay(500);
+        cond.notify_all();
+    });
+    waiter.start(0);
+    notifier.start(0);
+    sim.run();
+    EXPECT_TRUE(woke);
+    EXPECT_EQ(sim.now(), 500u);
+    EXPECT_EQ(waiter.blocked_ticks(), 500u);
+}
+
+TEST(Process, NotifyWakesAllWaitersInOrder)
+{
+    Simulator sim;
+    Condition cond;
+    std::vector<int> order;
+    std::vector<std::unique_ptr<Process>> procs;
+    for (int i = 0; i < 4; ++i) {
+        procs.push_back(std::make_unique<Process>(
+            sim, "w", [&, i](Process &self) {
+                self.wait(cond);
+                order.push_back(i);
+            }));
+        procs.back()->start(0);
+    }
+    Process kicker(sim, "k", [&](Process &self) {
+        self.delay(10);
+        cond.notify_all();
+    });
+    kicker.start(0);
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Process, UnfinishedProcessDetectable)
+{
+    Simulator sim;
+    Condition never;
+    Process p(sim, "stuck", [&](Process &self) { self.wait(never); });
+    p.start(0);
+    sim.run();
+    EXPECT_FALSE(p.finished());
+    EXPECT_TRUE(p.blocked());
+}
+
+TEST(Process, TwoProcessesInterleaveDeterministically)
+{
+    Simulator sim;
+    std::vector<std::pair<int, Tick>> log;
+    Process a(sim, "a", [&](Process &self) {
+        for (int i = 0; i < 3; ++i) {
+            log.emplace_back(0, sim.now());
+            self.delay(10);
+        }
+    });
+    Process b(sim, "b", [&](Process &self) {
+        for (int i = 0; i < 3; ++i) {
+            log.emplace_back(1, sim.now());
+            self.delay(15);
+        }
+    });
+    a.start(0);
+    b.start(0);
+    sim.run();
+    std::vector<std::pair<int, Tick>> expect = {
+        {0, 0}, {1, 0}, {0, 10}, {1, 15}, {0, 20}, {1, 30},
+    };
+    EXPECT_EQ(log, expect);
+}

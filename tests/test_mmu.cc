@@ -1,0 +1,156 @@
+/**
+ * @file
+ * MMU and TLB tests: the direct-mapped 256-entry 4 KB / 64-entry
+ * 256 KB configuration of the MC (Section 4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/mmu.hh"
+
+using namespace ap;
+using namespace ap::hw;
+
+TEST(Mmu, LinearMapIsIdentity)
+{
+    Mmu mmu;
+    mmu.map_linear(1 << 20);
+    for (Addr a : {Addr{0}, Addr{4095}, Addr{4096}, Addr{999999}}) {
+        Translation t = mmu.translate(a, false);
+        ASSERT_TRUE(t.valid) << a;
+        EXPECT_EQ(t.paddr, a);
+    }
+}
+
+TEST(Mmu, UnmappedAddressFaults)
+{
+    Mmu mmu;
+    mmu.map_linear(1 << 20);
+    Translation t = mmu.translate(Addr{1} << 21, false);
+    EXPECT_FALSE(t.valid);
+    EXPECT_EQ(mmu.stats().faults, 1u);
+}
+
+TEST(Mmu, NonIdentityMappingTranslates)
+{
+    Mmu mmu;
+    mmu.map(0x10000, 0x40000);
+    Translation t = mmu.translate(0x10123, false);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.paddr, 0x40123u);
+}
+
+TEST(Mmu, ReadOnlyPageRejectsWrites)
+{
+    Mmu mmu;
+    mmu.map(0, 0, false, /*writable=*/false);
+    EXPECT_TRUE(mmu.translate(0x10, false).valid);
+    EXPECT_FALSE(mmu.translate(0x10, true).valid);
+    EXPECT_EQ(mmu.stats().faults, 1u);
+}
+
+TEST(Mmu, FirstAccessMissesThenHits)
+{
+    Mmu mmu;
+    mmu.map_linear(1 << 20);
+    mmu.translate(0x1000, false);
+    EXPECT_EQ(mmu.stats().misses, 1u);
+    EXPECT_EQ(mmu.stats().hits, 0u);
+    mmu.translate(0x1004, false);
+    EXPECT_EQ(mmu.stats().misses, 1u);
+    EXPECT_EQ(mmu.stats().hits, 1u);
+}
+
+TEST(Mmu, DirectMappedConflictEvicts)
+{
+    Mmu mmu;
+    // Two pages whose VPNs collide in the 256-entry direct map.
+    Addr a = 0;
+    Addr b = Addr{256} << 12;
+    mmu.map(a, a);
+    mmu.map(b, b);
+    mmu.translate(a, false); // miss, fill
+    mmu.translate(b, false); // miss, evicts a
+    mmu.translate(a, false); // miss again (conflict)
+    EXPECT_EQ(mmu.stats().misses, 3u);
+    EXPECT_EQ(mmu.stats().hits, 0u);
+}
+
+TEST(Mmu, NonConflictingPagesBothHit)
+{
+    Mmu mmu;
+    Addr a = 0;
+    Addr b = 1 << 12;
+    mmu.map(a, a);
+    mmu.map(b, b);
+    mmu.translate(a, false);
+    mmu.translate(b, false);
+    mmu.translate(a, false);
+    mmu.translate(b, false);
+    EXPECT_EQ(mmu.stats().misses, 2u);
+    EXPECT_EQ(mmu.stats().hits, 2u);
+}
+
+TEST(Mmu, LargePageCoversWholeRange)
+{
+    Mmu mmu;
+    mmu.map(0, 0, /*large=*/true);
+    Translation t = mmu.translate(200000, false); // < 256 KB
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.paddr, 200000u);
+    // A single TLB entry serves the whole page: one miss, rest hits.
+    mmu.translate(100, false);
+    mmu.translate(262143, false);
+    EXPECT_EQ(mmu.stats().misses, 1u);
+    EXPECT_EQ(mmu.stats().hits, 2u);
+}
+
+TEST(Mmu, SmallPageShadowsLargePage)
+{
+    Mmu mmu;
+    mmu.map(0, 0x100000, /*large=*/true);
+    mmu.map(0x1000, 0x9000, /*large=*/false);
+    // Address in the small page goes through the small mapping.
+    Translation t = mmu.peek(0x1234);
+    ASSERT_TRUE(t.valid);
+    EXPECT_EQ(t.paddr, 0x9234u);
+    // Address outside it falls back to the large mapping.
+    Translation u = mmu.peek(0x3000);
+    ASSERT_TRUE(u.valid);
+    EXPECT_EQ(u.paddr, 0x103000u);
+}
+
+TEST(Mmu, FlushTlbForcesMisses)
+{
+    Mmu mmu;
+    mmu.map_linear(1 << 16);
+    mmu.translate(0, false);
+    mmu.translate(0, false);
+    EXPECT_EQ(mmu.stats().hits, 1u);
+    mmu.flush_tlb();
+    mmu.translate(0, false);
+    EXPECT_EQ(mmu.stats().misses, 2u);
+}
+
+TEST(Mmu, UnmapRemovesTranslation)
+{
+    Mmu mmu;
+    mmu.map(0x2000, 0x2000);
+    EXPECT_TRUE(mmu.translate(0x2000, false).valid);
+    mmu.unmap(0x2000);
+    EXPECT_FALSE(mmu.translate(0x2000, false).valid);
+}
+
+TEST(Mmu, PeekDoesNotTouchStats)
+{
+    Mmu mmu;
+    mmu.map_linear(1 << 16);
+    mmu.peek(0x100);
+    EXPECT_EQ(mmu.stats().hits + mmu.stats().misses, 0u);
+}
+
+TEST(MmuDeath, MisalignedMapIsFatal)
+{
+    Mmu mmu;
+    EXPECT_DEATH(mmu.map(0x123, 0), "aligned");
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * MSC+ command queue tests: 64-word capacity, DRAM spill, OS refill
+ * (Section 4.1, "Queues and queue overflows").
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/queues.hh"
+
+using namespace ap;
+using namespace ap::hw;
+
+namespace
+{
+
+Command
+cmd(int i)
+{
+    Command c;
+    c.kind = CommandKind::put;
+    c.dst = i;
+    return c;
+}
+
+} // namespace
+
+TEST(CommandQueue, HoldsEightCommandsInHardware)
+{
+    CommandQueue q; // 64 words / 8 words each
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(q.push(cmd(i))) << i;
+    EXPECT_EQ(q.hw_depth(), 8);
+    EXPECT_EQ(q.spill_depth(), 0);
+}
+
+TEST(CommandQueue, NinthCommandSpills)
+{
+    CommandQueue q;
+    for (int i = 0; i < 8; ++i)
+        q.push(cmd(i));
+    EXPECT_TRUE(q.push(cmd(8)));
+    EXPECT_EQ(q.spill_depth(), 1);
+    EXPECT_EQ(q.stats().spills, 1u);
+}
+
+TEST(CommandQueue, SpilledOrderingIsFifoAcrossRefill)
+{
+    CommandQueue q;
+    for (int i = 0; i < 20; ++i)
+        q.push(cmd(i));
+
+    std::vector<int> order;
+    while (!q.empty()) {
+        if (q.needs_refill())
+            q.refill();
+        order.push_back(q.pop().dst);
+    }
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(CommandQueue, LaterPushesKeepSpillingWhileDrainBacklogExists)
+{
+    CommandQueue q;
+    for (int i = 0; i < 9; ++i)
+        q.push(cmd(i)); // 8 hw + 1 spill
+    q.pop();            // hw has room again...
+    EXPECT_TRUE(q.push(cmd(9))); // ...but FIFO forces a spill
+    EXPECT_EQ(q.spill_depth(), 2);
+}
+
+TEST(CommandQueue, RefillMovesUpToCapacity)
+{
+    CommandQueue q;
+    for (int i = 0; i < 30; ++i)
+        q.push(cmd(i));
+    while (q.hw_depth() > 0)
+        q.pop();
+    ASSERT_TRUE(q.needs_refill());
+    int moved = q.refill();
+    EXPECT_EQ(moved, 8);
+    EXPECT_EQ(q.hw_depth(), 8);
+    EXPECT_EQ(q.spill_depth(), 30 - 8 - 8);
+    EXPECT_EQ(q.stats().refillInterrupts, 1u);
+}
+
+TEST(CommandQueue, RefillWithoutNeedIsNoop)
+{
+    CommandQueue q;
+    q.push(cmd(0));
+    EXPECT_EQ(q.refill(), 0);
+    EXPECT_EQ(q.stats().refillInterrupts, 0u);
+}
+
+TEST(CommandQueue, MaxSpillDepthTracked)
+{
+    CommandQueue q;
+    for (int i = 0; i < 50; ++i)
+        q.push(cmd(i));
+    EXPECT_EQ(q.stats().maxSpillDepth, 42u);
+}
+
+TEST(CommandQueue, CustomCapacity)
+{
+    CommandQueue q(16); // two commands
+    EXPECT_FALSE(q.push(cmd(0)));
+    EXPECT_FALSE(q.push(cmd(1)));
+    EXPECT_TRUE(q.push(cmd(2)));
+}
+
+TEST(CommandQueueDeath, TooSmallCapacityIsFatal)
+{
+    EXPECT_DEATH(CommandQueue(4), "cannot hold");
+}
+
+TEST(CommandQueueDeath, PopOnEmptyHardwarePanics)
+{
+    CommandQueue q;
+    EXPECT_DEATH(q.pop(), "empty");
+}

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Torus topology and static routing tests, including parameterized
+ * property sweeps over machine shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "net/topology.hh"
+
+using namespace ap;
+using namespace ap::net;
+
+TEST(Torus, CoordinateRoundTrip)
+{
+    Torus t(8, 4);
+    for (CellId id = 0; id < t.size(); ++id)
+        EXPECT_EQ(t.id_of(t.coord_of(id)), id);
+}
+
+TEST(Torus, SquarestPrefersBalancedShapes)
+{
+    EXPECT_EQ(Torus::squarest(64).width(), 8);
+    EXPECT_EQ(Torus::squarest(64).height(), 8);
+    EXPECT_EQ(Torus::squarest(128).width(), 8);
+    EXPECT_EQ(Torus::squarest(128).height(), 16);
+    EXPECT_EQ(Torus::squarest(16).width(), 4);
+    EXPECT_EQ(Torus::squarest(1).size(), 1);
+    // Primes degrade to a ring.
+    EXPECT_EQ(Torus::squarest(13).width(), 1);
+    EXPECT_EQ(Torus::squarest(13).height(), 13);
+}
+
+TEST(Torus, WrapDeltaTakesShortWay)
+{
+    EXPECT_EQ(Torus::wrap_delta(0, 1, 8), 1);
+    EXPECT_EQ(Torus::wrap_delta(0, 7, 8), -1);
+    EXPECT_EQ(Torus::wrap_delta(0, 4, 8), 4); // halfway stays positive
+    EXPECT_EQ(Torus::wrap_delta(3, 3, 8), 0);
+    EXPECT_EQ(Torus::wrap_delta(6, 1, 8), 3);
+}
+
+TEST(Torus, DistanceNeighborAndWrap)
+{
+    Torus t(4, 4);
+    EXPECT_EQ(t.distance(0, 0), 0);
+    EXPECT_EQ(t.distance(0, 1), 1);
+    EXPECT_EQ(t.distance(0, 3), 1);  // x wraparound
+    EXPECT_EQ(t.distance(0, 12), 1); // y wraparound
+    EXPECT_EQ(t.distance(0, 10), 4); // opposite corner: 2 + 2
+}
+
+TEST(Torus, RouteIsEmptyForSelf)
+{
+    Torus t(4, 4);
+    EXPECT_TRUE(t.route(5, 5).empty());
+}
+
+struct TorusShape
+{
+    int w;
+    int h;
+};
+
+class TorusProperty : public ::testing::TestWithParam<TorusShape>
+{
+};
+
+TEST_P(TorusProperty, DistanceIsSymmetricAndTriangleBounded)
+{
+    auto [w, h] = GetParam();
+    Torus t(w, h);
+    for (CellId a = 0; a < t.size(); ++a) {
+        for (CellId b = 0; b < t.size(); ++b) {
+            EXPECT_EQ(t.distance(a, b), t.distance(b, a));
+            EXPECT_LE(t.distance(a, b), w / 2 + h / 2);
+            if (a == b)
+                EXPECT_EQ(t.distance(a, b), 0);
+            else
+                EXPECT_GE(t.distance(a, b), 1);
+        }
+    }
+}
+
+TEST_P(TorusProperty, RouteLengthEqualsDistanceAndHopsAreAdjacent)
+{
+    auto [w, h] = GetParam();
+    Torus t(w, h);
+    for (CellId a = 0; a < t.size(); ++a) {
+        for (CellId b = 0; b < t.size(); ++b) {
+            auto hops = t.route(a, b);
+            EXPECT_EQ(static_cast<int>(hops.size()), t.distance(a, b));
+            CellId cur = a;
+            for (const Hop &hop : hops) {
+                EXPECT_EQ(hop.from, cur);
+                EXPECT_EQ(t.distance(hop.from, hop.to), 1);
+                cur = hop.to;
+            }
+            EXPECT_EQ(cur, b);
+        }
+    }
+}
+
+TEST_P(TorusProperty, RouteIsDimensionOrdered)
+{
+    auto [w, h] = GetParam();
+    Torus t(w, h);
+    for (CellId a = 0; a < t.size(); ++a) {
+        for (CellId b = 0; b < t.size(); ++b) {
+            auto hops = t.route(a, b);
+            // Once a hop changes y, no later hop may change x.
+            bool seen_y = false;
+            for (const Hop &hop : hops) {
+                bool is_y = t.coord_of(hop.from).y !=
+                            t.coord_of(hop.to).y;
+                if (seen_y) {
+                    EXPECT_TRUE(is_y);
+                }
+                if (is_y)
+                    seen_y = true;
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TorusProperty,
+    ::testing::Values(TorusShape{1, 1}, TorusShape{2, 2},
+                      TorusShape{4, 4}, TorusShape{8, 8},
+                      TorusShape{3, 5}, TorusShape{1, 7},
+                      TorusShape{8, 2}, TorusShape{5, 4}));

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Write-through page tests (Section 4.2): hits replace remote
+ * accesses with local ones, writes go through, coherence is
+ * software-managed (stale until invalidated), FIFO eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <memory>
+
+#include "core/ap1000p.hh"
+#include "core/wtpage.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+hw::MachineConfig
+small(int cells)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(cells);
+    cfg.memBytesPerCell = 2 << 20;
+    return cfg;
+}
+
+} // namespace
+
+TEST(WtPage, SecondReadIsALocalHit)
+{
+    hw::Machine m(small(2));
+    WtStats stats;
+    Tick miss_cost = 0, hit_cost = 0;
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr data = ctx.alloc(4096);
+        if (ctx.id() == 1)
+            ctx.poke_f64(data, 42.5);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+            WtCache cache(ctx, 4);
+            Tick t0 = ctx.now();
+            EXPECT_DOUBLE_EQ(cache.read_f64(1, data), 42.5);
+            miss_cost = ctx.now() - t0;
+            t0 = ctx.now();
+            EXPECT_DOUBLE_EQ(cache.read_f64(1, data), 42.5);
+            EXPECT_DOUBLE_EQ(cache.read_f64(1, data + 128), 0.0);
+            hit_cost = ctx.now() - t0;
+            stats = cache.stats();
+        }
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(stats.readMisses, 1u);
+    EXPECT_EQ(stats.readHits, 2u);
+    // The hit path never touches the network.
+    EXPECT_LT(hit_cost, miss_cost / 10);
+}
+
+TEST(WtPage, HitsGenerateNoNetworkTraffic)
+{
+    hw::Machine m(small(2));
+    std::uint64_t msgs_after_miss = 0, msgs_after_hits = 0;
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr data = ctx.alloc(4096);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+            WtCache cache(ctx, 2);
+            cache.read_u32(1, data);
+            msgs_after_miss = ctx.owner().tnet().stats().messages;
+            for (int i = 0; i < 100; ++i)
+                cache.read_u32(1, data + static_cast<Addr>(i) * 4);
+            msgs_after_hits = ctx.owner().tnet().stats().messages;
+        }
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(msgs_after_hits, msgs_after_miss);
+}
+
+TEST(WtPage, WritesGoThroughToTheOwner)
+{
+    hw::Machine m(small(2));
+    double at_owner = 0, local_view = 0;
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr data = ctx.alloc(4096);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+            WtCache cache(ctx, 2);
+            cache.read_f64(1, data); // install the page
+            cache.write_f64(1, data, 7.25);
+            local_view = cache.read_f64(1, data); // hit, updated copy
+            ctx.wait_all_acks();
+        }
+        ctx.barrier();
+        if (ctx.id() == 1)
+            at_owner = ctx.peek_f64(data);
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_DOUBLE_EQ(local_view, 7.25);
+    EXPECT_DOUBLE_EQ(at_owner, 7.25);
+}
+
+TEST(WtPage, StaleUntilInvalidated)
+{
+    // Software coherence: a cached copy does not see another cell's
+    // write until the reader invalidates — and after invalidation it
+    // does.
+    hw::Machine m(small(3));
+    double before = 0, stale = 0, fresh = 0;
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr data = ctx.alloc(4096);
+        if (ctx.id() == 2)
+            ctx.poke_f64(data, 1.0);
+        ctx.barrier();
+
+        std::unique_ptr<WtCache> cache;
+        if (ctx.id() == 0) {
+            cache = std::make_unique<WtCache>(ctx, 2);
+            before = cache->read_f64(2, data);
+        }
+        ctx.barrier();
+
+        if (ctx.id() == 1) {
+            ctx.remote_store_u64(
+                2, data, std::bit_cast<std::uint64_t>(2.0));
+            ctx.wait_all_acks();
+        }
+        ctx.barrier();
+
+        if (ctx.id() == 0) {
+            stale = cache->read_f64(2, data);
+            cache->invalidate_all();
+            fresh = cache->read_f64(2, data);
+        }
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_DOUBLE_EQ(before, 1.0);
+    EXPECT_DOUBLE_EQ(stale, 1.0); // the cached copy
+    EXPECT_DOUBLE_EQ(fresh, 2.0); // refetched after invalidation
+}
+
+TEST(WtPage, FifoEviction)
+{
+    hw::Machine m(small(2));
+    WtStats stats;
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr data = ctx.alloc(4 * 4096);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+            WtCache cache(ctx, 2); // two frames
+            cache.read_u32(1, data);            // page 0
+            cache.read_u32(1, data + 4096);     // page 1
+            EXPECT_TRUE(cache.cached(1, data));
+            cache.read_u32(1, data + 2 * 4096); // evicts page 0
+            EXPECT_FALSE(cache.cached(1, data));
+            EXPECT_TRUE(cache.cached(1, data + 4096));
+            cache.read_u32(1, data); // miss again
+            stats = cache.stats();
+        }
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(stats.readMisses, 4u);
+    EXPECT_EQ(stats.evictions, 2u);
+}
+
+TEST(WtPage, PerPageInvalidate)
+{
+    hw::Machine m(small(2));
+    auto r = run_spmd(m, [&](Context &ctx) {
+        Addr data = ctx.alloc(2 * 4096);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+            WtCache cache(ctx, 4);
+            cache.read_u32(1, data);
+            cache.read_u32(1, data + 4096);
+            cache.invalidate(1, data);
+            EXPECT_FALSE(cache.cached(1, data));
+            EXPECT_TRUE(cache.cached(1, data + 4096));
+            EXPECT_EQ(cache.stats().invalidations, 1u);
+        }
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+}
+
+TEST(WtPageDeath, CrossPageReadIsFatal)
+{
+    hw::Machine m(small(2));
+    EXPECT_DEATH(
+        run_spmd(m,
+                 [&](Context &ctx) {
+                     if (ctx.id() == 0) {
+                         WtCache cache(ctx, 2);
+                         std::uint8_t buf[16];
+                         cache.read(1, 4096 - 8, buf);
+                     }
+                 }),
+        "page boundary");
+}
