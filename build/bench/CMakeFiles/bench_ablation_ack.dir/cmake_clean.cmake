@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ack.dir/bench_ablation_ack.cc.o"
+  "CMakeFiles/bench_ablation_ack.dir/bench_ablation_ack.cc.o.d"
+  "bench_ablation_ack"
+  "bench_ablation_ack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wtpage.dir/bench_ablation_wtpage.cc.o"
+  "CMakeFiles/bench_ablation_wtpage.dir/bench_ablation_wtpage.cc.o.d"
+  "bench_ablation_wtpage"
+  "bench_ablation_wtpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wtpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_barrier.dir/bench_micro_barrier.cc.o"
+  "CMakeFiles/bench_micro_barrier.dir/bench_micro_barrier.cc.o.d"
+  "bench_micro_barrier"
+  "bench_micro_barrier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_barrier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

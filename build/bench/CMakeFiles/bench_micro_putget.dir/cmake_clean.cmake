@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_putget.dir/bench_micro_putget.cc.o"
+  "CMakeFiles/bench_micro_putget.dir/bench_micro_putget.cc.o.d"
+  "bench_micro_putget"
+  "bench_micro_putget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_putget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_reduction.dir/bench_micro_reduction.cc.o"
+  "CMakeFiles/bench_micro_reduction.dir/bench_micro_reduction.cc.o.d"
+  "bench_micro_reduction"
+  "bench_micro_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_stride.dir/bench_micro_stride.cc.o"
+  "CMakeFiles/bench_micro_stride.dir/bench_micro_stride.cc.o.d"
+  "bench_micro_stride"
+  "bench_micro_stride.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_stride.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

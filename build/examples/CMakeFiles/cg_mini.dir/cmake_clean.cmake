@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cg_mini.dir/cg_mini.cpp.o"
+  "CMakeFiles/cg_mini.dir/cg_mini.cpp.o.d"
+  "cg_mini"
+  "cg_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cg_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

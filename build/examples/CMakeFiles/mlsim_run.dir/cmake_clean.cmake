@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlsim_run.dir/mlsim_run.cpp.o"
+  "CMakeFiles/mlsim_run.dir/mlsim_run.cpp.o.d"
+  "mlsim_run"
+  "mlsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mlsim_run.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/reduction_pipeline.cpp" "examples/CMakeFiles/reduction_pipeline.dir/reduction_pipeline.cpp.o" "gcc" "examples/CMakeFiles/reduction_pipeline.dir/reduction_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/ap_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ap_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mlsim/CMakeFiles/ap_mlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

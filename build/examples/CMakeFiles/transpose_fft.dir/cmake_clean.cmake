@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transpose_fft.dir/transpose_fft.cpp.o"
+  "CMakeFiles/transpose_fft.dir/transpose_fft.cpp.o.d"
+  "transpose_fft"
+  "transpose_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transpose_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

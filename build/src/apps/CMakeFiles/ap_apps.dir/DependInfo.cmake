@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/app.cc" "src/apps/CMakeFiles/ap_apps.dir/app.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/app.cc.o.d"
+  "/root/repo/src/apps/cg.cc" "src/apps/CMakeFiles/ap_apps.dir/cg.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/cg.cc.o.d"
+  "/root/repo/src/apps/ep.cc" "src/apps/CMakeFiles/ap_apps.dir/ep.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/ep.cc.o.d"
+  "/root/repo/src/apps/ft.cc" "src/apps/CMakeFiles/ap_apps.dir/ft.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/ft.cc.o.d"
+  "/root/repo/src/apps/gen.cc" "src/apps/CMakeFiles/ap_apps.dir/gen.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/gen.cc.o.d"
+  "/root/repo/src/apps/matmul.cc" "src/apps/CMakeFiles/ap_apps.dir/matmul.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/matmul.cc.o.d"
+  "/root/repo/src/apps/scg.cc" "src/apps/CMakeFiles/ap_apps.dir/scg.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/scg.cc.o.d"
+  "/root/repo/src/apps/sp.cc" "src/apps/CMakeFiles/ap_apps.dir/sp.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/sp.cc.o.d"
+  "/root/repo/src/apps/tomcatv.cc" "src/apps/CMakeFiles/ap_apps.dir/tomcatv.cc.o" "gcc" "src/apps/CMakeFiles/ap_apps.dir/tomcatv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

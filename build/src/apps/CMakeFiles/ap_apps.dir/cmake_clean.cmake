@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_apps.dir/app.cc.o"
+  "CMakeFiles/ap_apps.dir/app.cc.o.d"
+  "CMakeFiles/ap_apps.dir/cg.cc.o"
+  "CMakeFiles/ap_apps.dir/cg.cc.o.d"
+  "CMakeFiles/ap_apps.dir/ep.cc.o"
+  "CMakeFiles/ap_apps.dir/ep.cc.o.d"
+  "CMakeFiles/ap_apps.dir/ft.cc.o"
+  "CMakeFiles/ap_apps.dir/ft.cc.o.d"
+  "CMakeFiles/ap_apps.dir/gen.cc.o"
+  "CMakeFiles/ap_apps.dir/gen.cc.o.d"
+  "CMakeFiles/ap_apps.dir/matmul.cc.o"
+  "CMakeFiles/ap_apps.dir/matmul.cc.o.d"
+  "CMakeFiles/ap_apps.dir/scg.cc.o"
+  "CMakeFiles/ap_apps.dir/scg.cc.o.d"
+  "CMakeFiles/ap_apps.dir/sp.cc.o"
+  "CMakeFiles/ap_apps.dir/sp.cc.o.d"
+  "CMakeFiles/ap_apps.dir/tomcatv.cc.o"
+  "CMakeFiles/ap_apps.dir/tomcatv.cc.o.d"
+  "libap_apps.a"
+  "libap_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

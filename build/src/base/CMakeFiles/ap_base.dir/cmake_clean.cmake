@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_base.dir/logging.cc.o"
+  "CMakeFiles/ap_base.dir/logging.cc.o.d"
+  "CMakeFiles/ap_base.dir/strings.cc.o"
+  "CMakeFiles/ap_base.dir/strings.cc.o.d"
+  "CMakeFiles/ap_base.dir/table.cc.o"
+  "CMakeFiles/ap_base.dir/table.cc.o.d"
+  "libap_base.a"
+  "libap_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collective.cc" "src/core/CMakeFiles/ap_core.dir/collective.cc.o" "gcc" "src/core/CMakeFiles/ap_core.dir/collective.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/ap_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/ap_core.dir/context.cc.o.d"
+  "/root/repo/src/core/program.cc" "src/core/CMakeFiles/ap_core.dir/program.cc.o" "gcc" "src/core/CMakeFiles/ap_core.dir/program.cc.o.d"
+  "/root/repo/src/core/trace.cc" "src/core/CMakeFiles/ap_core.dir/trace.cc.o" "gcc" "src/core/CMakeFiles/ap_core.dir/trace.cc.o.d"
+  "/root/repo/src/core/wtpage.cc" "src/core/CMakeFiles/ap_core.dir/wtpage.cc.o" "gcc" "src/core/CMakeFiles/ap_core.dir/wtpage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ap_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_core.dir/collective.cc.o"
+  "CMakeFiles/ap_core.dir/collective.cc.o.d"
+  "CMakeFiles/ap_core.dir/context.cc.o"
+  "CMakeFiles/ap_core.dir/context.cc.o.d"
+  "CMakeFiles/ap_core.dir/program.cc.o"
+  "CMakeFiles/ap_core.dir/program.cc.o.d"
+  "CMakeFiles/ap_core.dir/trace.cc.o"
+  "CMakeFiles/ap_core.dir/trace.cc.o.d"
+  "CMakeFiles/ap_core.dir/wtpage.cc.o"
+  "CMakeFiles/ap_core.dir/wtpage.cc.o.d"
+  "libap_core.a"
+  "libap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

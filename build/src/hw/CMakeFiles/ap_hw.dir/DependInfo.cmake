@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cell.cc" "src/hw/CMakeFiles/ap_hw.dir/cell.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/cell.cc.o.d"
+  "/root/repo/src/hw/commreg.cc" "src/hw/CMakeFiles/ap_hw.dir/commreg.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/commreg.cc.o.d"
+  "/root/repo/src/hw/config.cc" "src/hw/CMakeFiles/ap_hw.dir/config.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/config.cc.o.d"
+  "/root/repo/src/hw/dma.cc" "src/hw/CMakeFiles/ap_hw.dir/dma.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/dma.cc.o.d"
+  "/root/repo/src/hw/dsm.cc" "src/hw/CMakeFiles/ap_hw.dir/dsm.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/dsm.cc.o.d"
+  "/root/repo/src/hw/machine.cc" "src/hw/CMakeFiles/ap_hw.dir/machine.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/machine.cc.o.d"
+  "/root/repo/src/hw/mc.cc" "src/hw/CMakeFiles/ap_hw.dir/mc.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/mc.cc.o.d"
+  "/root/repo/src/hw/memory.cc" "src/hw/CMakeFiles/ap_hw.dir/memory.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/memory.cc.o.d"
+  "/root/repo/src/hw/mmu.cc" "src/hw/CMakeFiles/ap_hw.dir/mmu.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/mmu.cc.o.d"
+  "/root/repo/src/hw/msc.cc" "src/hw/CMakeFiles/ap_hw.dir/msc.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/msc.cc.o.d"
+  "/root/repo/src/hw/queues.cc" "src/hw/CMakeFiles/ap_hw.dir/queues.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/queues.cc.o.d"
+  "/root/repo/src/hw/ringbuf.cc" "src/hw/CMakeFiles/ap_hw.dir/ringbuf.cc.o" "gcc" "src/hw/CMakeFiles/ap_hw.dir/ringbuf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ap_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

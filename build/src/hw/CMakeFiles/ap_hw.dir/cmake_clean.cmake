@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_hw.dir/cell.cc.o"
+  "CMakeFiles/ap_hw.dir/cell.cc.o.d"
+  "CMakeFiles/ap_hw.dir/commreg.cc.o"
+  "CMakeFiles/ap_hw.dir/commreg.cc.o.d"
+  "CMakeFiles/ap_hw.dir/config.cc.o"
+  "CMakeFiles/ap_hw.dir/config.cc.o.d"
+  "CMakeFiles/ap_hw.dir/dma.cc.o"
+  "CMakeFiles/ap_hw.dir/dma.cc.o.d"
+  "CMakeFiles/ap_hw.dir/dsm.cc.o"
+  "CMakeFiles/ap_hw.dir/dsm.cc.o.d"
+  "CMakeFiles/ap_hw.dir/machine.cc.o"
+  "CMakeFiles/ap_hw.dir/machine.cc.o.d"
+  "CMakeFiles/ap_hw.dir/mc.cc.o"
+  "CMakeFiles/ap_hw.dir/mc.cc.o.d"
+  "CMakeFiles/ap_hw.dir/memory.cc.o"
+  "CMakeFiles/ap_hw.dir/memory.cc.o.d"
+  "CMakeFiles/ap_hw.dir/mmu.cc.o"
+  "CMakeFiles/ap_hw.dir/mmu.cc.o.d"
+  "CMakeFiles/ap_hw.dir/msc.cc.o"
+  "CMakeFiles/ap_hw.dir/msc.cc.o.d"
+  "CMakeFiles/ap_hw.dir/queues.cc.o"
+  "CMakeFiles/ap_hw.dir/queues.cc.o.d"
+  "CMakeFiles/ap_hw.dir/ringbuf.cc.o"
+  "CMakeFiles/ap_hw.dir/ringbuf.cc.o.d"
+  "libap_hw.a"
+  "libap_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_mlsim.dir/params.cc.o"
+  "CMakeFiles/ap_mlsim.dir/params.cc.o.d"
+  "CMakeFiles/ap_mlsim.dir/replay.cc.o"
+  "CMakeFiles/ap_mlsim.dir/replay.cc.o.d"
+  "CMakeFiles/ap_mlsim.dir/trace_file.cc.o"
+  "CMakeFiles/ap_mlsim.dir/trace_file.cc.o.d"
+  "libap_mlsim.a"
+  "libap_mlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_mlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bnet.cc" "src/net/CMakeFiles/ap_net.dir/bnet.cc.o" "gcc" "src/net/CMakeFiles/ap_net.dir/bnet.cc.o.d"
+  "/root/repo/src/net/message.cc" "src/net/CMakeFiles/ap_net.dir/message.cc.o" "gcc" "src/net/CMakeFiles/ap_net.dir/message.cc.o.d"
+  "/root/repo/src/net/snet.cc" "src/net/CMakeFiles/ap_net.dir/snet.cc.o" "gcc" "src/net/CMakeFiles/ap_net.dir/snet.cc.o.d"
+  "/root/repo/src/net/tnet.cc" "src/net/CMakeFiles/ap_net.dir/tnet.cc.o" "gcc" "src/net/CMakeFiles/ap_net.dir/tnet.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/ap_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/ap_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

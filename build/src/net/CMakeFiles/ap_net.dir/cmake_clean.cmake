@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_net.dir/bnet.cc.o"
+  "CMakeFiles/ap_net.dir/bnet.cc.o.d"
+  "CMakeFiles/ap_net.dir/message.cc.o"
+  "CMakeFiles/ap_net.dir/message.cc.o.d"
+  "CMakeFiles/ap_net.dir/snet.cc.o"
+  "CMakeFiles/ap_net.dir/snet.cc.o.d"
+  "CMakeFiles/ap_net.dir/tnet.cc.o"
+  "CMakeFiles/ap_net.dir/tnet.cc.o.d"
+  "CMakeFiles/ap_net.dir/topology.cc.o"
+  "CMakeFiles/ap_net.dir/topology.cc.o.d"
+  "libap_net.a"
+  "libap_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

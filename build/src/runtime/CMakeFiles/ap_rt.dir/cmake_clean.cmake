@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_rt.dir/decomp.cc.o"
+  "CMakeFiles/ap_rt.dir/decomp.cc.o.d"
+  "CMakeFiles/ap_rt.dir/garray.cc.o"
+  "CMakeFiles/ap_rt.dir/garray.cc.o.d"
+  "CMakeFiles/ap_rt.dir/rts.cc.o"
+  "CMakeFiles/ap_rt.dir/rts.cc.o.d"
+  "libap_rt.a"
+  "libap_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ap_sim.dir/eventq.cc.o"
+  "CMakeFiles/ap_sim.dir/eventq.cc.o.d"
+  "CMakeFiles/ap_sim.dir/fiber.cc.o"
+  "CMakeFiles/ap_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/ap_sim.dir/process.cc.o"
+  "CMakeFiles/ap_sim.dir/process.cc.o.d"
+  "libap_sim.a"
+  "libap_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ap_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bnet.dir/test_bnet.cc.o"
+  "CMakeFiles/test_bnet.dir/test_bnet.cc.o.d"
+  "test_bnet"
+  "test_bnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_commreg.dir/test_commreg.cc.o"
+  "CMakeFiles/test_commreg.dir/test_commreg.cc.o.d"
+  "test_commreg"
+  "test_commreg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_commreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlsim.dir/test_mlsim.cc.o"
+  "CMakeFiles/test_mlsim.dir/test_mlsim.cc.o.d"
+  "test_mlsim"
+  "test_mlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

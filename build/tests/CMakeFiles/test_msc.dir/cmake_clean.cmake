@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msc.dir/test_msc.cc.o"
+  "CMakeFiles/test_msc.dir/test_msc.cc.o.d"
+  "test_msc"
+  "test_msc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ringbuf.dir/test_ringbuf.cc.o"
+  "CMakeFiles/test_ringbuf.dir/test_ringbuf.cc.o.d"
+  "test_ringbuf"
+  "test_ringbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ringbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_sendrecv.cc" "tests/CMakeFiles/test_sendrecv.dir/test_sendrecv.cc.o" "gcc" "tests/CMakeFiles/test_sendrecv.dir/test_sendrecv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mlsim/CMakeFiles/ap_mlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ap_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ap_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ap_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/ap_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

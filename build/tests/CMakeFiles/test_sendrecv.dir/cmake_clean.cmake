@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sendrecv.dir/test_sendrecv.cc.o"
+  "CMakeFiles/test_sendrecv.dir/test_sendrecv.cc.o.d"
+  "test_sendrecv"
+  "test_sendrecv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sendrecv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_snet.dir/test_snet.cc.o"
+  "CMakeFiles/test_snet.dir/test_snet.cc.o.d"
+  "test_snet"
+  "test_snet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_snet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tnet.dir/test_tnet.cc.o"
+  "CMakeFiles/test_tnet.dir/test_tnet.cc.o.d"
+  "test_tnet"
+  "test_tnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wtpage.dir/test_wtpage.cc.o"
+  "CMakeFiles/test_wtpage.dir/test_wtpage.cc.o.d"
+  "test_wtpage"
+  "test_wtpage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wtpage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
