@@ -106,6 +106,22 @@ Context::scratch_buffer(std::size_t bytes)
     return a;
 }
 
+Addr
+Context::verify_buffer(std::size_t bytes)
+{
+    // Read-back verification needs its own buffer: scratch_buffer()
+    // doubles as the internal-send staging area, which an in-flight
+    // send DMA may still be gathering from.
+    if (verifyBufSize < bytes) {
+        std::size_t cls = 64;
+        while (cls < bytes)
+            cls *= 2;
+        verifyBufAddr = alloc(cls);
+        verifyBufSize = cls;
+    }
+    return verifyBufAddr;
+}
+
 Tick
 Context::now() const
 {
@@ -411,24 +427,86 @@ Context::put_stride_2d(CellId dst, Addr raddr, Addr laddr, bool ack,
 
 // -- runtime direct remote access ---------------------------------------
 
+bool
+Context::timed_get(CellId dst, Addr raddr, Addr laddr,
+                   std::uint32_t size, Tick timeout, int max_retries)
+{
+    // A dedicated completion flag would burn heap per call; reuse a
+    // per-context scratch flag and wait for its next value. Every
+    // reissue targets the same flag, so any one surviving reply
+    // satisfies the wait; duplicates merely overshoot it.
+    Addr f = scratch_flag();
+    std::uint32_t before = flag(f);
+    for (int attempt = 0; attempt <= max_retries; ++attempt) {
+        get(dst, raddr, laddr, size, no_flag, f);
+        if (wait_flag_for(f, before + 1,
+                          machine.sim().now() + timeout))
+            return true;
+    }
+    return false;
+}
+
 void
 Context::write_remote(CellId dst, Addr raddr, Addr laddr,
                       std::uint32_t size)
 {
-    put(dst, raddr, laddr, size, no_flag, no_flag, true);
-    wait_all_acks();
+    const hw::RetryPolicy &retry = machine.config().retry;
+    if (!retry.enabled()) {
+        put(dst, raddr, laddr, size, no_flag, no_flag, true);
+        wait_all_acks();
+        return;
+    }
+
+    Tick timeout = us_to_ticks(retry.timeoutUs);
+    std::vector<std::uint8_t> want(size);
+    peek(laddr, want);
+    Addr check = verify_buffer(size);
+    std::vector<std::uint8_t> got(size);
+    for (int attempt = 0; attempt <= retry.maxRetries; ++attempt) {
+        put(dst, raddr, laddr, size, no_flag, no_flag, true);
+        if (!wait_all_acks_for(machine.sim().now() + timeout))
+            resync_acks();
+        // The acknowledge probe alone cannot prove delivery under
+        // message loss — the probe's round trip may survive while the
+        // PUT it follows was dropped. Read the bytes back and compare;
+        // only the remote memory itself is authoritative.
+        if (timed_get(dst, raddr, check, size, timeout, 0)) {
+            peek(check, got);
+            if (got == want)
+                return;
+        }
+    }
+    throw CommError(
+        CommError::Kind::timeout, cellId, dst,
+        strprintf("cell %d: write_remote(%u B to cell %d at %#llx) "
+                  "unacknowledged after %d attempts",
+                  cellId, size, dst,
+                  static_cast<unsigned long long>(raddr),
+                  retry.maxRetries + 1));
 }
 
 void
 Context::read_remote(CellId dst, Addr raddr, Addr laddr,
                      std::uint32_t size)
 {
-    // A dedicated completion flag would burn heap per call; reuse a
-    // per-context scratch flag and wait for its next value.
-    Addr f = scratch_flag();
-    std::uint32_t before = flag(f);
-    get(dst, raddr, laddr, size, no_flag, f);
-    wait_flag(f, before + 1);
+    const hw::RetryPolicy &retry = machine.config().retry;
+    if (!retry.enabled()) {
+        Addr f = scratch_flag();
+        std::uint32_t before = flag(f);
+        get(dst, raddr, laddr, size, no_flag, f);
+        wait_flag(f, before + 1);
+        return;
+    }
+
+    if (!timed_get(dst, raddr, laddr, size,
+                   us_to_ticks(retry.timeoutUs), retry.maxRetries))
+        throw CommError(
+            CommError::Kind::timeout, cellId, dst,
+            strprintf("cell %d: read_remote(%u B from cell %d at "
+                      "%#llx) got no reply after %d attempts",
+                      cellId, size, dst,
+                      static_cast<unsigned long long>(raddr),
+                      retry.maxRetries + 1));
 }
 
 // -- completion ----------------------------------------------------------
@@ -468,6 +546,37 @@ Context::wait_all_acks()
     std::uint64_t target = ackBase + acksOutstanding;
     while (cell().msc().ack_count() < target)
         proc.wait(cell().msc().ack_cond());
+}
+
+bool
+Context::wait_flag_for(Addr flag_addr, std::uint32_t target,
+                       Tick deadline)
+{
+    proc.delay(us_to_ticks(machine.config().timings.flagCheckUs));
+    while (flag(flag_addr) < target) {
+        if (!proc.wait_until(cell().mc().flag_cond(), deadline))
+            return flag(flag_addr) >= target;
+    }
+    return true;
+}
+
+bool
+Context::wait_all_acks_for(Tick deadline)
+{
+    proc.delay(us_to_ticks(machine.config().timings.flagCheckUs));
+    std::uint64_t target = ackBase + acksOutstanding;
+    while (cell().msc().ack_count() < target) {
+        if (!proc.wait_until(cell().msc().ack_cond(), deadline))
+            return cell().msc().ack_count() >= target;
+    }
+    return true;
+}
+
+void
+Context::resync_acks()
+{
+    ackBase = cell().msc().ack_count();
+    acksOutstanding = 0;
 }
 
 // -- distributed shared memory -------------------------------------------

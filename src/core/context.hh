@@ -22,6 +22,8 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -33,6 +35,38 @@
 
 namespace ap::core
 {
+
+/**
+ * Typed communication failure. Thrown by the hardened runtime paths
+ * (write_remote/read_remote under a RetryPolicy, rts_movewait) once
+ * the retry budget is exhausted — the alternative to hanging forever
+ * on a completion flag that will never increment.
+ */
+class CommError : public std::runtime_error
+{
+  public:
+    enum class Kind
+    {
+        timeout, ///< completion wait timed out, retries exhausted
+        fault,   ///< page faults flushed the transfer repeatedly
+    };
+
+    CommError(Kind kind, CellId cell, CellId peer,
+              const std::string &what)
+        : std::runtime_error(what), errKind(kind), cellId(cell),
+          peerId(peer)
+    {
+    }
+
+    Kind kind() const { return errKind; }
+    CellId cell() const { return cellId; }
+    CellId peer() const { return peerId; }
+
+  private:
+    Kind errKind;
+    CellId cellId;
+    CellId peerId;
+};
 
 /** Reduction operators for global operations. */
 enum class ReduceOp : std::uint8_t
@@ -223,6 +257,24 @@ class Context
     void wait_all_acks();
 
     /**
+     * wait_flag with a deadline. @return true when the flag reached
+     * @p target, false when the deadline passed first.
+     */
+    bool wait_flag_for(Addr flag_addr, std::uint32_t target,
+                       Tick deadline);
+
+    /** wait_all_acks with a deadline. @return true on completion. */
+    bool wait_all_acks_for(Tick deadline);
+
+    /**
+     * Write off every outstanding acknowledgement as lost and restart
+     * ack accounting from the hardware counter's current value. Part
+     * of recovery: after a timeout the runtime reissues transfers
+     * instead of waiting for acks that will never come.
+     */
+    void resync_acks();
+
+    /**
      * Issue a bare acknowledge probe (a GET to address 0) toward
      * @p dst. In-order delivery makes its reply confirm every
      * earlier PUT to @p dst — the building block of the
@@ -346,6 +398,14 @@ class Context
     std::int32_t group_tag(const Group &group);
     Addr scratch_flag();
     Addr scratch_buffer(std::size_t bytes);
+    Addr verify_buffer(std::size_t bytes);
+    /**
+     * GET with timeout and bounded reissue. @return true once the
+     * data landed at @p laddr. A dedicated flag tracks the reply;
+     * duplicated replies merely overshoot it.
+     */
+    bool timed_get(CellId dst, Addr raddr, Addr laddr,
+                   std::uint32_t size, Tick timeout, int max_retries);
     void wait_flag_internal(Addr flag_addr, std::uint32_t target);
     /**
      * Library-internal SEND: stages @p data in a scratch buffer
@@ -366,6 +426,8 @@ class Context
     Trace *traceSink;
 
     Addr heapNext;
+    Addr verifyBufAddr = 0;
+    std::size_t verifyBufSize = 0;
     Addr scratchFlagAddr = 0;
     Addr internalSendFlag = 0;
     std::uint32_t internalSendCount = 0;

@@ -30,7 +30,13 @@ run_spmd(hw::Machine &machine, const SpmdBody &body, Trace *trace)
         procs[idx] = std::make_unique<sim::Process>(
             machine.sim(), strprintf("cell%d", i),
             [&, i](sim::Process &p) {
-                body(*contexts[static_cast<std::size_t>(i)]);
+                // CommError must be caught on this side of the fiber
+                // boundary: exceptions cannot cross swapcontext.
+                try {
+                    body(*contexts[static_cast<std::size_t>(i)]);
+                } catch (const CommError &e) {
+                    result.errors.push_back(e.what());
+                }
                 result.cellFinish[static_cast<std::size_t>(i)] =
                     p.simulator().now();
             });

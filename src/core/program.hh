@@ -38,6 +38,14 @@ struct SpmdResult
     bool deadlock = false;
     /** Names of processes that never finished. */
     std::vector<std::string> stuck;
+    /**
+     * Communication errors, one entry per cell whose body ended with
+     * an uncaught CommError (hardened runtime paths under a fault
+     * plan). The cell stops cleanly — the machine keeps draining —
+     * and the error is reported here instead of hanging the run.
+     */
+    std::vector<std::string> errors;
+    bool failed() const { return deadlock || !errors.empty(); }
     /** Wall-clock of the run in microseconds of simulated time. */
     double finish_us() const { return ticks_to_us(finishTick); }
 };

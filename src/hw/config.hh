@@ -14,9 +14,28 @@
 #include "net/bnet.hh"
 #include "net/snet.hh"
 #include "net/tnet.hh"
+#include "sim/fault.hh"
 
 namespace ap::hw
 {
+
+/**
+ * Recovery policy for blocking PUT/GET completion waits. Disabled by
+ * default (timeoutUs = 0): on a fault-free machine the hardware
+ * guarantees delivery and the runtime waits unboundedly, exactly as
+ * the paper assumes. Under a fault plan the runtime arms timeouts,
+ * reissues lost transfers, and surfaces a CommError once the retry
+ * budget is spent.
+ */
+struct RetryPolicy
+{
+    /** Completion-wait timeout in microseconds; 0 disables. */
+    double timeoutUs = 0.0;
+    /** Reissue attempts after the first try. */
+    int maxRetries = 8;
+
+    bool enabled() const { return timeoutUs > 0.0; }
+};
 
 /**
  * MSC+/MC timing parameters in microseconds. Defaults model the
@@ -78,6 +97,12 @@ struct MachineConfig
     net::BnetParams bnet;
     net::SnetParams snet;
     HwTimings timings;
+
+    /** Fault-injection plan; the default plan injects nothing and
+     *  leaves every fast path untouched. */
+    sim::FaultPlan faults;
+    /** Retry/timeout policy for the runtime's completion waits. */
+    RetryPolicy retry;
 
     /** Peak system GFLOPS (Table 1: 0.2 - 51.2). */
     double

@@ -6,17 +6,28 @@ namespace ap::hw
 {
 
 Machine::Machine(MachineConfig config)
-    : cfg(config),
+    : cfg(config), faultInj(cfg.faults),
       tnetNet(simulator, net::Torus::squarest(cfg.cells), cfg.tnet),
       bnetNet(simulator, cfg.cells, cfg.bnet),
       snetNet(simulator, cfg.cells, cfg.snet),
       dsmMap(cfg.cells, cfg.memBytesPerCell / 2)
 {
+    // Wire fault injection only when the plan injects something: a
+    // machine built with the default (empty) plan runs the exact same
+    // code paths as before the fault layer existed.
+    if (cfg.faults.any()) {
+        tnetNet.set_fault_injector(&faultInj);
+        if (cfg.faults.jitterMaxUs > 0.0)
+            simulator.set_delay_jitter(
+                [this](Tick) { return faultInj.jitter(); });
+    }
     cells.reserve(static_cast<std::size_t>(cfg.cells));
     for (int i = 0; i < cfg.cells; ++i) {
         cells.push_back(std::make_unique<Cell>(simulator, cfg, i,
                                                tnetNet));
         Cell *c = cells.back().get();
+        if (cfg.faults.any())
+            c->msc().set_fault_injector(&faultInj);
         tnetNet.attach(i, [c](net::Message msg) {
             c->msc().deliver(std::move(msg));
         });

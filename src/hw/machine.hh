@@ -19,6 +19,7 @@
 #include "net/tnet.hh"
 #include "net/topology.hh"
 #include "sim/eventq.hh"
+#include "sim/fault.hh"
 
 namespace ap::hw
 {
@@ -51,6 +52,11 @@ class Machine
 
     const MachineConfig &config() const { return cfg; }
 
+    /** The fault injector built from cfg.faults (inert when the plan
+     *  injects nothing). */
+    sim::FaultInjector &faults() { return faultInj; }
+    const sim::FaultInjector &faults() const { return faultInj; }
+
     /** Install a PUT/GET page-fault observer on every cell. */
     void set_fault_hook(FaultHook hook);
 
@@ -63,6 +69,7 @@ class Machine
 
   private:
     MachineConfig cfg;
+    sim::FaultInjector faultInj;
     sim::Simulator simulator;
     net::Tnet tnetNet;
     net::Bnet bnetNet;

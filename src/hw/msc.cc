@@ -21,18 +21,35 @@ Msc::Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
 {
 }
 
+bool
+Msc::injected_fault()
+{
+    return faults && faults->active() && faults->inject_page_fault();
+}
+
+void
+Msc::enqueue(CommandQueue &q, Command cmd)
+{
+    bool force = faults && faults->active() &&
+                 faults->force_overflow();
+    q.push(std::move(cmd), force);
+    // A forced spill can land in an otherwise-empty queue; make sure
+    // the refill interrupt is pending before kick() skips the queue
+    // for having no hardware-resident commands.
+    maybe_refill(q);
+    kick();
+}
+
 void
 Msc::issue_user(Command cmd)
 {
-    userQ.push(std::move(cmd));
-    kick();
+    enqueue(userQ, std::move(cmd));
 }
 
 void
 Msc::issue_system(Command cmd)
 {
-    systemQ.push(std::move(cmd));
-    kick();
+    enqueue(systemQ, std::move(cmd));
 }
 
 std::uint64_t
@@ -45,8 +62,7 @@ Msc::issue_remote_load(CellId dst, Addr raddr, std::uint32_t size)
     cmd.remoteStride = net::StrideSpec::contiguous(size);
     cmd.token = nextLoadToken++;
     std::uint64_t token = cmd.token;
-    remoteQ.push(std::move(cmd));
-    kick();
+    enqueue(remoteQ, std::move(cmd));
     return token;
 }
 
@@ -71,8 +87,7 @@ Msc::issue_remote_store(CellId dst, Addr raddr,
     cmd.dst = dst;
     cmd.raddr = raddr;
     cmd.inlineData = std::move(data);
-    remoteQ.push(std::move(cmd));
-    kick();
+    enqueue(remoteQ, std::move(cmd));
 }
 
 CommandQueue *
@@ -132,6 +147,10 @@ Msc::process(Command cmd)
     switch (cmd.kind) {
       case CommandKind::put:
       case CommandKind::send: {
+        if (injected_fault()) {
+            local_fault(cmd.laddr);
+            return;
+        }
         DmaResult r = DmaEngine::gather(cell.mc().mmu(),
                                         cell.mc().memory(), cmd.laddr,
                                         cmd.localStride, payload);
@@ -143,6 +162,10 @@ Msc::process(Command cmd)
       }
       case CommandKind::get_reply: {
         if (!cmd.isAckProbe) {
+            if (injected_fault()) {
+                local_fault(cmd.raddr);
+                return;
+            }
             DmaResult r = DmaEngine::gather(
                 cell.mc().mmu(), cell.mc().memory(), cmd.raddr,
                 cmd.remoteStride, payload);
@@ -315,6 +338,10 @@ Msc::receive_body(net::Message msg)
                                            std::move(msg.payload)});
         } else {
             ++mscStats.putsReceived;
+            if (injected_fault()) {
+                remote_fault(msg.raddr);
+                return;
+            }
             DmaResult r = DmaEngine::scatter(
                 cell.mc().mmu(), cell.mc().memory(), msg.raddr,
                 msg.remoteStride, msg.payload);
@@ -338,13 +365,16 @@ Msc::receive_body(net::Message msg)
         reply.remoteStride = msg.remoteStride;
         reply.localStride = msg.localStride;
         reply.isAckProbe = msg.isAckProbe;
-        getReplyQ.push(std::move(reply));
-        kick();
+        enqueue(getReplyQ, std::move(reply));
         break;
       }
       case net::MsgKind::get_reply: {
         ++mscStats.getRepliesReceived;
         if (!msg.isAckProbe && !msg.payload.empty()) {
+            if (injected_fault()) {
+                remote_fault(msg.laddr);
+                return;
+            }
             DmaResult r = DmaEngine::scatter(
                 cell.mc().mmu(), cell.mc().memory(), msg.laddr,
                 msg.localStride, msg.payload);
@@ -407,8 +437,7 @@ Msc::receive_body(net::Message msg)
         reply.dst = msg.src;
         reply.token = msg.token;
         reply.inlineData = std::move(data);
-        loadReplyQ.push(std::move(reply));
-        kick();
+        enqueue(loadReplyQ, std::move(reply));
         break;
       }
       case net::MsgKind::remote_load_reply:
@@ -417,6 +446,10 @@ Msc::receive_body(net::Message msg)
         break;
       case net::MsgKind::broadcast: {
         // B-net data distribution: land the payload like a PUT.
+        if (injected_fault()) {
+            remote_fault(msg.raddr);
+            return;
+        }
         DmaResult r = DmaEngine::scatter(
             cell.mc().mmu(), cell.mc().memory(), msg.raddr,
             net::StrideSpec::contiguous(static_cast<std::uint32_t>(

@@ -38,6 +38,7 @@
 #include "net/message.hh"
 #include "net/tnet.hh"
 #include "sim/eventq.hh"
+#include "sim/fault.hh"
 #include "sim/process.hh"
 
 namespace ap::hw
@@ -141,10 +142,21 @@ class Msc
     /** Install a page-fault observer. */
     void set_fault_hook(FaultHook hook) { faultHook = std::move(hook); }
 
+    /**
+     * Attach a fault injector (nullptr detaches). Injected faults:
+     * forced queue overflows (pushes take the DRAM spill + refill
+     * path even with room in MSC+ RAM) and page faults during
+     * transfer DMA (the command-drop and message-flush reactions of
+     * Section 4.1 fire without an actual unmapped page).
+     */
+    void set_fault_injector(sim::FaultInjector *inj) { faults = inj; }
+
   private:
     void kick();
     void maybe_refill(CommandQueue &q);
     CommandQueue *pick_queue();
+    void enqueue(CommandQueue &q, Command cmd);
+    bool injected_fault();
     void process(Command cmd);
     void finish_send(Command cmd, std::vector<std::uint8_t> payload);
     void receive_body(net::Message msg);
@@ -175,6 +187,7 @@ class Msc
 
     MscStats mscStats;
     FaultHook faultHook;
+    sim::FaultInjector *faults = nullptr;
 };
 
 } // namespace ap::hw

@@ -38,14 +38,14 @@ CommandQueue::CommandQueue(int capacity_words)
 }
 
 bool
-CommandQueue::push(Command cmd)
+CommandQueue::push(Command cmd, bool force_spill)
 {
     ++queueStats.pushes;
     int used = static_cast<int>(hw.size()) * Command::queue_words;
     // Once anything has spilled, later commands must also spill to
     // preserve FIFO order ("all data written by the processor after
     // the queue becomes full is written into the buffer in DRAM").
-    if (!spill.empty() ||
+    if (force_spill || !spill.empty() ||
         used + Command::queue_words > capacityWords) {
         spill.push_back(std::move(cmd));
         ++queueStats.spills;

@@ -47,9 +47,12 @@ class CommandQueue
 
     /**
      * Enqueue a command. Goes to MSC+ RAM when it fits, otherwise to
-     * the DRAM spill buffer. @return true when it spilled.
+     * the DRAM spill buffer. @p force_spill sends the command to DRAM
+     * even when the hardware queue has room (fault injection: the
+     * overflow path must behave identically under pressure and under
+     * a forced spill). @return true when it spilled.
      */
-    bool push(Command cmd);
+    bool push(Command cmd, bool force_spill = false);
 
     /** @return true when no command is queued anywhere. */
     bool empty() const { return hw.empty() && spill.empty(); }

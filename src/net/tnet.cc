@@ -53,6 +53,14 @@ Tnet::contention_arrival(const Message &msg, Tick inject)
     return head + body + us_to_ticks(prm.epilogUs);
 }
 
+void
+Tnet::schedule_delivery(Message msg, Tick arrive)
+{
+    sim.schedule(arrive, [this, msg = std::move(msg)]() mutable {
+        handlers[static_cast<std::size_t>(msg.dst)](std::move(msg));
+    });
+}
+
 Tick
 Tnet::send(Message msg)
 {
@@ -66,6 +74,13 @@ Tnet::send(Message msg)
     } else {
         arrive = inject + latency(msg.src, msg.dst, msg.wire_bytes());
     }
+
+    // Injected latency jitter is added before the FIFO clamp below,
+    // so a jitter-only fault plan perturbs timing without ever
+    // breaking in-order delivery.
+    bool inject_faults = faults && faults->active();
+    if (inject_faults)
+        arrive += faults->jitter();
 
     // Enforce FIFO per source-destination pair: a later injection may
     // never arrive before an earlier one.
@@ -88,9 +103,25 @@ Tnet::send(Message msg)
     if (!handler)
         panic("no receive handler attached to cell %d", msg.dst);
 
-    sim.schedule(arrive, [this, msg = std::move(msg)]() mutable {
-        handlers[static_cast<std::size_t>(msg.dst)](std::move(msg));
-    });
+    if (inject_faults) {
+        if (faults->drop_message()) {
+            // The wire was used (stats above) but nothing arrives.
+            ++netStats.dropped;
+            return arrive;
+        }
+        if (faults->duplicate_message()) {
+            ++netStats.duplicated;
+            schedule_delivery(msg, arrive);
+        }
+        if (faults->reorder_message()) {
+            // Held back past the FIFO clamp already recorded in
+            // `last`: later same-pair traffic overtakes this message.
+            ++netStats.reordered;
+            arrive += faults->reorder_delay();
+        }
+    }
+
+    schedule_delivery(std::move(msg), arrive);
     return arrive;
 }
 

@@ -30,6 +30,7 @@
 #include "net/message.hh"
 #include "net/topology.hh"
 #include "sim/eventq.hh"
+#include "sim/fault.hh"
 
 namespace ap::net
 {
@@ -55,6 +56,9 @@ struct TnetStats
     std::uint64_t messages = 0;
     std::uint64_t payloadBytes = 0;
     std::uint64_t wireBytes = 0;
+    std::uint64_t dropped = 0;    ///< injected drops
+    std::uint64_t duplicated = 0; ///< injected duplicates
+    std::uint64_t reordered = 0;  ///< injected reorders
     Histogram distance;
     Histogram messageSize;
 };
@@ -91,12 +95,24 @@ class Tnet
     const TnetStats &stats() const { return netStats; }
     const TnetParams &params() const { return prm; }
 
+    /**
+     * Attach a fault injector (nullptr detaches). Injected faults:
+     * drop (message vanishes in the network), duplicate (delivered
+     * twice), reorder (held back without advancing the FIFO clamp, so
+     * later same-pair traffic overtakes it), and latency jitter
+     * applied before the FIFO clamp (timing-only, order-preserving).
+     */
+    void set_fault_injector(sim::FaultInjector *inj) { faults = inj; }
+
   private:
     Tick contention_arrival(const Message &msg, Tick inject);
+
+    void schedule_delivery(Message msg, Tick arrive);
 
     sim::Simulator &sim;
     Torus topo;
     TnetParams prm;
+    sim::FaultInjector *faults = nullptr;
     std::vector<Deliver> handlers;
     /** last arrival tick per (src * size + dst) pair, for FIFO. */
     std::unordered_map<std::uint64_t, Tick> lastArrival;

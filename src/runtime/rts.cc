@@ -62,10 +62,106 @@ Runtime::rts_put(CellId dst, Addr raddr, Addr laddr,
     else
         dirtyDests.insert(dst);
 
+    if (ctx.owner().config().retry.enabled())
+        pendingPuts.push_back(
+            PendingPut{dst, raddr, laddr, send_spec, recv_spec});
+
     ctx.set_rts_mode(true);
     ctx.put_stride(dst, raddr, laddr, ack, no_flag, recv_flag,
                    send_spec, recv_spec);
     ctx.set_rts_mode(false);
+}
+
+std::vector<std::uint8_t>
+Runtime::gather_local(const PendingPut &p)
+{
+    std::vector<std::uint8_t> buf(p.sendSpec.total_bytes());
+    Addr cur = p.laddr;
+    std::size_t off = 0;
+    for (std::uint32_t i = 0; i < p.sendSpec.count; ++i) {
+        ctx.peek(cur, std::span<std::uint8_t>(buf.data() + off,
+                                              p.sendSpec.itemSize));
+        off += p.sendSpec.itemSize;
+        cur += p.sendSpec.itemSize + p.sendSpec.skip;
+    }
+    return buf;
+}
+
+bool
+Runtime::verify_put(const PendingPut &p, Tick timeout)
+{
+    std::uint32_t bytes =
+        static_cast<std::uint32_t>(p.sendSpec.total_bytes());
+    if (verifyFlag == 0)
+        verifyFlag = ctx.alloc_flag();
+    if (verifyBufBytes < bytes) {
+        std::size_t cls = 64;
+        while (cls < bytes)
+            cls *= 2;
+        verifyBuf = ctx.alloc(cls);
+        verifyBufBytes = cls;
+    }
+
+    ++rtStats.verifyReads;
+    std::vector<std::uint8_t> want = gather_local(p);
+    std::uint32_t before = ctx.flag(verifyFlag);
+    ctx.set_rts_mode(true);
+    ctx.get_stride(p.dst, p.raddr, verifyBuf, no_flag, verifyFlag,
+                   p.recvSpec, net::StrideSpec::contiguous(bytes));
+    ctx.set_rts_mode(false);
+    bool landed = ctx.wait_flag_for(verifyFlag, before + 1,
+                                    ctx.now() + timeout);
+    if (!landed)
+        return false;
+    std::vector<std::uint8_t> got(bytes);
+    ctx.peek(verifyBuf, got);
+    return got == want;
+}
+
+void
+Runtime::movewait_hardened()
+{
+    const hw::RetryPolicy &retry = ctx.owner().config().retry;
+    Tick timeout = us_to_ticks(retry.timeoutUs);
+
+    // The acknowledge probes and the receive-count flag both lie
+    // under message loss (a probe can survive its dropped PUT; a
+    // duplicate bumps the flag twice), so they only gate the fast
+    // path. The authority is read-back verification: my transfers are
+    // complete when the destination memory holds my bytes. Everyone
+    // verifies their own sends, so after the closing barrier all
+    // receives have landed too.
+    bool allVerified = false;
+    for (int attempt = 0; attempt <= retry.maxRetries; ++attempt) {
+        if (!ctx.wait_all_acks_for(ctx.now() + timeout))
+            ctx.resync_acks();
+        allVerified = true;
+        for (const PendingPut &p : pendingPuts) {
+            if (verify_put(p, timeout))
+                continue;
+            allVerified = false;
+            ++rtStats.retriedPuts;
+            ctx.set_rts_mode(true);
+            ctx.put_stride(p.dst, p.raddr, p.laddr, true, no_flag,
+                           moveFlag, p.sendSpec, p.recvSpec);
+            ctx.set_rts_mode(false);
+        }
+        if (allVerified)
+            break;
+    }
+    if (!allVerified)
+        throw core::CommError(
+            core::CommError::Kind::timeout, ctx.id(), -1,
+            strprintf("cell %d: movewait could not complete %zu "
+                      "collective transfers after %d attempts",
+                      ctx.id(), pendingPuts.size(),
+                      retry.maxRetries + 1));
+    pendingPuts.clear();
+    ctx.barrier();
+    // Retries and duplicates drift the receive-count flag past its
+    // nominal target; the barrier above closed the round, so restart
+    // the accounting at whatever the flag holds now.
+    moveFlagTarget = ctx.flag(moveFlag);
 }
 
 void
@@ -88,6 +184,10 @@ void
 Runtime::movewait()
 {
     flush_acks();
+    if (ctx.owner().config().retry.enabled()) {
+        movewait_hardened();
+        return;
+    }
     ctx.wait_all_acks();
     ctx.wait_flag(moveFlag, moveFlagTarget);
     ctx.barrier();

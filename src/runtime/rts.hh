@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <set>
+#include <vector>
 
 #include "core/context.hh"
 #include "runtime/garray.hh"
@@ -49,6 +50,8 @@ struct RuntimeStats
     std::uint64_t getsIssued = 0;
     std::uint64_t acksIssued = 0;
     std::uint64_t moves = 0;
+    std::uint64_t retriedPuts = 0;   ///< reissues under a RetryPolicy
+    std::uint64_t verifyReads = 0;   ///< read-back verification GETs
 };
 
 /** The per-cell run-time system instance. */
@@ -107,8 +110,30 @@ class Runtime
     void movewait();
 
   private:
+    /** One collective PUT awaiting completion (replayable). */
+    struct PendingPut
+    {
+        CellId dst;
+        Addr raddr;
+        Addr laddr;
+        net::StrideSpec sendSpec;
+        net::StrideSpec recvSpec;
+    };
+
     /** Exchange one array's boundaries (no completion wait). */
     void fix_one(GArray2D &a);
+
+    /** Gather the local source bytes of a pending PUT. */
+    std::vector<std::uint8_t> gather_local(const PendingPut &p);
+
+    /**
+     * Read the remote region of @p p back and compare it with the
+     * local source. @return true when the destination holds the data.
+     */
+    bool verify_put(const PendingPut &p, Tick timeout);
+
+    /** movewait under a RetryPolicy: replay + verify + barrier. */
+    void movewait_hardened();
 
     /** Issue one runtime PUT under the ack policy. */
     void rts_put(CellId dst, Addr raddr, Addr laddr,
@@ -126,6 +151,13 @@ class Runtime
     Addr moveFlag;
     /** cumulative arrivals expected on moveFlag. */
     std::uint32_t moveFlagTarget = 0;
+    /** remote PUTs of the current round (cleared by movewait). */
+    std::vector<PendingPut> pendingPuts;
+    /** completion flag of verification reads. */
+    Addr verifyFlag = 0;
+    /** read-back landing area. */
+    Addr verifyBuf = 0;
+    std::size_t verifyBufBytes = 0;
     RuntimeStats rtStats;
 };
 

@@ -42,11 +42,32 @@ class Simulator
      */
     void schedule(Tick when, std::function<void()> fn);
 
-    /** Schedule @p fn to run @p delta ticks from now. */
+    /**
+     * Schedule @p fn to run @p delta ticks from now. Relative delays
+     * model hardware latencies, so this is the hook point for fault
+     * plans that jitter event timing: when a jitter hook is
+     * installed, a bounded extra delay is added to @p delta.
+     */
     void
     schedule_after(Tick delta, std::function<void()> fn)
     {
+        if (jitterHook)
+            delta += jitterHook(delta);
         schedule(currentTick + delta, std::move(fn));
+    }
+
+    /**
+     * Install (or clear, with nullptr) a latency jitter hook applied
+     * to every schedule_after() delay. The hook returns extra ticks
+     * to add. Absolute-time schedule() calls are never jittered, so
+     * callers that manage their own serialization timelines (the
+     * T-net FIFO clamp, receive-DMA busy tracking, process wakeups)
+     * keep their invariants.
+     */
+    void
+    set_delay_jitter(std::function<Tick(Tick)> hook)
+    {
+        jitterHook = std::move(hook);
     }
 
     /** Run events until the queue drains. @return final time. */
@@ -91,6 +112,7 @@ class Simulator
     };
 
     std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+    std::function<Tick(Tick)> jitterHook;
     Tick currentTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;

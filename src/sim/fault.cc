@@ -1,0 +1,184 @@
+#include "sim/fault.hh"
+
+#include "base/logging.hh"
+
+namespace ap::sim
+{
+
+std::string
+FaultPlan::describe() const
+{
+    if (!any())
+        return "none";
+    std::string out;
+    auto add = [&](const char *name, double v) {
+        if (v > 0)
+            out += strprintf("%s%s=%.3g", out.empty() ? "" : " ",
+                             name, v);
+    };
+    add("drop", dropProb);
+    add("dup", dupProb);
+    add("reorder", reorderProb);
+    add("overflow", overflowProb);
+    add("pagefault", pageFaultProb);
+    add("jitter", jitterMaxUs);
+    out += strprintf(" seed=%llu",
+                     static_cast<unsigned long long>(seed));
+    return out;
+}
+
+FaultPlan
+FaultPlan::drops(std::uint64_t seed, double p)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.dropProb = p;
+    return f;
+}
+
+FaultPlan
+FaultPlan::duplicates(std::uint64_t seed, double p)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.dupProb = p;
+    return f;
+}
+
+FaultPlan
+FaultPlan::reorders(std::uint64_t seed, double p)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.reorderProb = p;
+    return f;
+}
+
+FaultPlan
+FaultPlan::overflows(std::uint64_t seed, double p)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.overflowProb = p;
+    return f;
+}
+
+FaultPlan
+FaultPlan::pageFaults(std::uint64_t seed, double p)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.pageFaultProb = p;
+    return f;
+}
+
+FaultPlan
+FaultPlan::jitter(std::uint64_t seed, double maxUs)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.jitterMaxUs = maxUs;
+    return f;
+}
+
+FaultPlan
+FaultPlan::chaos(std::uint64_t seed)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.dropProb = 0.01;
+    f.dupProb = 0.01;
+    f.reorderProb = 0.02;
+    f.overflowProb = 0.2;
+    f.pageFaultProb = 0.01;
+    f.jitterMaxUs = 10.0;
+    return f;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : fp(plan), rng(plan.seed), armed(plan.any())
+{
+}
+
+void
+FaultInjector::reset(FaultPlan plan)
+{
+    fp = plan;
+    rng = Random(plan.seed);
+    armed = plan.any();
+    faultStats = FaultStats{};
+}
+
+bool
+FaultInjector::roll(double prob)
+{
+    if (prob <= 0)
+        return false;
+    return rng.uniform() < prob;
+}
+
+bool
+FaultInjector::drop_message()
+{
+    if (!roll(fp.dropProb))
+        return false;
+    ++faultStats.drops;
+    return true;
+}
+
+bool
+FaultInjector::duplicate_message()
+{
+    if (!roll(fp.dupProb))
+        return false;
+    ++faultStats.duplicates;
+    return true;
+}
+
+bool
+FaultInjector::reorder_message()
+{
+    if (!roll(fp.reorderProb))
+        return false;
+    ++faultStats.reorders;
+    return true;
+}
+
+Tick
+FaultInjector::reorder_delay() const
+{
+    return us_to_ticks(fp.reorderDelayUs);
+}
+
+bool
+FaultInjector::force_overflow()
+{
+    if (!roll(fp.overflowProb))
+        return false;
+    ++faultStats.forcedSpills;
+    return true;
+}
+
+bool
+FaultInjector::inject_page_fault()
+{
+    if (!roll(fp.pageFaultProb))
+        return false;
+    ++faultStats.injectedPageFaults;
+    return true;
+}
+
+Tick
+FaultInjector::jitter()
+{
+    if (fp.jitterMaxUs <= 0)
+        return 0;
+    Tick extra = us_to_ticks(fp.jitterMaxUs * rng.uniform());
+    if (extra > 0) {
+        ++faultStats.jitteredEvents;
+        faultStats.jitterTicks += extra;
+    }
+    return extra;
+}
+
+} // namespace ap::sim

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Fault injection for the simulated machine.
+ *
+ * The paper's MSC+ explicitly handles two failure paths — queue
+ * overflow spilling to DRAM with an OS refill interrupt, and a page
+ * fault mid-transfer flushing the remainder of the message from the
+ * network (Section 4.1) — but a simulator that only ever exercises
+ * the happy path cannot regress them. A FaultPlan describes a seeded,
+ * fully deterministic perturbation of one run:
+ *
+ *  - message drop / duplicate / reorder probabilities on the T-net;
+ *  - forced send/receive-queue overflows in the MSC+ (every forced
+ *    push takes the DRAM spill + refill-interrupt path even when the
+ *    hardware queue has room);
+ *  - injected MMU page faults during transfer DMA (exercising the
+ *    command-drop and message-flush reactions);
+ *  - bounded random latency jitter on event-queue delays (schedule
+ *    perturbation that must never change results, only timing).
+ *
+ * Determinism is load-bearing: the injector draws from its own
+ * splitmix engine at well-defined decision points, and the event
+ * kernel executes deterministically, so a (workload seed, fault plan)
+ * pair always reproduces the identical run — a failing stress seed
+ * replays exactly.
+ *
+ * A default-constructed (zero) plan is inert by construction: every
+ * decision point short-circuits before touching the RNG, so a machine
+ * with a zero plan is byte-identical to one without the fault layer.
+ */
+
+#ifndef AP_SIM_FAULT_HH
+#define AP_SIM_FAULT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "base/random.hh"
+#include "base/types.hh"
+
+namespace ap::sim
+{
+
+/** One run's fault configuration. All-zero = no faults (inert). */
+struct FaultPlan
+{
+    /** Seed of the injector's private RNG stream. */
+    std::uint64_t seed = 1;
+
+    /** Probability a T-net message silently vanishes. */
+    double dropProb = 0.0;
+    /** Probability a T-net message is delivered twice. */
+    double dupProb = 0.0;
+    /** Probability a T-net message is held back past later traffic
+     *  (breaks the per-pair FIFO guarantee for that message). */
+    double reorderProb = 0.0;
+    /** How long a reordered message is held back. */
+    double reorderDelayUs = 50.0;
+
+    /** Probability an MSC+ queue push is forced to spill to DRAM. */
+    double overflowProb = 0.0;
+    /** Probability a transfer DMA takes an injected MMU page fault. */
+    double pageFaultProb = 0.0;
+    /** Upper bound of uniform extra latency per hardware event. */
+    double jitterMaxUs = 0.0;
+
+    /** @return true when any fault mechanism is enabled. */
+    bool
+    any() const
+    {
+        return dropProb > 0 || dupProb > 0 || reorderProb > 0 ||
+               overflowProb > 0 || pageFaultProb > 0 ||
+               jitterMaxUs > 0;
+    }
+
+    /** Diagnostic one-liner ("drop=0.02 seed=7"). */
+    std::string describe() const;
+
+    // -- presets used by the stress harness ----------------------------
+
+    static FaultPlan drops(std::uint64_t seed, double p = 0.02);
+    static FaultPlan duplicates(std::uint64_t seed, double p = 0.02);
+    static FaultPlan reorders(std::uint64_t seed, double p = 0.05);
+    static FaultPlan overflows(std::uint64_t seed, double p = 0.5);
+    static FaultPlan pageFaults(std::uint64_t seed, double p = 0.02);
+    static FaultPlan jitter(std::uint64_t seed, double maxUs = 20.0);
+    /** Everything at once (drop+dup+reorder+overflow+fault+jitter). */
+    static FaultPlan chaos(std::uint64_t seed);
+};
+
+/** Counts of every fault actually injected (observability). */
+struct FaultStats
+{
+    std::uint64_t drops = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t reorders = 0;
+    std::uint64_t forcedSpills = 0;
+    std::uint64_t injectedPageFaults = 0;
+    std::uint64_t jitteredEvents = 0;
+    Tick jitterTicks = 0;
+
+    /** Total number of injected faults of any kind. */
+    std::uint64_t
+    total() const
+    {
+        return drops + duplicates + reorders + forcedSpills +
+               injectedPageFaults;
+    }
+};
+
+/**
+ * The decision engine behind a FaultPlan. One instance per Machine;
+ * hardware models hold a pointer and consult it at their decision
+ * points. A null pointer or an inactive injector means no faults and
+ * no RNG consumption.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(FaultPlan plan = FaultPlan{});
+
+    /** Replace the plan and restart the RNG stream. */
+    void reset(FaultPlan plan);
+
+    const FaultPlan &plan() const { return fp; }
+
+    /** @return true when any fault mechanism is enabled. */
+    bool active() const { return armed; }
+
+    // -- decision points -----------------------------------------------
+    // Each draws from the RNG only when its mechanism is enabled, so
+    // plans that enable one mechanism do not perturb the stream (or
+    // the behaviour) of the others.
+
+    /** T-net: should this message be dropped? */
+    bool drop_message();
+
+    /** T-net: should this message be delivered twice? */
+    bool duplicate_message();
+
+    /** T-net: should this message be held back (reordered)? */
+    bool reorder_message();
+
+    /** Extra hold-back for a reordered message. */
+    Tick reorder_delay() const;
+
+    /** MSC+: should this queue push be forced to spill to DRAM? */
+    bool force_overflow();
+
+    /** DMA: should this transfer take an injected page fault? */
+    bool inject_page_fault();
+
+    /** Event kernel: extra latency for one hardware event. */
+    Tick jitter();
+
+    const FaultStats &stats() const { return faultStats; }
+
+  private:
+    bool roll(double prob);
+
+    FaultPlan fp;
+    Random rng;
+    bool armed = false;
+    FaultStats faultStats;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_FAULT_HH

@@ -49,8 +49,44 @@ Process::wait(Condition &cond)
               label.c_str());
     parkedOn = &cond;
     parkStart = sim.now();
+    ++waitSeq;
     cond.parked.push_back(this);
     Fiber::yield();
+}
+
+bool
+Process::wait_until(Condition &cond, Tick deadline)
+{
+    if (Fiber::current() != &fiber)
+        panic("Process::wait_until called from outside process '%s'",
+              label.c_str());
+    if (deadline <= sim.now())
+        return false;
+
+    parkedOn = &cond;
+    parkStart = sim.now();
+    timedOut = false;
+    std::uint64_t seq = ++waitSeq;
+    cond.parked.push_back(this);
+
+    // The watchdog resumes us at the deadline unless a notification
+    // already did (detected via the wait sequence number).
+    sim.schedule(deadline, [this, &cond, seq]() {
+        if (parkedOn != &cond || waitSeq != seq)
+            return; // already woken (possibly parked elsewhere)
+        auto it = std::find(cond.parked.begin(), cond.parked.end(),
+                            this);
+        if (it == cond.parked.end())
+            return; // notification at this tick beat the watchdog
+        cond.parked.erase(it);
+        parkedOn = nullptr;
+        blockedTicks += sim.now() - parkStart;
+        timedOut = true;
+        resume_from_event();
+    });
+
+    Fiber::yield();
+    return !timedOut;
 }
 
 void

@@ -82,6 +82,17 @@ class Process
      */
     void wait(Condition &cond);
 
+    /**
+     * Park on @p cond until notified or until the absolute simulated
+     * time @p deadline, whichever comes first — the primitive behind
+     * every communication timeout.
+     *
+     * @return true when woken by a notification, false on timeout.
+     * Like wait(), callers must re-check their predicate on a true
+     * return (notify-then-recheck semantics).
+     */
+    bool wait_until(Condition &cond, Tick deadline);
+
     /** @return true once the body returned. */
     bool finished() const { return fiber.finished(); }
 
@@ -112,6 +123,10 @@ class Process
     Tick parkStart = 0;
     Tick blockedTicks = 0;
     Tick delayedTicks = 0;
+    /** Incremented per park; lets a timeout event detect staleness. */
+    std::uint64_t waitSeq = 0;
+    /** Set by the timeout path for wait_until()'s return value. */
+    bool timedOut = false;
 };
 
 } // namespace ap::sim

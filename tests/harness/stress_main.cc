@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Fault-plan stress driver (CI smoke + local soak).
+ *
+ * Runs harness property iterations — random op program vs zero-fault
+ * golden run — with incrementing seeds until a wall-clock budget
+ * expires or an iteration fails. A failure shrinks the op program to
+ * a minimal reproducer and prints it with the seed; rerunning with
+ * that --seed replays the identical faulty run.
+ *
+ *   stress_put_get --seed=1 --plan=chaos --duration-s=60
+ *   stress_put_get --seed=42 --plan=drop --iters=1   # replay one seed
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness.hh"
+
+using namespace ap;
+using namespace ap::harness;
+
+namespace
+{
+
+struct Options
+{
+    std::uint64_t seed = 1;
+    std::string plan = "chaos";
+    int cells = 5;
+    int ops = 24;
+    double durationS = 10.0;
+    long iters = -1; // unlimited within the duration budget
+};
+
+sim::FaultPlan
+plan_by_name(const std::string &name, std::uint64_t seed)
+{
+    if (name == "drop")
+        return sim::FaultPlan::drops(seed);
+    if (name == "dup")
+        return sim::FaultPlan::duplicates(seed);
+    if (name == "reorder")
+        return sim::FaultPlan::reorders(seed);
+    if (name == "overflow")
+        return sim::FaultPlan::overflows(seed);
+    if (name == "pagefault")
+        return sim::FaultPlan::pageFaults(seed);
+    if (name == "jitter")
+        return sim::FaultPlan::jitter(seed);
+    if (name == "chaos")
+        return sim::FaultPlan::chaos(seed);
+    std::fprintf(stderr,
+                 "unknown plan '%s' (drop|dup|reorder|overflow|"
+                 "pagefault|jitter|chaos)\n",
+                 name.c_str());
+    std::exit(2);
+}
+
+bool
+lossless(const std::string &name)
+{
+    return name == "overflow" || name == "jitter";
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strncmp(a, "--seed=", 7) == 0)
+            opt.seed = std::strtoull(a + 7, nullptr, 10);
+        else if (std::strncmp(a, "--plan=", 7) == 0)
+            opt.plan = a + 7;
+        else if (std::strncmp(a, "--cells=", 8) == 0)
+            opt.cells = std::atoi(a + 8);
+        else if (std::strncmp(a, "--ops=", 6) == 0)
+            opt.ops = std::atoi(a + 6);
+        else if (std::strncmp(a, "--duration-s=", 13) == 0)
+            opt.durationS = std::atof(a + 13);
+        else if (std::strncmp(a, "--iters=", 8) == 0)
+            opt.iters = std::atol(a + 8);
+        else {
+            std::fprintf(stderr, "unknown argument '%s'\n", a);
+            std::fprintf(
+                stderr,
+                "usage: stress_put_get [--seed=N] [--plan=NAME] "
+                "[--cells=N] [--ops=N] [--duration-s=S] "
+                "[--iters=N]\n");
+            std::exit(2);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = parse(argc, argv);
+    hw::RetryPolicy retry = harness_retry();
+    auto start = std::chrono::steady_clock::now();
+    auto elapsed_s = [&]() {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    long done = 0;
+    std::uint64_t injected = 0;
+    for (std::uint64_t seed = opt.seed;; ++seed) {
+        if (opt.iters >= 0 && done >= opt.iters)
+            break;
+        if (opt.iters < 0 && elapsed_s() >= opt.durationS)
+            break;
+
+        sim::FaultPlan plan = plan_by_name(opt.plan, seed);
+        OpProgram prog = make_program(seed, opt.cells, opt.ops,
+                                      lossless(opt.plan));
+        std::string diag = check_against_golden(prog, plan, retry);
+        if (!diag.empty()) {
+            std::fprintf(stderr,
+                         "FAILURE at seed %llu (plan %s): %s\n",
+                         static_cast<unsigned long long>(seed),
+                         opt.plan.c_str(), diag.c_str());
+            auto pred = [&](const OpProgram &p) {
+                return check_against_golden(p, plan, retry);
+            };
+            OpProgram minimal = shrink(prog, pred);
+            std::fprintf(stderr, "minimal reproducer:\n%s",
+                         describe(minimal).c_str());
+            std::fprintf(stderr,
+                         "replay: stress_put_get --seed=%llu "
+                         "--plan=%s --cells=%d --ops=%d --iters=1\n",
+                         static_cast<unsigned long long>(seed),
+                         opt.plan.c_str(), opt.cells, opt.ops);
+            return 1;
+        }
+        // Count injected faults of the faulty run for the summary.
+        RunOutcome o = run_program(prog, plan, retry);
+        injected += o.faults.total() + o.faults.jitteredEvents;
+        ++done;
+    }
+
+    std::printf("stress ok: %ld iterations (plan %s, first seed "
+                "%llu, %.1f s, %llu faults/jitters injected)\n",
+                done, opt.plan.c_str(),
+                static_cast<unsigned long long>(opt.seed),
+                elapsed_s(),
+                static_cast<unsigned long long>(injected));
+    return 0;
+}

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Property tests: the hardened PUT/GET runtime under lossy fault
+ * plans.
+ *
+ * For every (seed, plan) pair a random verified-op program runs on a
+ * faulty machine; the linearizable end state of every cell's owned
+ * region must match the zero-fault golden run byte for byte. A
+ * failing seed is shrunk to a minimal op sequence before reporting,
+ * and replays deterministically (same seed, same plan, same run).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness.hh"
+
+using namespace ap;
+using namespace ap::harness;
+
+namespace
+{
+
+OpProgram
+program_for(std::uint64_t seed)
+{
+    int cells = 3 + static_cast<int>(seed % 4); // 3..6
+    return make_program(seed, cells, 24, false);
+}
+
+void
+expect_plan_holds(std::uint64_t seed, const sim::FaultPlan &plan)
+{
+    OpProgram prog = program_for(seed);
+    hw::RetryPolicy retry = harness_retry();
+    std::string diag = check_against_golden(prog, plan, retry);
+    if (diag.empty())
+        return;
+    auto pred = [&](const OpProgram &p) {
+        return check_against_golden(p, plan, retry);
+    };
+    OpProgram minimal = shrink(prog, pred);
+    FAIL() << diag << "\nseed " << seed << ", plan ["
+           << plan.describe() << "]\nminimal reproducer:\n"
+           << describe(minimal);
+}
+
+} // namespace
+
+class PropSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PropSeeds, SurvivesMessageDrops)
+{
+    expect_plan_holds(GetParam(),
+                      sim::FaultPlan::drops(GetParam()));
+}
+
+TEST_P(PropSeeds, SurvivesMessageDuplication)
+{
+    expect_plan_holds(GetParam(),
+                      sim::FaultPlan::duplicates(GetParam()));
+}
+
+TEST_P(PropSeeds, SurvivesMessageReordering)
+{
+    expect_plan_holds(GetParam(),
+                      sim::FaultPlan::reorders(GetParam()));
+}
+
+TEST_P(PropSeeds, SurvivesInjectedPageFaults)
+{
+    expect_plan_holds(GetParam(),
+                      sim::FaultPlan::pageFaults(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropSeeds,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+TEST(PropDeterminism, FaultyRunsReplayExactly)
+{
+    OpProgram prog = program_for(7);
+    sim::FaultPlan plan = sim::FaultPlan::chaos(7);
+    hw::RetryPolicy retry = harness_retry();
+    RunOutcome a = run_program(prog, plan, retry);
+    RunOutcome b = run_program(prog, plan, retry);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.regions, b.regions);
+    EXPECT_EQ(a.errors, b.errors);
+    EXPECT_EQ(a.faults.total(), b.faults.total());
+    EXPECT_GT(a.faults.total(), 0u) << "chaos plan injected nothing";
+}
+
+TEST(PropDeterminism, PlansActuallyInject)
+{
+    OpProgram prog = program_for(3);
+    hw::RetryPolicy retry = harness_retry();
+    RunOutcome dropped = run_program(
+        prog, sim::FaultPlan::drops(3, 0.1), retry);
+    EXPECT_GT(dropped.faults.drops, 0u);
+    RunOutcome faulted = run_program(
+        prog, sim::FaultPlan::pageFaults(3, 0.1), retry);
+    EXPECT_GT(faulted.faults.injectedPageFaults, 0u);
+}
+
+TEST(PropTypedErrors, UnrecoverableLossSurfacesCommErrorNotHang)
+{
+    // Every message dropped: no retry protocol can succeed. The run
+    // must still terminate, with typed errors instead of a hang, and
+    // no silent corruption: undelivered slots stay unwritten.
+    OpProgram prog = program_for(11);
+    hw::RetryPolicy retry;
+    retry.timeoutUs = 200.0;
+    retry.maxRetries = 2;
+    RunOutcome out = run_program(prog, sim::FaultPlan::drops(11, 1.0),
+                                 retry);
+    EXPECT_FALSE(out.errors.empty());
+    EXPECT_NE(out.errors.front().find("attempts"), std::string::npos);
+    for (const auto &region : out.regions)
+        for (std::uint8_t byte : region)
+            EXPECT_EQ(byte, 0u);
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Property tests: the VPP Fortran runtime (collective moves over
+ * garrays) under fault plans.
+ *
+ * Lossless perturbations (forced queue overflows, latency jitter)
+ * must leave the *unhardened* runtime correct: they stress the DRAM
+ * spill/refill path and event timing without losing messages, so
+ * OVERLAP FIX / transpose / SPREAD MOVE must deliver every element
+ * with retries disabled. Under light message loss the hardened
+ * movewait (replay + read-back verification) must recover.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/program.hh"
+#include "harness.hh"
+#include "runtime/rts.hh"
+
+using namespace ap;
+
+namespace
+{
+
+struct RtsOutcome
+{
+    int mismatches = 0;
+    bool deadlock = false;
+    std::vector<std::string> errors;
+    sim::FaultStats faults;
+    std::uint64_t spills = 0;
+    std::uint64_t refills = 0;
+};
+
+double
+cell_value(std::uint64_t seed, int round, int r, int c, int n)
+{
+    return static_cast<double>(r * n + c + round * 10000 +
+                               static_cast<int>(seed % 97));
+}
+
+/**
+ * The collective workload: two OVERLAP FIX rounds with fringe
+ * checks, a transpose, and a SPREAD MOVE, all self-verifying.
+ */
+RtsOutcome
+run_rts(std::uint64_t seed, const sim::FaultPlan &plan,
+        const hw::RetryPolicy &retry)
+{
+    constexpr int cells = 4;
+    constexpr int n = 16;
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(cells);
+    cfg.memBytesPerCell = 1 << 20;
+    cfg.faults = plan;
+    cfg.retry = retry;
+    hw::Machine m(cfg);
+
+    RtsOutcome out;
+    auto result = core::run_spmd(m, [&](core::Context &ctx) {
+        rt::Runtime rts(ctx);
+        rt::GArray2D a(ctx, n, n, rt::SplitDim::rows, 1);
+        rt::GArray2D b(ctx, n, n, rt::SplitDim::rows, 0);
+        rt::GArray1D d(ctx, rt::Decomp1D::block(n, ctx.nprocs()));
+        CellId me = ctx.id();
+        int lo = a.lo(me);
+        int cnt = a.count(me);
+
+        for (int round = 0; round < 2; ++round) {
+            for (int r = lo; r < lo + cnt; ++r)
+                for (int c = 0; c < n; ++c)
+                    a.set_local(r, c,
+                                cell_value(seed, round, r, c, n));
+            ctx.barrier();
+            rts.overlap_fix(a);
+            if (me > 0)
+                for (int c = 0; c < n; ++c)
+                    if (a.get_local(lo - 1, c) !=
+                        cell_value(seed, round, lo - 1, c, n))
+                        ++out.mismatches;
+            if (me < ctx.nprocs() - 1)
+                for (int c = 0; c < n; ++c)
+                    if (a.get_local(lo + cnt, c) !=
+                        cell_value(seed, round, lo + cnt, c, n))
+                        ++out.mismatches;
+        }
+
+        rts.transpose(b, a);
+        for (int r = lo; r < lo + cnt; ++r)
+            for (int c = 0; c < n; ++c)
+                if (b.get_local(r, c) !=
+                    cell_value(seed, 1, c, r, n))
+                    ++out.mismatches;
+
+        int fixed_col = static_cast<int>(seed % n);
+        rts.spread_move_col(d, a, fixed_col);
+        for (int j = 0; j < n; ++j)
+            if (d.is_local(j) &&
+                d.get_local(j) !=
+                    cell_value(seed, 1, j, fixed_col, n))
+                ++out.mismatches;
+    });
+
+    out.deadlock = result.deadlock;
+    out.errors = result.errors;
+    out.faults = m.faults().stats();
+    for (int i = 0; i < cells; ++i) {
+        const auto &q = m.cell(i).msc().user_queue().stats();
+        out.spills += q.spills;
+        out.refills += q.refillInterrupts;
+    }
+    return out;
+}
+
+void
+expect_clean(const RtsOutcome &out, const char *what,
+             std::uint64_t seed)
+{
+    EXPECT_FALSE(out.deadlock) << what << " seed " << seed;
+    EXPECT_TRUE(out.errors.empty())
+        << what << " seed " << seed << ": "
+        << (out.errors.empty() ? "" : out.errors.front());
+    EXPECT_EQ(out.mismatches, 0) << what << " seed " << seed;
+}
+
+} // namespace
+
+class RtsSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RtsSeeds, CorrectUnderForcedQueueOverflows)
+{
+    std::uint64_t seed = GetParam();
+    RtsOutcome out = run_rts(seed, sim::FaultPlan::overflows(seed),
+                             hw::RetryPolicy{});
+    expect_clean(out, "overflow", seed);
+    EXPECT_GT(out.faults.forcedSpills, 0u);
+    EXPECT_GT(out.spills, 0u);
+    EXPECT_GT(out.refills, 0u);
+}
+
+TEST_P(RtsSeeds, CorrectUnderLatencyJitter)
+{
+    std::uint64_t seed = GetParam();
+    RtsOutcome out = run_rts(seed, sim::FaultPlan::jitter(seed),
+                             hw::RetryPolicy{});
+    expect_clean(out, "jitter", seed);
+    EXPECT_GT(out.faults.jitteredEvents, 0u);
+}
+
+TEST_P(RtsSeeds, HardenedMovewaitRecoversFromMessageLoss)
+{
+    std::uint64_t seed = GetParam();
+    RtsOutcome out = run_rts(seed, sim::FaultPlan::drops(seed, 0.03),
+                             harness::harness_retry());
+    expect_clean(out, "drop", seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RtsSeeds,
+                         ::testing::Range<std::uint64_t>(1, 9));

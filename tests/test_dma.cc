@@ -9,7 +9,9 @@
 #include <numeric>
 #include <vector>
 
+#include "base/logging.hh"
 #include "base/random.hh"
+#include "core/ap1000p.hh"
 #include "hw/dma.hh"
 #include "hw/memory.hh"
 #include "hw/mmu.hh"
@@ -226,3 +228,105 @@ INSTANTIATE_TEST_SUITE_P(
                       StrideCase{4096, 4, 4096, 0x800}, // page-sized
                       StrideCase{3, 333, 5, 0x123},
                       StrideCase{16, 1, 0, 0xfff})); // boundary start
+
+// -- machine-level flush semantics -----------------------------------
+//
+// Section 4.1: a page fault hit *during* a remote transfer flushes
+// the remainder of the message from the network; the receive flag is
+// not bumped and later traffic is unaffected.
+
+TEST(DmaMachine, RemoteScatterFaultFlushesMessageAndSkipsFlag)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.memBytesPerCell = 1 << 20;
+    hw::Machine m(cfg);
+    int remote_faults = 0;
+    m.set_fault_hook([&](CellId, Addr, bool remote) {
+        if (remote)
+            ++remote_faults;
+    });
+    std::uint32_t final_flag = 0;
+    double landed = 0.0;
+
+    set_quiet(true);
+    auto r = core::run_spmd(m, [&](core::Context &ctx) {
+        Addr buf = ctx.alloc(64);
+        Addr rf = ctx.alloc_flag();
+        if (ctx.id() == 1)
+            ctx.cell().mc().mmu().unmap(0x80000);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+            ctx.poke_f64(buf, 6.5);
+            ctx.put(1, 0x80000, buf, 64, no_flag, rf); // flushed
+            ctx.put(1, buf, buf, 8, no_flag, rf);      // lands
+        }
+        if (ctx.id() == 1) {
+            ctx.wait_flag(rf, 1);
+            final_flag = ctx.flag(rf);
+            landed = ctx.peek_f64(buf);
+        }
+        ctx.barrier();
+    });
+    set_quiet(false);
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(remote_faults, 1);
+    // Only the healthy PUT bumped the flag; the faulted one flushed.
+    EXPECT_EQ(final_flag, 1u);
+    EXPECT_DOUBLE_EQ(landed, 6.5);
+    EXPECT_EQ(m.cell(1).msc().stats().remoteFaults, 1u);
+    EXPECT_EQ(m.cell(1).msc().stats().flushedMessages, 1u);
+}
+
+TEST(DmaMachine, InjectedPageFaultPlanFlushesWholeMessages)
+{
+    // Injected MMU faults (FaultPlan::pageFaults) hit transfers on
+    // both the gather and the scatter side. A command dropped at
+    // gather never leaves the cell; a message flushed at scatter
+    // leaves the destination untouched — so every 8-byte slot is
+    // either fully delivered or still zero, never partial.
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.memBytesPerCell = 1 << 20;
+    cfg.faults = sim::FaultPlan::pageFaults(3, 0.5);
+    hw::Machine m(cfg);
+    constexpr int puts = 40;
+    Addr base = 0;
+    int delivered = 0, partial = 0;
+
+    set_quiet(true);
+    auto r = core::run_spmd(m, [&](core::Context &ctx) {
+        base = ctx.alloc(puts * 8);
+        ctx.barrier();
+        if (ctx.id() == 0)
+            for (int i = 0; i < puts; ++i) {
+                Addr a = base + static_cast<Addr>(i) * 8;
+                ctx.poke_f64(a, i + 0.125);
+                ctx.put(1, a, a, 8, no_flag, no_flag);
+            }
+        ctx.barrier();
+    });
+    set_quiet(false);
+    ASSERT_FALSE(r.deadlock);
+
+    // run_spmd returns only once the event queue drained, so every
+    // surviving message has landed; inspect cell 1's memory directly.
+    const auto &mem = m.cell(1).memory();
+    for (int i = 0; i < puts; ++i) {
+        double got = mem.read_f64(base + static_cast<Addr>(i) * 8);
+        if (got == i + 0.125)
+            ++delivered;
+        else if (got != 0.0)
+            ++partial;
+    }
+    EXPECT_EQ(partial, 0) << "flush must be all-or-nothing";
+    EXPECT_GT(delivered, 0);
+    EXPECT_LT(delivered, puts);
+    const auto &fs = m.faults().stats();
+    EXPECT_GT(fs.injectedPageFaults, 0u);
+    const auto &s1 = m.cell(1).msc().stats();
+    const auto &s0 = m.cell(0).msc().stats();
+    EXPECT_GT(s0.localFaults, 0u);  // dropped at gather
+    EXPECT_GT(s1.remoteFaults, 0u); // flushed at scatter
+    EXPECT_EQ(s1.flushedMessages, s1.remoteFaults);
+    EXPECT_EQ(static_cast<std::uint64_t>(delivered),
+              s1.putsReceived - s1.remoteFaults);
+}

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests of the fault-injection subsystem.
+ *
+ * Covers the FaultPlan presets, the injector's determinism and
+ * per-mechanism RNG stream isolation, the inertness guarantee of a
+ * zero plan (machine-level: a default plan must not change a run at
+ * all), and the Process::wait_until timeout primitive that the
+ * runtime hardening is built on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/ap1000p.hh"
+#include "sim/fault.hh"
+#include "sim/process.hh"
+
+using namespace ap;
+using namespace ap::sim;
+
+namespace
+{
+
+/** Record @p n drop decisions from @p inj. */
+std::vector<bool>
+drop_stream(FaultInjector &inj, int n)
+{
+    std::vector<bool> out;
+    for (int i = 0; i < n; ++i)
+        out.push_back(inj.drop_message());
+    return out;
+}
+
+} // namespace
+
+TEST(FaultPlan, ZeroPlanIsInert)
+{
+    FaultPlan zero;
+    EXPECT_FALSE(zero.any());
+    EXPECT_EQ(zero.describe(), "none");
+
+    FaultInjector inj(zero);
+    EXPECT_FALSE(inj.active());
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(inj.drop_message());
+        EXPECT_FALSE(inj.duplicate_message());
+        EXPECT_FALSE(inj.reorder_message());
+        EXPECT_FALSE(inj.force_overflow());
+        EXPECT_FALSE(inj.inject_page_fault());
+        EXPECT_EQ(inj.jitter(), 0u);
+    }
+    EXPECT_EQ(inj.stats().total(), 0u);
+    EXPECT_EQ(inj.stats().jitteredEvents, 0u);
+}
+
+TEST(FaultPlan, PresetsEnableExactlyOneMechanism)
+{
+    EXPECT_GT(FaultPlan::drops(1).dropProb, 0.0);
+    EXPECT_GT(FaultPlan::duplicates(1).dupProb, 0.0);
+    EXPECT_GT(FaultPlan::reorders(1).reorderProb, 0.0);
+    EXPECT_GT(FaultPlan::overflows(1).overflowProb, 0.0);
+    EXPECT_GT(FaultPlan::pageFaults(1).pageFaultProb, 0.0);
+    EXPECT_GT(FaultPlan::jitter(1).jitterMaxUs, 0.0);
+    for (const FaultPlan &p :
+         {FaultPlan::drops(7), FaultPlan::duplicates(7),
+          FaultPlan::reorders(7), FaultPlan::overflows(7),
+          FaultPlan::pageFaults(7), FaultPlan::jitter(7),
+          FaultPlan::chaos(7)}) {
+        EXPECT_TRUE(p.any()) << p.describe();
+        EXPECT_EQ(p.seed, 7u);
+        EXPECT_NE(p.describe(), "none");
+    }
+    FaultPlan c = FaultPlan::chaos(3);
+    EXPECT_GT(c.dropProb, 0.0);
+    EXPECT_GT(c.dupProb, 0.0);
+    EXPECT_GT(c.reorderProb, 0.0);
+    EXPECT_GT(c.overflowProb, 0.0);
+    EXPECT_GT(c.pageFaultProb, 0.0);
+    EXPECT_GT(c.jitterMaxUs, 0.0);
+}
+
+TEST(FaultInjector, SameSeedSameDecisionStream)
+{
+    FaultInjector a(FaultPlan::chaos(99));
+    FaultInjector b(FaultPlan::chaos(99));
+    for (int i = 0; i < 500; ++i) {
+        EXPECT_EQ(a.drop_message(), b.drop_message());
+        EXPECT_EQ(a.duplicate_message(), b.duplicate_message());
+        EXPECT_EQ(a.force_overflow(), b.force_overflow());
+        EXPECT_EQ(a.inject_page_fault(), b.inject_page_fault());
+        EXPECT_EQ(a.jitter(), b.jitter());
+    }
+    EXPECT_EQ(a.stats().total(), b.stats().total());
+    EXPECT_GT(a.stats().total(), 0u);
+}
+
+TEST(FaultInjector, DisabledMechanismsDoNotConsumeRng)
+{
+    // Decision points of disabled mechanisms must not shift the
+    // stream of enabled ones, so enabling e.g. page faults leaves a
+    // drop-only plan's drop pattern untouched.
+    FaultInjector pure(FaultPlan::drops(42, 0.3));
+    std::vector<bool> expect = drop_stream(pure, 200);
+
+    FaultInjector mixed(FaultPlan::drops(42, 0.3));
+    std::vector<bool> got;
+    for (int i = 0; i < 200; ++i) {
+        // Disabled in this plan: must be free of RNG side effects.
+        EXPECT_FALSE(mixed.duplicate_message());
+        EXPECT_FALSE(mixed.force_overflow());
+        EXPECT_FALSE(mixed.inject_page_fault());
+        EXPECT_EQ(mixed.jitter(), 0u);
+        got.push_back(mixed.drop_message());
+    }
+    EXPECT_EQ(got, expect);
+}
+
+TEST(FaultInjector, ResetRestartsTheStream)
+{
+    FaultInjector inj(FaultPlan::drops(5, 0.5));
+    std::vector<bool> first = drop_stream(inj, 100);
+    inj.reset(FaultPlan::drops(5, 0.5));
+    EXPECT_EQ(inj.stats().total(), 0u);
+    EXPECT_EQ(drop_stream(inj, 100), first);
+}
+
+TEST(FaultInjector, JitterIsBounded)
+{
+    FaultPlan p = FaultPlan::jitter(11, 20.0);
+    FaultInjector inj(p);
+    Tick bound = us_to_ticks(p.jitterMaxUs);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LE(inj.jitter(), bound);
+    EXPECT_GT(inj.stats().jitteredEvents, 0u);
+    EXPECT_GT(inj.stats().jitterTicks, 0u);
+}
+
+TEST(FaultMachine, DefaultPlanDoesNotPerturbARun)
+{
+    // Machine-level inertness: a zero plan (any seed) leaves the run
+    // byte-identical — same finish tick, same data, zero injections.
+    auto run_once = [](std::uint64_t plan_seed) {
+        hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(4);
+        cfg.memBytesPerCell = 1 << 20;
+        cfg.faults = sim::FaultPlan{};
+        cfg.faults.seed = plan_seed;
+        hw::Machine m(cfg);
+        int errors = 0;
+        auto result = core::run_spmd(m, [&](core::Context &ctx) {
+            Addr data = ctx.alloc(4096);
+            Addr flag = ctx.alloc_flag();
+            int me = ctx.id();
+            int p = ctx.nprocs();
+            for (int round = 0; round < 4; ++round) {
+                ctx.poke_u32(data, static_cast<std::uint32_t>(
+                                       me * 100 + round));
+                ctx.put((me + 1) % p, data + 512, data, 256, no_flag,
+                        flag);
+                ctx.wait_flag(flag, static_cast<std::uint32_t>(
+                                        round + 1));
+                std::uint32_t want = static_cast<std::uint32_t>(
+                    ((me - 1 + p) % p) * 100 + round);
+                if (ctx.peek_u32(data + 512) != want)
+                    ++errors;
+                ctx.barrier();
+            }
+        });
+        EXPECT_FALSE(result.deadlock);
+        EXPECT_EQ(errors, 0);
+        EXPECT_EQ(m.faults().stats().total(), 0u);
+        return result.finishTick;
+    };
+    Tick a = run_once(1);
+    Tick b = run_once(987654321);
+    EXPECT_EQ(a, b) << "zero plan must be inert regardless of seed";
+}
+
+TEST(WaitUntil, TimesOutWhenNeverNotified)
+{
+    Simulator sim;
+    Condition cond;
+    bool notified = true;
+    Process p(sim, "p", [&](Process &self) {
+        notified = self.wait_until(cond, 100);
+    });
+    p.start(0);
+    sim.run();
+    EXPECT_TRUE(p.finished());
+    EXPECT_FALSE(notified);
+    EXPECT_EQ(sim.now(), 100u);
+}
+
+TEST(WaitUntil, NotificationBeforeDeadlineWins)
+{
+    Simulator sim;
+    Condition cond;
+    bool notified = false;
+    Tick woke_at = 0;
+    Process waiter(sim, "w", [&](Process &self) {
+        notified = self.wait_until(cond, 100);
+        woke_at = sim.now();
+    });
+    Process notifier(sim, "n", [&](Process &self) {
+        self.delay(50);
+        cond.notify_all();
+    });
+    waiter.start(0);
+    notifier.start(0);
+    sim.run();
+    EXPECT_TRUE(notified);
+    EXPECT_EQ(woke_at, 50u);
+}
+
+TEST(WaitUntil, NotificationAfterDeadlineIsATimeout)
+{
+    Simulator sim;
+    Condition cond;
+    bool notified = true;
+    Tick woke_at = 0;
+    Process waiter(sim, "w", [&](Process &self) {
+        notified = self.wait_until(cond, 100);
+        woke_at = sim.now();
+    });
+    Process notifier(sim, "n", [&](Process &self) {
+        self.delay(150);
+        cond.notify_all();
+    });
+    waiter.start(0);
+    notifier.start(0);
+    sim.run();
+    EXPECT_FALSE(notified);
+    EXPECT_EQ(woke_at, 100u);
+}
+
+TEST(WaitUntil, StaleTimeoutDoesNotWakeALaterWait)
+{
+    // First wait is notified before its deadline; its pending timeout
+    // event (tick 100) must not spuriously resume the second wait.
+    Simulator sim;
+    Condition cond;
+    std::vector<std::pair<bool, Tick>> waits;
+    Process waiter(sim, "w", [&](Process &self) {
+        bool a = self.wait_until(cond, 100);
+        waits.emplace_back(a, sim.now());
+        bool b = self.wait_until(cond, 500);
+        waits.emplace_back(b, sim.now());
+    });
+    Process notifier(sim, "n", [&](Process &self) {
+        self.delay(50);
+        cond.notify_all();
+        self.delay(350); // to 400, past the stale 100-tick deadline
+        cond.notify_all();
+    });
+    waiter.start(0);
+    notifier.start(0);
+    sim.run();
+    ASSERT_EQ(waits.size(), 2u);
+    EXPECT_TRUE(waits[0].first);
+    EXPECT_EQ(waits[0].second, 50u);
+    EXPECT_TRUE(waits[1].first);
+    EXPECT_EQ(waits[1].second, 400u);
+}
+
+TEST(WaitUntil, PlainWaitStillWorksAfterTimedWaits)
+{
+    Simulator sim;
+    Condition cond;
+    std::vector<Tick> wakes;
+    Process waiter(sim, "w", [&](Process &self) {
+        self.wait_until(cond, 10); // times out at 10
+        self.wait(cond);           // untimed park
+        wakes.push_back(sim.now());
+    });
+    Process notifier(sim, "n", [&](Process &self) {
+        self.delay(80);
+        cond.notify_all();
+    });
+    waiter.start(0);
+    notifier.start(0);
+    sim.run();
+    ASSERT_EQ(wakes.size(), 1u);
+    EXPECT_EQ(wakes[0], 80u);
+}

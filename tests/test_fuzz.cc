@@ -18,6 +18,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "base/random.hh"
@@ -35,6 +37,7 @@ struct FuzzOutcome
 {
     Tick finish = 0;
     int data_errors = 0;
+    bool deadlock = false;
     Trace trace;
 };
 
@@ -181,9 +184,56 @@ run_fuzz(std::uint64_t seed, bool capture_trace)
         },
         capture_trace ? &out.trace : nullptr);
 
-    EXPECT_FALSE(result.deadlock) << "seed " << seed;
+    out.deadlock = result.deadlock;
     out.finish = result.finishTick;
     return out;
+}
+
+/** The three per-seed invariants; diagnostics go to stderr. */
+bool
+check_seed(std::uint64_t seed)
+{
+    bool ok = true;
+    FuzzOutcome o = run_fuzz(seed, true);
+    if (o.deadlock) {
+        std::fprintf(stderr, "seed %llu: deadlock\n",
+                     static_cast<unsigned long long>(seed));
+        return false; // the other invariants are meaningless now
+    }
+    if (o.data_errors != 0) {
+        std::fprintf(stderr, "seed %llu: %d data errors\n",
+                     static_cast<unsigned long long>(seed),
+                     o.data_errors);
+        ok = false;
+    }
+    if (o.finish == 0) {
+        std::fprintf(stderr, "seed %llu: zero finish tick\n",
+                     static_cast<unsigned long long>(seed));
+        ok = false;
+    }
+    FuzzOutcome again = run_fuzz(seed, false);
+    if (again.finish != o.finish) {
+        std::fprintf(stderr,
+                     "seed %llu: non-deterministic finish "
+                     "(%llu vs %llu ticks)\n",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(o.finish),
+                     static_cast<unsigned long long>(again.finish));
+        ok = false;
+    }
+    for (const auto &p :
+         {mlsim::Params::ap1000(), mlsim::Params::ap1000_fast(),
+          mlsim::Params::ap1000_plus()}) {
+        mlsim::ReplayReport r = mlsim::Replay(o.trace, p).run();
+        if (r.deadlock || r.totalUs <= 0.0) {
+            std::fprintf(stderr,
+                         "seed %llu: replay failed under model %s\n",
+                         static_cast<unsigned long long>(seed),
+                         p.name.c_str());
+            ok = false;
+        }
+    }
+    return ok;
 }
 
 } // namespace
@@ -194,21 +244,29 @@ class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t>
 
 TEST_P(FuzzSeeds, FunctionalRunDeliversEveryByte)
 {
+    SCOPED_TRACE("replay with: test_fuzz --seed=" +
+                 std::to_string(GetParam()));
     FuzzOutcome o = run_fuzz(GetParam(), false);
-    EXPECT_EQ(o.data_errors, 0);
+    ASSERT_FALSE(o.deadlock) << "seed " << GetParam();
+    EXPECT_EQ(o.data_errors, 0) << "seed " << GetParam();
     EXPECT_GT(o.finish, 0u);
 }
 
 TEST_P(FuzzSeeds, DeterministicAcrossRuns)
 {
+    SCOPED_TRACE("replay with: test_fuzz --seed=" +
+                 std::to_string(GetParam()));
     FuzzOutcome a = run_fuzz(GetParam(), false);
     FuzzOutcome b = run_fuzz(GetParam(), false);
-    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.finish, b.finish) << "seed " << GetParam();
 }
 
 TEST_P(FuzzSeeds, TraceReplaysUnderAllModels)
 {
+    SCOPED_TRACE("replay with: test_fuzz --seed=" +
+                 std::to_string(GetParam()));
     FuzzOutcome o = run_fuzz(GetParam(), true);
+    ASSERT_FALSE(o.deadlock) << "seed " << GetParam();
     for (const auto &p :
          {mlsim::Params::ap1000(), mlsim::Params::ap1000_fast(),
           mlsim::Params::ap1000_plus()}) {
@@ -227,3 +285,31 @@ TEST_P(FuzzSeeds, TraceReplaysUnderAllModels)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
                          ::testing::Range<std::uint64_t>(1, 21));
+
+/**
+ * Custom main: `--seed=N` replays exactly one seed through all three
+ * invariants without the gtest registry (the parameterized suite is
+ * instantiated at static-init time, long before arguments exist).
+ * Without --seed this behaves like a normal gtest binary.
+ */
+int
+main(int argc, char **argv)
+{
+    std::uint64_t forced = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--seed=", 7) == 0)
+            forced = std::strtoull(argv[i] + 7, nullptr, 10);
+    }
+    if (forced != 0) {
+        if (!check_seed(forced)) {
+            std::fprintf(stderr, "seed %llu FAILED\n",
+                         static_cast<unsigned long long>(forced));
+            return 1;
+        }
+        std::printf("seed %llu ok\n",
+                    static_cast<unsigned long long>(forced));
+        return 0;
+    }
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -195,6 +195,51 @@ TEST(Msc, ManyGetsServedInOrderFromReplyQueue)
     EXPECT_EQ(m.cell(0).msc().stats().getRepliesSent, 120u);
 }
 
+TEST(Msc, ForcedOverflowPlanSpillsRefillsAndStaysCorrect)
+{
+    // Every queue push under FaultPlan::overflows(p=1) takes the
+    // Section 4.1 DRAM-spill + refill-interrupt path; the burst must
+    // still land byte-exact and in order.
+    hw::MachineConfig cfg = small(2);
+    cfg.faults = sim::FaultPlan::overflows(11, 1.0);
+    hw::Machine m(cfg);
+    int bad = 0;
+
+    auto r = run_spmd(m, [&](Context &ctx) {
+        constexpr int burst = 30;
+        Addr base = ctx.alloc(burst * 8);
+        ctx.barrier();
+        if (ctx.id() == 0) {
+            for (int i = 0; i < burst; ++i) {
+                Addr a = base + static_cast<Addr>(i) * 8;
+                ctx.poke_f64(a, i + 0.25);
+                ctx.put(1, a, a, 8, no_flag, no_flag);
+            }
+            ctx.ack_probe(1);
+            ctx.wait_all_acks();
+            Addr check = ctx.alloc(burst * 8);
+            ctx.read_remote(1, base, check,
+                            static_cast<std::uint32_t>(burst * 8));
+            for (int i = 0; i < burst; ++i)
+                if (ctx.peek_f64(check + static_cast<Addr>(i) * 8) !=
+                    i + 0.25)
+                    ++bad;
+        }
+        ctx.barrier();
+    });
+    ASSERT_FALSE(r.deadlock);
+    EXPECT_EQ(bad, 0);
+    EXPECT_GT(m.faults().stats().forcedSpills, 0u);
+    std::uint64_t spills = 0, refills = 0;
+    for (int i = 0; i < 2; ++i) {
+        const auto &q = m.cell(i).msc().user_queue().stats();
+        spills += q.spills;
+        refills += q.refillInterrupts;
+    }
+    EXPECT_GT(spills, 0u);
+    EXPECT_GT(refills, 0u);
+}
+
 TEST(Msc, LocalFaultDropsCommandAndContinues)
 {
     // A PUT whose *local* gather faults is dropped after the OS

@@ -109,6 +109,38 @@ TEST(CommandQueue, CustomCapacity)
     EXPECT_TRUE(q.push(cmd(2)));
 }
 
+TEST(CommandQueue, ForcedPushSpillsEvenWithRoom)
+{
+    // The fault injector's hook: a forced push takes the DRAM spill
+    // path although the hardware queue is empty.
+    CommandQueue q;
+    EXPECT_TRUE(q.push(cmd(0), /*force_spill=*/true));
+    EXPECT_EQ(q.hw_depth(), 0);
+    EXPECT_EQ(q.spill_depth(), 1);
+    EXPECT_EQ(q.stats().spills, 1u);
+    ASSERT_TRUE(q.needs_refill());
+    EXPECT_EQ(q.refill(), 1);
+    EXPECT_EQ(q.pop().dst, 0);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.stats().refillInterrupts, 1u);
+}
+
+TEST(CommandQueue, ForcedSpillsPreserveFifoAmongNormalPushes)
+{
+    CommandQueue q;
+    for (int i = 0; i < 12; ++i)
+        q.push(cmd(i), /*force_spill=*/(i % 3 == 0));
+    std::vector<int> order;
+    while (!q.empty()) {
+        if (q.needs_refill())
+            q.refill();
+        order.push_back(q.pop().dst);
+    }
+    ASSERT_EQ(order.size(), 12u);
+    for (int i = 0; i < 12; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 TEST(CommandQueueDeath, TooSmallCapacityIsFatal)
 {
     EXPECT_DEATH(CommandQueue(4), "cannot hold");
