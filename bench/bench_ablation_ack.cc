@@ -20,6 +20,7 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "core/ap1000p.hh"
+#include "obs/cli.hh"
 #include "runtime/rts.hh"
 
 using namespace ap;
@@ -80,8 +81,14 @@ halo_workload(AckPolicy policy, int cells, int arrays, int rounds)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("ablation_ack");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     std::printf("Acknowledge-policy ablation (Section 5.4): "
                 "aggregated OVERLAP FIX over N arrays,\n10 rounds, "
                 "functional machine\n\n");
@@ -93,6 +100,13 @@ main()
             for (AckPolicy pol : {AckPolicy::every_put,
                                   AckPolicy::last_put_per_dest}) {
                 Result r = halo_workload(pol, cells, arrays, 10);
+                std::string k = strprintf(
+                    "cells%d.arrays%d.%s", cells, arrays,
+                    pol == AckPolicy::every_put ? "every_put"
+                                                : "last_put");
+                report.set(k + ".sim_us", r.simUs);
+                report.set(k + ".ack_probes", r.probes);
+                report.set(k + ".tnet_messages", r.messages);
                 t.add_row(
                     {strprintf("%d", cells),
                      strprintf("%d", arrays),
@@ -114,5 +128,5 @@ main()
                 "issues one: the probe count (and the GET traffic it "
                 "implies)\ndrops by the aggregation factor, as "
                 "Section 5.4 predicts.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

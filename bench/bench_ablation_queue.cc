@@ -15,6 +15,7 @@
 #include "base/logging.hh"
 #include "base/table.hh"
 #include "core/ap1000p.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::core;
@@ -62,8 +63,14 @@ burst(int queue_words, int puts, std::uint32_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("ablation_queue");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     std::printf("Queue-overflow ablation: 256 PUTs of 256 bytes, "
                 "MSC+ queue capacity sweep\n\n");
 
@@ -83,6 +90,12 @@ main()
                    strprintf("%llu",
                              static_cast<unsigned long long>(
                                  r.maxBacklog))});
+
+        std::string k = strprintf("words%d", words);
+        report.set(k + ".sim_us", r.simUs);
+        report.set(k + ".spills", r.spills);
+        report.set(k + ".refill_interrupts", r.refills);
+        report.set(k + ".max_dram_backlog", r.maxBacklog);
     }
     t.print();
 
@@ -91,5 +104,5 @@ main()
                 "multiply OS refill interrupts; past the burst size "
                 "the\noverflow machinery never engages and time "
                 "flattens at the DMA-pipeline bound.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -15,6 +15,7 @@
 #include "base/table.hh"
 #include "core/ap1000p.hh"
 #include "core/wtpage.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::core;
@@ -81,8 +82,14 @@ table_scan(bool use_cache, int reads, std::uint32_t span)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("ablation_wtpage");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     std::printf("Write-through page ablation: 512 8-byte reads of "
                 "cell 0's table per reader,\ntable size sweep "
                 "(smaller table = higher page locality)\n\n");
@@ -92,6 +99,11 @@ main()
     for (std::uint32_t span : {4096u, 16384u, 65536u, 262144u}) {
         for (bool cached : {false, true}) {
             Result r = table_scan(cached, 512, span);
+            std::string k =
+                strprintf("span%u.%s", span,
+                          cached ? "wt_page_cache" : "remote_reads");
+            report.set(k + ".sim_us", r.simUs);
+            report.set(k + ".tnet_messages", r.messages);
             t.add_row({strprintf("%u", span),
                        strprintf("%u", span / 4096),
                        cached ? "wt-page cache" : "remote reads",
@@ -107,5 +119,5 @@ main()
                 "read. Past 16 frames x 4 KB of span the cache "
                 "thrashes and the\nadvantage narrows — the same "
                 "locality cliff real software DSM systems show.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -6,19 +6,49 @@
  * mlsim::Params::from_file parses back).
  */
 
+#include <cctype>
 #include <cstdio>
+#include <string>
 
+#include "base/logging.hh"
 #include "mlsim/params.hh"
+#include "obs/cli.hh"
 
 using namespace ap::mlsim;
 
-int
-main()
+namespace
 {
+
+/** Model names as JSON path segments. */
+std::string
+key(std::string s)
+{
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ap::obs::BenchReport report("fig6_params");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            ap::fatal("unknown argument '%s' (only "
+                      "--json-out[=FILE])",
+                      argv[i]);
+
     for (const Params &p : {Params::ap1000(), Params::ap1000_plus(),
                             Params::ap1000_fast()}) {
         std::fputs(p.to_file().c_str(), stdout);
         std::fputc('\n', stdout);
+
+        std::string k = key(p.name);
+        report.set(k + ".computation_factor", p.computation_factor);
+        report.set(k + ".put_dma_set_time", p.put_dma_set_time);
     }
 
     // Round-trip self-check: the printed files parse back to the
@@ -33,5 +63,6 @@ main()
         }
     }
     std::printf("# round-trip check passed\n");
-    return 0;
+    report.set("round_trip_ok", std::uint64_t{1});
+    return report.write() ? 0 : 1;
 }

@@ -21,6 +21,7 @@
 #include "base/table.hh"
 #include "core/ap1000p.hh"
 #include "mlsim/costmodel.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::core;
@@ -65,8 +66,14 @@ measure_put(std::uint32_t bytes)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("fig7_put_model");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     std::printf("Figure 7: PUT communication model — overheads by "
                 "message size (us)\n\n");
 
@@ -86,6 +93,16 @@ main()
                    Table::num(hw.put_send_overhead(bytes)),
                    Table::num(hw.recv_interrupt_overhead(bytes)),
                    Table::num(m.issueUs), Table::num(m.deliveredUs)});
+
+        std::string k = strprintf("bytes%u", bytes);
+        report.set(k + ".sw_send_us", sw.put_send_overhead(bytes));
+        report.set(k + ".sw_recv_us",
+                   sw.recv_interrupt_overhead(bytes));
+        report.set(k + ".hw_send_us", hw.put_send_overhead(bytes));
+        report.set(k + ".hw_recv_us",
+                   hw.recv_interrupt_overhead(bytes));
+        report.set(k + ".measured_issue_us", m.issueUs);
+        report.set(k + ".measured_deliver_us", m.deliveredUs);
     }
     t.print();
 
@@ -97,5 +114,5 @@ main()
         "(the 8 parameter stores)\n"
         "  - hardware reception steals zero processor time.\n",
         sw.put_send_overhead(0), hw.put_send_overhead(65536));
-    return 0;
+    return report.write() ? 0 : 1;
 }

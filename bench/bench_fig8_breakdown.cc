@@ -8,6 +8,7 @@
  * AP1000+ total, as in the paper).
  */
 
+#include <cctype>
 #include <cstdio>
 #include <string>
 
@@ -16,6 +17,7 @@
 #include "base/table.hh"
 #include "mlsim/params.hh"
 #include "mlsim/replay.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::apps;
@@ -23,6 +25,16 @@ using namespace ap::mlsim;
 
 namespace
 {
+
+/** App names ("TC no st") as JSON path segments. */
+std::string
+key(std::string s)
+{
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
 
 std::string
 bar(double pct, double scale = 0.25)
@@ -36,8 +48,14 @@ bar(double pct, double scale = 0.25)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("fig8_breakdown");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     std::printf("Figure 8: normalized execution time breakdown "
                 "(%% of the AP1000+ total)\n\n");
 
@@ -63,10 +81,15 @@ main()
         if (name == "TC no st" && tc_st_plus_total > 0)
             norm = tc_st_plus_total;
 
-        for (const auto &[label, r] :
-             {std::pair<const char *, ReplayReport &>{"AP1000+", rp},
-              std::pair<const char *, ReplayReport &>{"AP1000*",
-                                                      rf}}) {
+        struct ModelRow
+        {
+            const char *label;  ///< table column
+            const char *jsonKey; ///< '+'/'*'-free path segment
+            ReplayReport &r;
+        };
+        for (const auto &[label, jkey, r] :
+             {ModelRow{"AP1000+", "ap1000_plus", rp},
+              ModelRow{"AP1000*", "ap1000_star", rf}}) {
             CellBreakdown m = r.mean();
             double total = r.totalUs / norm * 100.0;
             t.add_row({name, label, Table::num(total, 1),
@@ -75,6 +98,14 @@ main()
                        Table::num(m.overheadUs / norm * 100.0, 1),
                        Table::num(m.idleUs / norm * 100.0, 1),
                        bar(total)});
+
+            std::string k = key(name) + "." + jkey;
+            report.set(k + ".total_pct", total);
+            report.set(k + ".exec_pct", m.execUs / norm * 100.0);
+            report.set(k + ".rts_pct", m.rtsUs / norm * 100.0);
+            report.set(k + ".overhead_pct",
+                       m.overheadUs / norm * 100.0);
+            report.set(k + ".idle_pct", m.idleUs / norm * 100.0);
         }
     }
     t.print();
@@ -87,5 +118,5 @@ main()
         "scale).\nExec/RTS/Ovh/Idle are per-cell means; Total is the "
         "slowest cell, so the\ncomponents sum to slightly less than "
         "Total when load is imbalanced.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -22,14 +22,21 @@
 #include "base/table.hh"
 #include "mlsim/params.hh"
 #include "mlsim/replay.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::apps;
 using namespace ap::mlsim;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("sensitivity");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     // ---- sweep 1: DMA setup cost --------------------------------------
     std::printf("Sweep 1: MSC+ DMA setup cost vs TOMCATV-no-stride "
                 "speedup over the AP1000\n\n");
@@ -46,6 +53,12 @@ main()
         double s = t_base / t;
         t1.add_row({Table::num(dma, 1), Table::num(s, 2),
                     Table::num(s / 11.55, 2)});
+
+        // Tenths of a us keep the segment free of '.' separators.
+        std::string k = strprintf("dma_sweep.dma_us_x10_%d",
+                                  static_cast<int>(dma * 10 + 0.5));
+        report.set(k + ".speedup", s);
+        report.set(k + ".fraction_of_paper", s / 11.55);
     }
     t1.print();
     std::printf("\nAt the paper's 0.5 us the hardware keeps its full "
@@ -75,6 +88,11 @@ main()
                     Table::num(scg_base / t_hw, 2),
                     Table::num(scg_base / t_sw, 2),
                     Table::num(t_sw / t_hw, 2)});
+
+        std::string k = strprintf("cpu_sweep.x%.0f", speed);
+        report.set(k + ".hw_speedup", scg_base / t_hw);
+        report.set(k + ".sw_speedup", scg_base / t_sw);
+        report.set(k + ".hw_over_sw", t_sw / t_hw);
     }
     t2.print();
     std::printf("\nSoftware handling saturates (Amdahl on the fixed "
@@ -82,5 +100,5 @@ main()
                 "interface keeps scaling with the processor — the "
                 "paper's\ncore argument, extrapolated beyond the "
                 "SuperSPARC.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -11,13 +11,20 @@
 #include "hw/config.hh"
 #include "hw/mmu.hh"
 #include "hw/queues.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::hw;
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("table1_specs");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     MachineConfig lo = MachineConfig::ap1000_plus(4);
     MachineConfig hi = MachineConfig::ap1000_plus(1024);
 
@@ -60,5 +67,19 @@ main()
                 1.0 / lo.bnet.perByteUs);
     std::printf("  PUT issue                 8 stores = %.2f us\n",
                 lo.timings.enqueueUs);
-    return 0;
+
+    report.set("clock_mhz", lo.clockMhz);
+    report.set("mflops_per_cell", lo.mflopsPerCell);
+    report.set("cache_kbytes",
+               static_cast<std::uint64_t>(lo.cacheBytes / 1024));
+    report.set("cells_min", static_cast<std::uint64_t>(lo.cells));
+    report.set("cells_max", static_cast<std::uint64_t>(hi.cells));
+    report.set("system_gflops_min", lo.system_gflops());
+    report.set("system_gflops_max", hi.system_gflops());
+    report.set("queue_capacity_words",
+               static_cast<std::uint64_t>(lo.queueCapacityWords));
+    report.set("tnet_mbytes_per_s", 1.0 / lo.tnet.perByteUs);
+    report.set("bnet_mbytes_per_s", 1.0 / lo.bnet.perByteUs);
+    report.set("put_issue_us", lo.timings.enqueueUs);
+    return report.write() ? 0 : 1;
 }

@@ -8,6 +8,7 @@
  * sets; speedup = T(AP1000) / T(model).
  */
 
+#include <cctype>
 #include <cstdio>
 
 #include "apps/app.hh"
@@ -15,14 +16,36 @@
 #include "base/table.hh"
 #include "mlsim/params.hh"
 #include "mlsim/replay.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::apps;
 using namespace ap::mlsim;
 
-int
-main()
+namespace
 {
+
+/** App names ("TC no st") as JSON path segments. */
+std::string
+key(std::string s)
+{
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::BenchReport report("table2_speedup");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     std::printf("Table 2: performance simulation relative to the "
                 "AP1000 (ours / paper)\n\n");
 
@@ -53,9 +76,20 @@ main()
                    strprintf("%.2f / %.2f", t_base / t_fast,
                              app->paper_speedup_fast()),
                    strprintf("%.3f", t_base / 1e6)});
+
+        std::string k = key(app->info().name);
+        report.set(k + ".cells",
+                   static_cast<std::uint64_t>(app->info().cells));
+        report.set(k + ".speedup_plus", t_base / t_plus);
+        report.set(k + ".speedup_fast", t_base / t_fast);
+        report.set(k + ".paper_speedup_plus",
+                   app->paper_speedup_plus());
+        report.set(k + ".paper_speedup_fast",
+                   app->paper_speedup_fast());
+        report.set(k + ".t_ap1000_us", t_base);
     }
     t.print();
     std::printf("\nAP1000* = AP1000 with the SPARC replaced by a "
                 "SuperSPARC, message handling in software.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -7,11 +7,13 @@
  * apps::measure_stats() and printed next to the paper's row.
  */
 
+#include <cctype>
 #include <cstdio>
 
 #include "apps/app.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "obs/cli.hh"
 
 using namespace ap;
 using namespace ap::apps;
@@ -25,11 +27,27 @@ pair_cell(double ours, double paper)
     return strprintf("%.1f / %.1f", ours, paper);
 }
 
+/** App names ("TC no st") as JSON path segments. */
+std::string
+key(std::string s)
+{
+    for (char &c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    return s;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    obs::BenchReport report("table3_appstats");
+    for (int i = 1; i < argc; ++i)
+        if (!report.consume_arg(argv[i]))
+            fatal("unknown argument '%s' (only --json-out[=FILE])",
+                  argv[i]);
+
     std::printf("Table 3: application statistics "
                 "(ours / paper, per PE)\n\n");
 
@@ -48,10 +66,22 @@ main()
                    pair_cell(m.puts, p.puts), pair_cell(m.get, p.get),
                    pair_cell(m.gets, p.gets),
                    pair_cell(m.msgSize, p.msgSize)});
+
+        std::string k = key(app->info().name);
+        report.set(k + ".pe", static_cast<std::uint64_t>(m.pe));
+        report.set(k + ".send", m.send);
+        report.set(k + ".gop", m.gop);
+        report.set(k + ".vgop", m.vgop);
+        report.set(k + ".sync", m.sync);
+        report.set(k + ".put", m.put);
+        report.set(k + ".puts", m.puts);
+        report.set(k + ".get", m.get);
+        report.set(k + ".gets", m.gets);
+        report.set(k + ".msg_size", m.msgSize);
     }
     t.print();
     std::printf("\nSEND includes the (P-1)/P per-cell chain sends of "
                 "each vector reduction;\nmessage size averages "
                 "PUT/GET payloads without acknowledge probes.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * ap_run: the observability demo driver.
+ *
+ * Runs one SPMD program that touches every communication primitive of
+ * the PUT/GET interface — PUT with flags, GET, stride PUT,
+ * acknowledged PUT, SEND/RECEIVE, B-net broadcast, DSM remote
+ * access, barrier and reductions — and then emits the machine's
+ * telemetry: the text report, the stats-registry JSON
+ * (`--stats-out=FILE`), and the Chrome trace_event timeline
+ * (`--trace-out=FILE`, open in chrome://tracing or Perfetto).
+ * `--faults=<plan>` replays the same program under an injected fault
+ * plan so the timeline shows spills, flushes and dropped messages.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "base/logging.hh"
+#include "core/ap1000p.hh"
+#include "obs/cli.hh"
+#include "sim/fault.hh"
+
+using namespace ap;
+using namespace ap::core;
+
+namespace
+{
+
+sim::FaultPlan
+plan_by_name(const std::string &name, std::uint64_t seed)
+{
+    if (name == "none")
+        return sim::FaultPlan{};
+    if (name == "drops")
+        return sim::FaultPlan::drops(seed);
+    if (name == "duplicates")
+        return sim::FaultPlan::duplicates(seed);
+    if (name == "reorders")
+        return sim::FaultPlan::reorders(seed);
+    if (name == "overflows")
+        return sim::FaultPlan::overflows(seed);
+    if (name == "pagefaults")
+        return sim::FaultPlan::pageFaults(seed);
+    if (name == "jitter")
+        return sim::FaultPlan::jitter(seed);
+    if (name == "chaos")
+        return sim::FaultPlan::chaos(seed);
+    fatal("unknown fault plan '%s' (try none, drops, duplicates, "
+          "reorders, overflows, pagefaults, jitter, chaos)",
+          name.c_str());
+}
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --cells=N          machine size (default 16)\n"
+        "  --faults=PLAN      none|drops|duplicates|reorders|\n"
+        "                     overflows|pagefaults|jitter|chaos\n"
+        "  --seed=N           fault-plan seed (default 1)\n"
+        "  --stats-out=FILE   write the stats registry as JSON\n"
+        "  --stats-text       print the flat stats table to stdout\n"
+        "  --trace-out=FILE   write a Chrome trace_event timeline\n"
+        "  --debug-flags=A,B  narrate categories to stderr "
+        "(MSC,DMA,TNet,Fault,...)\n",
+        prog);
+}
+
+/** The demo body: every primitive once, deterministic result. */
+void
+demo_body(Context &ctx)
+{
+    int p = ctx.nprocs();
+    CellId right = (ctx.id() + 1) % p;
+    CellId left = (ctx.id() - 1 + p) % p;
+
+    Addr buf = ctx.alloc(256);
+    Addr landing = ctx.alloc(256);
+    Addr flag = ctx.alloc_flag();
+
+    for (int i = 0; i < 32; ++i)
+        ctx.poke_f64(buf + static_cast<Addr>(i) * 8,
+                     ctx.id() * 100.0 + i);
+
+    // 1. PUT with a receive flag, ring pattern.
+    ctx.put(right, landing, buf, 64, no_flag, flag);
+    ctx.wait_flag(flag, 1);
+    ctx.barrier();
+
+    // 2. GET from the left neighbour.
+    Addr done = ctx.alloc_flag();
+    ctx.get(left, buf, landing + 64, 64, no_flag, done);
+    ctx.wait_flag(done, 1);
+    ctx.barrier();
+
+    // 3. stride PUT (every other doubleword).
+    net::StrideSpec spec{8, 8, 8};
+    ctx.put_stride(right, landing + 128, buf, /*ack=*/false, no_flag,
+                   flag, spec, spec);
+    ctx.wait_flag(flag, 2);
+    ctx.barrier();
+
+    // 4. acknowledged PUT (Ack & Barrier completion).
+    ctx.put(right, landing, buf, 32, no_flag, no_flag, /*ack=*/true);
+    ctx.wait_all_acks();
+    ctx.barrier();
+
+    // 5. SEND/RECEIVE through the ring buffer.
+    ctx.send(right, /*tag=*/7, buf, 48);
+    ctx.recv(left, /*tag=*/7, landing, 48);
+    ctx.barrier();
+
+    // 6. B-net broadcast from cell 0.
+    Addr bcast = ctx.alloc(64);
+    Addr bflag = ctx.alloc_flag();
+    if (ctx.id() == 0)
+        for (int i = 0; i < 8; ++i)
+            ctx.poke_f64(bcast + static_cast<Addr>(i) * 8, 42.0 + i);
+    ctx.broadcast(0, bcast, 64, bflag);
+    if (ctx.id() != 0)
+        ctx.wait_flag(bflag, 1);
+    ctx.barrier();
+
+    // 7. DSM-style blocking remote access.
+    ctx.write_remote(right, landing + 192, buf, 16);
+    ctx.read_remote(left, buf, landing + 208, 16);
+    ctx.barrier();
+
+    // 8. reductions: scalar over commregs, vector over ring buffers.
+    double sum = ctx.allreduce(static_cast<double>(ctx.id()),
+                               ReduceOp::sum);
+    Addr vec = ctx.alloc(4 * 8);
+    for (int i = 0; i < 4; ++i)
+        ctx.poke_f64(vec + static_cast<Addr>(i) * 8,
+                     static_cast<double>(ctx.id() + i));
+    ctx.allreduce_vector(vec, 4, ReduceOp::max);
+    ctx.barrier();
+
+    if (ctx.id() == 0)
+        std::printf("[cell 0] allreduce(sum of ids) = %.0f "
+                    "(expect %d), vector max[0] = %.0f\n",
+                    sum, p * (p - 1) / 2, ctx.peek_f64(vec));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int cells = 16;
+    std::string faults = "none";
+    std::uint64_t seed = 1;
+    bool statsText = false;
+    obs::ObsOptions obsOpts;
+
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (obs::consume_obs_arg(a, obsOpts))
+            continue;
+        if (std::strncmp(a, "--cells=", 8) == 0) {
+            cells = std::atoi(a + 8);
+        } else if (std::strncmp(a, "--faults=", 9) == 0) {
+            faults = a + 9;
+        } else if (std::strncmp(a, "--seed=", 7) == 0) {
+            seed = std::strtoull(a + 7, nullptr, 10);
+        } else if (std::strcmp(a, "--stats-text") == 0) {
+            statsText = true;
+        } else if (std::strcmp(a, "--help") == 0) {
+            usage(argv[0]);
+            return 0;
+        } else {
+            usage(argv[0]);
+            fatal("unknown argument '%s'", a);
+        }
+    }
+    if (cells < 2)
+        fatal("need at least 2 cells, got %d", cells);
+
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(cells);
+    cfg.memBytesPerCell = 1 << 20;
+    cfg.faults = plan_by_name(faults, seed);
+    hw::Machine machine(cfg);
+    if (!obsOpts.traceOut.empty())
+        machine.enable_tracing();
+
+    SpmdResult result = run_spmd(machine, demo_body);
+
+    std::printf("%s", machine.report().c_str());
+    if (result.deadlock)
+        std::printf("DEADLOCK: %zu cells stuck\n",
+                    result.stuck.size());
+    for (const std::string &e : result.errors)
+        std::printf("comm error: %s\n", e.c_str());
+
+    if (statsText)
+        std::printf("%s", machine.stats_text().c_str());
+    if (!obsOpts.statsOut.empty()) {
+        if (!machine.dump_stats(obsOpts.statsOut))
+            fatal("cannot write stats to %s",
+                  obsOpts.statsOut.c_str());
+        std::printf("stats JSON written to %s\n",
+                    obsOpts.statsOut.c_str());
+    }
+    if (!obsOpts.traceOut.empty()) {
+        if (!machine.write_trace(obsOpts.traceOut))
+            fatal("cannot write trace to %s",
+                  obsOpts.traceOut.c_str());
+        std::printf("Chrome trace written to %s (open in "
+                    "chrome://tracing or ui.perfetto.dev)\n",
+                    obsOpts.traceOut.c_str());
+    }
+    return result.failed() ? 1 : 0;
+}

@@ -44,6 +44,32 @@ group_hash(const Group &g)
 constexpr std::int32_t group_tag_bit = 0x40000000;
 constexpr std::int32_t vgop_tag_bit = 0x50000000;
 
+/**
+ * Scope guard emitting one collective-phase span on the cell's track,
+ * covering the guarded scope even across early returns.
+ */
+class SpanGuard
+{
+  public:
+    SpanGuard(hw::Machine &m, int track, const char *name)
+        : machine(m), track(track), name(name),
+          begin(m.sim().now())
+    {
+    }
+
+    ~SpanGuard()
+    {
+        if (auto *tr = machine.tracer())
+            tr->span(track, "collective", name, begin);
+    }
+
+  private:
+    hw::Machine &machine;
+    int track;
+    const char *name;
+    Tick begin;
+};
+
 /** Serialize a double into 8 bytes. */
 std::array<std::uint8_t, 8>
 pack_f64(double v)
@@ -115,6 +141,7 @@ Context::barrier()
     ev.op = TraceOp::barrier;
     trace(ev);
     ++ctxStats.barriers;
+    SpanGuard span(machine, cellId, "barrier");
 
     proc.delay(us_to_ticks(machine.config().timings.barrierIssueUs));
 
@@ -138,6 +165,7 @@ Context::allreduce(double value, ReduceOp op)
     ev.bytes = 8;
     trace(ev);
     ++ctxStats.gops;
+    SpanGuard span(machine, cellId, "allreduce");
 
     int p = nprocs();
     if (p == 1)
@@ -289,6 +317,7 @@ Context::barrier_group(const Group &group)
     ev.sendFlagAddr = group_hash(group);
     trace(ev);
     ++ctxStats.barriers;
+    SpanGuard span(machine, cellId, "barrier_group");
 
     group_reduce(group, 0.0, ReduceOp::sum);
 }
@@ -303,6 +332,7 @@ Context::allreduce_group(const Group &group, double value, ReduceOp op)
     ev.sendFlagAddr = group_hash(group);
     trace(ev);
     ++ctxStats.gops;
+    SpanGuard span(machine, cellId, "allreduce_group");
 
     return group_reduce(group, value, op);
 }
@@ -317,6 +347,7 @@ Context::allreduce_vector(Addr vec, std::uint32_t count, ReduceOp op)
     ev.bytes = static_cast<std::uint64_t>(count) * 8;
     trace(ev);
     ++ctxStats.vgops;
+    SpanGuard span(machine, cellId, "allreduce_vector");
 
     int p = nprocs();
     if (p <= 1 || count == 0)

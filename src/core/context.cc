@@ -527,8 +527,16 @@ Context::wait_flag(Addr flag_addr, std::uint32_t target)
     trace(ev);
 
     proc.delay(us_to_ticks(machine.config().timings.flagCheckUs));
-    while (flag(flag_addr) < target)
+    Tick begin = machine.sim().now();
+    bool waited = false;
+    while (flag(flag_addr) < target) {
+        waited = true;
         proc.wait(cell().mc().flag_cond());
+    }
+    if (waited) {
+        if (auto *tr = machine.tracer())
+            tr->span(cellId, "wait", "wait_flag", begin);
+    }
 }
 
 void
@@ -543,9 +551,17 @@ Context::wait_all_acks()
     trace(ev);
 
     proc.delay(us_to_ticks(machine.config().timings.flagCheckUs));
+    Tick begin = machine.sim().now();
+    bool waited = false;
     std::uint64_t target = ackBase + acksOutstanding;
-    while (cell().msc().ack_count() < target)
+    while (cell().msc().ack_count() < target) {
+        waited = true;
         proc.wait(cell().msc().ack_cond());
+    }
+    if (waited) {
+        if (auto *tr = machine.tracer())
+            tr->span(cellId, "wait", "wait_acks", begin);
+    }
 }
 
 bool

@@ -49,6 +49,7 @@ struct Command
     std::int32_t tag = 0;       ///< SEND message tag
     std::uint64_t token = 0;    ///< remote-load matching token
     bool isAckProbe = false;    ///< GET to address 0 (PUT ack trick)
+    Tick issuedAt = 0;          ///< enqueue time (latency telemetry)
     /** Inline data for remote stores (processor-supplied word). */
     std::vector<std::uint8_t> inlineData;
 

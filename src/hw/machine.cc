@@ -1,6 +1,9 @@
 #include "hw/machine.hh"
 
+#include <cstdlib>
+
 #include "base/logging.hh"
+#include "obs/json.hh"
 
 namespace ap::hw
 {
@@ -35,6 +38,174 @@ Machine::Machine(MachineConfig config)
             c->msc().deliver(std::move(msg));
         });
     }
+    register_stats();
+}
+
+void
+Machine::register_stats()
+{
+    // Machine-wide paths: networks, barriers, fault injector.
+    const net::TnetStats &t = tnetNet.stats();
+    statsReg.add_counter("tnet.messages", &t.messages);
+    statsReg.add_counter("tnet.payload_bytes", &t.payloadBytes);
+    statsReg.add_counter("tnet.wire_bytes", &t.wireBytes);
+    statsReg.add_counter("tnet.dropped", &t.dropped);
+    statsReg.add_counter("tnet.duplicated", &t.duplicated);
+    statsReg.add_counter("tnet.reordered", &t.reordered);
+    statsReg.add_histogram("tnet.distance", &t.distance);
+    statsReg.add_histogram("tnet.message_size", &t.messageSize);
+    statsReg.add_histogram("tnet.latency_us", &t.latencyUs);
+
+    const net::BnetStats &b = bnetNet.stats();
+    statsReg.add_counter("bnet.broadcasts", &b.broadcasts);
+    statsReg.add_counter("bnet.payload_bytes", &b.payloadBytes);
+    statsReg.add_counter("bnet.wire_bytes", &b.wireBytes);
+    statsReg.add_histogram("bnet.occupancy_us", &b.occupancyUs);
+
+    statsReg.add_gauge("snet.episodes",
+                       [this]() { return snetNet.total_episodes(); });
+
+    const sim::FaultStats &f = faultInj.stats();
+    statsReg.add_counter("faults.drops", &f.drops);
+    statsReg.add_counter("faults.duplicates", &f.duplicates);
+    statsReg.add_counter("faults.reorders", &f.reorders);
+    statsReg.add_counter("faults.forced_spills", &f.forcedSpills);
+    statsReg.add_counter("faults.injected_page_faults",
+                         &f.injectedPageFaults);
+    statsReg.add_counter("faults.jittered_events", &f.jitteredEvents);
+    statsReg.add_gauge("faults.jitter_ticks", &f.jitterTicks);
+
+    // Per-cell subtrees.
+    for (auto &cp : cells) {
+        Cell *c = cp.get();
+        std::string p = strprintf("cell%d.", c->id());
+
+        const MscStats &m = c->msc().stats();
+        statsReg.add_counter(p + "msc.puts_sent", &m.putsSent);
+        statsReg.add_counter(p + "msc.gets_sent", &m.getsSent);
+        statsReg.add_counter(p + "msc.sends_sent", &m.sendsSent);
+        statsReg.add_counter(p + "msc.get_replies_sent",
+                             &m.getRepliesSent);
+        statsReg.add_counter(p + "msc.puts_received",
+                             &m.putsReceived);
+        statsReg.add_counter(p + "msc.sends_received",
+                             &m.sendsReceived);
+        statsReg.add_counter(p + "msc.get_requests_received",
+                             &m.getRequestsReceived);
+        statsReg.add_counter(p + "msc.get_replies_received",
+                             &m.getRepliesReceived);
+        statsReg.add_counter(p + "msc.remote_stores",
+                             &m.remoteStores);
+        statsReg.add_counter(p + "msc.remote_loads", &m.remoteLoads);
+        statsReg.add_counter(p + "msc.acks_received",
+                             &m.acksReceived);
+        statsReg.add_counter(p + "msc.payload_bytes_sent",
+                             &m.payloadBytesSent);
+        statsReg.add_counter(p + "msc.payload_bytes_received",
+                             &m.payloadBytesReceived);
+        statsReg.add_counter(p + "msc.local_faults", &m.localFaults);
+        statsReg.add_counter(p + "msc.remote_faults",
+                             &m.remoteFaults);
+        statsReg.add_counter(p + "msc.flushed_messages",
+                             &m.flushedMessages);
+        statsReg.add_histogram(p + "msc.cmd_latency_us",
+                               &m.cmdLatencyUs);
+        statsReg.add_gauge(p + "msc.messages_sent", [ms = &m]() {
+            return ms->putsSent + ms->getsSent + ms->sendsSent;
+        });
+
+        auto add_queue = [&](const char *name,
+                             const CommandQueue &q) {
+            const QueueStats &qs = q.stats();
+            std::string qp = p + "msc." + name + ".";
+            statsReg.add_counter(qp + "pushes", &qs.pushes);
+            statsReg.add_counter(qp + "pops", &qs.pops);
+            statsReg.add_counter(qp + "spills", &qs.spills);
+            statsReg.add_counter(qp + "refill_interrupts",
+                                 &qs.refillInterrupts);
+            statsReg.add_gauge(qp + "max_hw_depth", &qs.maxHwDepth);
+            statsReg.add_gauge(qp + "max_spill_depth",
+                               &qs.maxSpillDepth);
+        };
+        add_queue("user_queue", c->msc().user_queue());
+        add_queue("system_queue", c->msc().system_queue());
+        add_queue("remote_queue", c->msc().remote_queue());
+        add_queue("get_reply_queue", c->msc().get_reply_queue());
+        add_queue("load_reply_queue", c->msc().load_reply_queue());
+
+        const McStats &mc = c->mc().stats();
+        statsReg.add_counter(p + "mc.flag_increments",
+                             &mc.flagIncrements);
+        statsReg.add_counter(p + "mc.flag_faults", &mc.flagFaults);
+        statsReg.add_counter(p + "mc.loads", &mc.loads);
+        statsReg.add_counter(p + "mc.stores", &mc.stores);
+        statsReg.add_counter(p + "mc.access_faults",
+                             &mc.accessFaults);
+
+        const CommRegStats &cr = c->mc().regs().stats();
+        statsReg.add_counter(p + "commreg.stores", &cr.stores);
+        statsReg.add_counter(p + "commreg.loads", &cr.loads);
+        statsReg.add_counter(p + "commreg.stalled_loads",
+                             &cr.stalledLoads);
+
+        const TlbStats &tlb = c->mc().mmu().stats();
+        statsReg.add_counter(p + "mmu.tlb_hits", &tlb.hits);
+        statsReg.add_counter(p + "mmu.tlb_misses", &tlb.misses);
+        statsReg.add_counter(p + "mmu.page_faults", &tlb.faults);
+
+        const RingBufferStats &rb = c->ring().stats();
+        statsReg.add_counter(p + "ring.deposits", &rb.deposits);
+        statsReg.add_counter(p + "ring.receives", &rb.receives);
+        statsReg.add_counter(p + "ring.copies", &rb.copies);
+        statsReg.add_counter(p + "ring.in_place_reads",
+                             &rb.inPlaceReads);
+        statsReg.add_counter(p + "ring.grow_interrupts",
+                             &rb.growInterrupts);
+        statsReg.add_gauge(p + "ring.max_depth", &rb.maxDepth);
+        statsReg.add_gauge(p + "ring.max_bytes", &rb.maxBytes);
+    }
+}
+
+std::string
+Machine::stats_json(bool pretty) const
+{
+    return statsReg.dump_json(pretty);
+}
+
+std::string
+Machine::stats_text() const
+{
+    return statsReg.dump_text();
+}
+
+bool
+Machine::dump_stats(const std::string &path) const
+{
+    return obs::write_file(path, stats_json(true));
+}
+
+void
+Machine::enable_tracing(std::size_t capacity)
+{
+    if (tracerPtr)
+        return;
+    tracerPtr = std::make_unique<obs::Tracer>(simulator, capacity);
+    tnetNet.set_tracer(tracerPtr.get());
+    bnetNet.set_tracer(tracerPtr.get());
+    for (auto &c : cells) {
+        int track = c->id();
+        c->msc().set_tracer(tracerPtr.get(), track);
+        c->mc().set_tracer(tracerPtr.get(), track);
+        c->ring().set_tracer(tracerPtr.get(), track);
+    }
+}
+
+bool
+Machine::write_trace(const std::string &path) const
+{
+    if (!tracerPtr)
+        return false;
+    return tracerPtr->write_chrome_json(path);
 }
 
 Cell &
@@ -65,7 +236,18 @@ Machine::set_fault_hook(FaultHook hook)
 std::string
 Machine::report() const
 {
-    const net::TnetStats &t = tnetNet.stats();
+    // Everything below comes from registry walks: sum("*...") folds a
+    // counter over every cell, max_over finds the busiest cell, and
+    // histogram means read the registered histogram entries.
+    const obs::StatsRegistry &r = statsReg;
+    auto llu = [](std::uint64_t v) {
+        return static_cast<unsigned long long>(v);
+    };
+    auto hist_mean = [&r](const char *path) {
+        const obs::StatEntry *e = r.find(path);
+        return e && e->hist ? e->hist->scalar().mean() : 0.0;
+    };
+
     std::string out;
     out += strprintf("=== machine report: %d cells (%dx%d torus), "
                      "t = %.1f us ===\n",
@@ -74,90 +256,52 @@ Machine::report() const
                      ticks_to_us(simulator.now()));
     out += strprintf("T-net: %llu messages, %llu payload bytes, "
                      "mean size %.1f B, mean distance %.2f hops\n",
-                     static_cast<unsigned long long>(t.messages),
-                     static_cast<unsigned long long>(t.payloadBytes),
-                     t.messageSize.scalar().mean(),
-                     t.distance.scalar().mean());
+                     llu(r.value("tnet.messages")),
+                     llu(r.value("tnet.payload_bytes")),
+                     hist_mean("tnet.message_size"),
+                     hist_mean("tnet.distance"));
     out += strprintf("B-net: %llu broadcasts\n",
-                     static_cast<unsigned long long>(
-                         bnetNet.count()));
-
-    MscStats msc{};
-    McStats mc{};
-    TlbStats tlb{};
-    RingBufferStats ring{};
-    QueueStats q{};
-    std::uint64_t busiest_sent = 0;
-    CellId busiest = 0;
-    for (const auto &c : cells) {
-        const MscStats &s = c->msc().stats();
-        msc.putsSent += s.putsSent;
-        msc.getsSent += s.getsSent;
-        msc.sendsSent += s.sendsSent;
-        msc.acksReceived += s.acksReceived;
-        msc.remoteStores += s.remoteStores;
-        msc.remoteLoads += s.remoteLoads;
-        msc.localFaults += s.localFaults;
-        msc.remoteFaults += s.remoteFaults;
-        std::uint64_t sent = s.putsSent + s.getsSent + s.sendsSent;
-        if (sent > busiest_sent) {
-            busiest_sent = sent;
-            busiest = c->id();
-        }
-        const McStats &m2 = c->mc().stats();
-        mc.flagIncrements += m2.flagIncrements;
-        tlb.hits += c->mc().mmu().stats().hits;
-        tlb.misses += c->mc().mmu().stats().misses;
-        tlb.faults += c->mc().mmu().stats().faults;
-        const RingBufferStats &r = c->ring().stats();
-        ring.deposits += r.deposits;
-        ring.copies += r.copies;
-        ring.inPlaceReads += r.inPlaceReads;
-        ring.growInterrupts += r.growInterrupts;
-        const QueueStats &uq = c->msc().user_queue().stats();
-        q.pushes += uq.pushes;
-        q.spills += uq.spills;
-        q.refillInterrupts += uq.refillInterrupts;
-    }
+                     llu(r.value("bnet.broadcasts")));
     out += strprintf("MSC+: %llu PUTs, %llu GETs, %llu SENDs, "
                      "%llu acks, %llu rstores, %llu rloads, "
                      "faults %llu/%llu (local/remote)\n",
-                     static_cast<unsigned long long>(msc.putsSent),
-                     static_cast<unsigned long long>(msc.getsSent),
-                     static_cast<unsigned long long>(msc.sendsSent),
-                     static_cast<unsigned long long>(
-                         msc.acksReceived),
-                     static_cast<unsigned long long>(
-                         msc.remoteStores),
-                     static_cast<unsigned long long>(
-                         msc.remoteLoads),
-                     static_cast<unsigned long long>(msc.localFaults),
-                     static_cast<unsigned long long>(
-                         msc.remoteFaults));
+                     llu(r.sum("*.msc.puts_sent")),
+                     llu(r.sum("*.msc.gets_sent")),
+                     llu(r.sum("*.msc.sends_sent")),
+                     llu(r.sum("*.msc.acks_received")),
+                     llu(r.sum("*.msc.remote_stores")),
+                     llu(r.sum("*.msc.remote_loads")),
+                     llu(r.sum("*.msc.local_faults")),
+                     llu(r.sum("*.msc.remote_faults")));
     out += strprintf("user queues: %llu commands, %llu spills, "
                      "%llu refill interrupts\n",
-                     static_cast<unsigned long long>(q.pushes),
-                     static_cast<unsigned long long>(q.spills),
-                     static_cast<unsigned long long>(
-                         q.refillInterrupts));
+                     llu(r.sum("*.msc.user_queue.pushes")),
+                     llu(r.sum("*.msc.user_queue.spills")),
+                     llu(r.sum(
+                         "*.msc.user_queue.refill_interrupts")));
     out += strprintf("MC: %llu flag increments; TLB %llu hits / "
                      "%llu misses / %llu faults\n",
-                     static_cast<unsigned long long>(
-                         mc.flagIncrements),
-                     static_cast<unsigned long long>(tlb.hits),
-                     static_cast<unsigned long long>(tlb.misses),
-                     static_cast<unsigned long long>(tlb.faults));
+                     llu(r.sum("*.mc.flag_increments")),
+                     llu(r.sum("*.mmu.tlb_hits")),
+                     llu(r.sum("*.mmu.tlb_misses")),
+                     llu(r.sum("*.mmu.page_faults")));
     out += strprintf("ring buffers: %llu deposits, %llu copies, "
                      "%llu in-place reads, %llu grow interrupts\n",
-                     static_cast<unsigned long long>(ring.deposits),
-                     static_cast<unsigned long long>(ring.copies),
-                     static_cast<unsigned long long>(
-                         ring.inPlaceReads),
-                     static_cast<unsigned long long>(
-                         ring.growInterrupts));
+                     llu(r.sum("*.ring.deposits")),
+                     llu(r.sum("*.ring.copies")),
+                     llu(r.sum("*.ring.in_place_reads")),
+                     llu(r.sum("*.ring.grow_interrupts")));
+
+    std::string who;
+    std::uint64_t busiest_sent =
+        r.max_over("*.msc.messages_sent", &who);
+    // Winning path is "cell<N>.msc.messages_sent".
+    CellId busiest = who.size() > 4
+                         ? static_cast<CellId>(
+                               std::atoi(who.c_str() + 4))
+                         : 0;
     out += strprintf("busiest sender: cell %d (%llu messages)\n",
-                     busiest,
-                     static_cast<unsigned long long>(busiest_sent));
+                     busiest, llu(busiest_sent));
     return out;
 }
 

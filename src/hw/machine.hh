@@ -18,6 +18,8 @@
 #include "net/snet.hh"
 #include "net/tnet.hh"
 #include "net/topology.hh"
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 
@@ -63,11 +65,53 @@ class Machine
     /**
      * Render a machine-wide statistics report: network traffic,
      * aggregated MSC+/MC/TLB/ring-buffer counters, and the busiest
-     * cells — the post-run dashboard.
+     * cells — the post-run dashboard. Built entirely from registry
+     * walks.
      */
     std::string report() const;
 
+    // -- telemetry -----------------------------------------------------
+
+    /**
+     * Every component counter/gauge/histogram under hierarchical
+     * dotted paths ("cell3.msc.user_queue.spills", "tnet.messages").
+     * Populated at construction.
+     */
+    obs::StatsRegistry &stats_registry() { return statsReg; }
+    const obs::StatsRegistry &stats_registry() const { return statsReg; }
+
+    /** Registry rendered as nested JSON. */
+    std::string stats_json(bool pretty = true) const;
+
+    /** Registry rendered as a flat text table. */
+    std::string stats_text() const;
+
+    /**
+     * Write stats_json() to @p path. @return false on I/O error.
+     */
+    bool dump_stats(const std::string &path) const;
+
+    /**
+     * Turn on the cycle-timeline tracer and wire it into every
+     * component (networks, MSC+s, MCs, ring buffers). Idempotent;
+     * @p capacity bounds the ring buffer on first call.
+     */
+    void enable_tracing(
+        std::size_t capacity = obs::Tracer::default_capacity);
+
+    /** The tracer, or nullptr while tracing is off. */
+    obs::Tracer *tracer() { return tracerPtr.get(); }
+    const obs::Tracer *tracer() const { return tracerPtr.get(); }
+
+    /**
+     * Write the tracer's Chrome trace_event JSON to @p path.
+     * @return false when tracing is off or on I/O error.
+     */
+    bool write_trace(const std::string &path) const;
+
   private:
+    void register_stats();
+
     MachineConfig cfg;
     sim::FaultInjector faultInj;
     sim::Simulator simulator;
@@ -76,6 +120,8 @@ class Machine
     net::Snet snetNet;
     DsmMap dsmMap;
     std::vector<std::unique_ptr<Cell>> cells;
+    obs::StatsRegistry statsReg;
+    std::unique_ptr<obs::Tracer> tracerPtr;
 };
 
 } // namespace ap::hw

@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "hw/cell.hh"
 #include "hw/dma.hh"
+#include "obs/debug.hh"
 
 namespace ap::hw
 {
@@ -24,15 +25,52 @@ Msc::Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
 bool
 Msc::injected_fault()
 {
-    return faults && faults->active() && faults->inject_page_fault();
+    bool hit = faults && faults->active() &&
+               faults->inject_page_fault();
+    if (hit) {
+        if (tracer)
+            tracer->instant(traceTrack, "fault", "injected_page_fault");
+        AP_DPRINTF(Fault, "cell %d: injected page fault", cell.id());
+    }
+    return hit;
+}
+
+const char *
+Msc::queue_name(const CommandQueue &q) const
+{
+    if (&q == &userQ)
+        return "user_queue";
+    if (&q == &systemQ)
+        return "system_queue";
+    if (&q == &remoteQ)
+        return "remote_queue";
+    if (&q == &getReplyQ)
+        return "get_reply_queue";
+    if (&q == &loadReplyQ)
+        return "load_reply_queue";
+    return "?";
 }
 
 void
 Msc::enqueue(CommandQueue &q, Command cmd)
 {
+    cmd.issuedAt = sim.now();
     bool force = faults && faults->active() &&
                  faults->force_overflow();
-    q.push(std::move(cmd), force);
+    if (force) {
+        if (tracer)
+            tracer->instant(traceTrack, "fault", "forced_spill");
+        AP_DPRINTF(Fault, "cell %d: forced spill on %s", cell.id(),
+                   queue_name(q));
+    }
+    bool spilled = q.push(std::move(cmd), force);
+    if (spilled) {
+        if (tracer)
+            tracer->instant(traceTrack, "queue",
+                            std::string("spill:") + queue_name(q));
+        AP_DPRINTF(Queue, "cell %d: %s spilled (depth %d)", cell.id(),
+                   queue_name(q), q.spill_depth());
+    }
     // A forced spill can land in an otherwise-empty queue; make sure
     // the refill interrupt is pending before kick() skips the queue
     // for having no hardware-resident commands.
@@ -115,8 +153,17 @@ Msc::maybe_refill(CommandQueue &q)
     q.set_refill_scheduled(true);
     sim.schedule_after(us_to_ticks(cfg.timings.interruptUs),
                        [this, &q]() {
-                           q.refill();
+                           int moved = q.refill();
                            q.set_refill_scheduled(false);
+                           if (tracer)
+                               tracer->instant(
+                                   traceTrack, "queue",
+                                   std::string("refill:") +
+                                       queue_name(q));
+                           AP_DPRINTF(Queue,
+                                      "cell %d: %s refilled %d "
+                                      "commands", cell.id(),
+                                      queue_name(q), moved);
                            kick();
                        });
 }
@@ -186,10 +233,14 @@ Msc::process(Command cmd)
     }
 
     // Stream the payload into the network, then finish.
+    Tick dmaStart = sim.now();
     Tick stream = us_to_ticks(cfg.timings.dmaPerByteUs *
                               static_cast<double>(payload.size()));
     sim.schedule_after(stream, [this, cmd = std::move(cmd),
-                                payload = std::move(payload)]() mutable {
+                                payload = std::move(payload),
+                                dmaStart]() mutable {
+        if (tracer && !payload.empty())
+            tracer->span(traceTrack, "dma", "dma_send", dmaStart);
         finish_send(std::move(cmd), std::move(payload));
     });
 }
@@ -258,7 +309,17 @@ Msc::finish_send(Command cmd, std::vector<std::uint8_t> payload)
         break;
     }
 
+    AP_DPRINTF(MSC, "cell %d: sent %s to cell %d (%llu bytes)",
+               cell.id(), to_string(cmd.kind), cmd.dst,
+               static_cast<unsigned long long>(msg.payload.size()));
     tnet.send(std::move(msg));
+
+    mscStats.cmdLatencyUs.sample(
+        static_cast<std::uint64_t>(ticks_to_us(
+            sim.now() - cmd.issuedAt)));
+    if (tracer)
+        tracer->span(traceTrack, "msc", to_string(cmd.kind),
+                     cmd.issuedAt);
 
     // Combined flag update: the send flag increments when the send
     // DMA completes (PUT/SEND at the origin; GET at the data owner,
@@ -283,6 +344,11 @@ void
 Msc::local_fault(Addr addr)
 {
     ++mscStats.localFaults;
+    if (tracer)
+        tracer->instant(traceTrack, "fault", "local_fault");
+    AP_DPRINTF(Fault, "cell %d: local fault at 0x%llx (command "
+               "dropped)", cell.id(),
+               static_cast<unsigned long long>(addr));
     if (faultHook)
         faultHook(cell.id(), addr, false);
     // The OS services the fault; the command is dropped.
@@ -301,6 +367,11 @@ Msc::remote_fault(Addr addr)
     // the remaining message from the network."
     ++mscStats.remoteFaults;
     ++mscStats.flushedMessages;
+    if (tracer)
+        tracer->instant(traceTrack, "fault", "remote_fault_flush");
+    AP_DPRINTF(Fault, "cell %d: remote fault at 0x%llx (message "
+               "flushed)", cell.id(),
+               static_cast<unsigned long long>(addr));
     if (faultHook)
         faultHook(cell.id(), addr, true);
     recvBusyUntil =
@@ -320,6 +391,11 @@ Msc::deliver(net::Message msg)
             static_cast<double>(msg.payload.size()));
     Tick finish = start + dma;
     recvBusyUntil = finish;
+    if (tracer && !msg.payload.empty())
+        tracer->span_at(traceTrack, "dma", "dma_recv", start, finish);
+    AP_DPRINTF(DMA, "cell %d: recv DMA of %s from cell %d (%llu "
+               "bytes)", cell.id(), net::to_string(msg.kind), msg.src,
+               static_cast<unsigned long long>(msg.payload.size()));
     sim.schedule(finish, [this, msg = std::move(msg)]() mutable {
         receive_body(std::move(msg));
     });
@@ -329,6 +405,8 @@ void
 Msc::receive_body(net::Message msg)
 {
     mscStats.payloadBytesReceived += msg.payload.size();
+    AP_DPRINTF(MSC, "cell %d: received %s from cell %d", cell.id(),
+               net::to_string(msg.kind), msg.src);
 
     switch (msg.kind) {
       case net::MsgKind::put_data: {

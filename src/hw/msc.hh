@@ -31,12 +31,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/stats.hh"
 #include "base/types.hh"
 #include "hw/command.hh"
 #include "hw/config.hh"
 #include "hw/queues.hh"
 #include "net/message.hh"
 #include "net/tnet.hh"
+#include "obs/tracer.hh"
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 #include "sim/process.hh"
@@ -65,6 +67,8 @@ struct MscStats
     std::uint64_t localFaults = 0;   ///< faults while gathering
     std::uint64_t remoteFaults = 0;  ///< faults while scattering
     std::uint64_t flushedMessages = 0;
+    /** Issue-to-network latency of sent commands, microseconds. */
+    Histogram cmdLatencyUs;
 };
 
 /**
@@ -151,9 +155,21 @@ class Msc
      */
     void set_fault_injector(sim::FaultInjector *inj) { faults = inj; }
 
+    /**
+     * Attach a cycle-timeline tracer (nullptr detaches). @p track is
+     * the timeline track events land on — the owning cell's id.
+     */
+    void
+    set_tracer(obs::Tracer *t, int track)
+    {
+        tracer = t;
+        traceTrack = track;
+    }
+
   private:
     void kick();
     void maybe_refill(CommandQueue &q);
+    const char *queue_name(const CommandQueue &q) const;
     CommandQueue *pick_queue();
     void enqueue(CommandQueue &q, Command cmd);
     bool injected_fault();
@@ -188,6 +204,8 @@ class Msc
     MscStats mscStats;
     FaultHook faultHook;
     sim::FaultInjector *faults = nullptr;
+    obs::Tracer *tracer = nullptr;
+    int traceTrack = 0;
 };
 
 } // namespace ap::hw

@@ -55,6 +55,8 @@ CommandQueue::push(Command cmd, bool force_spill)
         return true;
     }
     hw.push_back(std::move(cmd));
+    queueStats.maxHwDepth =
+        std::max<std::uint64_t>(queueStats.maxHwDepth, hw.size());
     return false;
 }
 
@@ -72,6 +74,8 @@ CommandQueue::refill()
         spill.pop_front();
         ++moved;
     }
+    queueStats.maxHwDepth =
+        std::max<std::uint64_t>(queueStats.maxHwDepth, hw.size());
     return moved;
 }
 

@@ -30,6 +30,7 @@ struct QueueStats
     std::uint64_t pops = 0;
     std::uint64_t spills = 0;          ///< commands written to DRAM
     std::uint64_t refillInterrupts = 0;///< OS reload episodes
+    std::uint64_t maxHwDepth = 0;      ///< high-water MSC+ RAM depth
     std::uint64_t maxSpillDepth = 0;   ///< worst DRAM backlog
 };
 

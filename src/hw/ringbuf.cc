@@ -1,8 +1,10 @@
 #include "hw/ringbuf.hh"
 
+#include <algorithm>
 #include <utility>
 
 #include "base/logging.hh"
+#include "obs/debug.hh"
 
 namespace ap::hw
 {
@@ -20,10 +22,21 @@ RingBuffer::deposit(SendRecord rec)
         // operating system, which then allocates a new buffer."
         capacityBytes *= 2;
         ++rbStats.growInterrupts;
+        if (tracer)
+            tracer->instant(traceTrack, "ring", "ring_grow");
+        AP_DPRINTF(Ring, "ring buffer grown to %zu bytes",
+                   capacityBytes);
     }
     usedBytes += rec.payload.size();
+    AP_DPRINTF(Ring, "deposit from cell %d tag %d (%zu bytes, depth "
+               "%zu)", rec.src, rec.tag, rec.payload.size(),
+               records.size() + 1);
     records.push_back(std::move(rec));
     ++rbStats.deposits;
+    rbStats.maxDepth =
+        std::max<std::uint64_t>(rbStats.maxDepth, records.size());
+    rbStats.maxBytes =
+        std::max<std::uint64_t>(rbStats.maxBytes, usedBytes);
     arrival.notify_all();
 }
 

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/tracer.hh"
 #include "sim/process.hh"
 
 namespace ap::hw
@@ -44,6 +45,8 @@ struct RingBufferStats
     std::uint64_t copies = 0;        ///< receive-side user copies
     std::uint64_t inPlaceReads = 0;  ///< copy-free consumptions
     std::uint64_t growInterrupts = 0;///< OS buffer reallocation
+    std::uint64_t maxDepth = 0;      ///< high-water buffered messages
+    std::uint64_t maxBytes = 0;      ///< high-water buffered bytes
 };
 
 /** Match-any wildcard for receive filters. */
@@ -94,6 +97,14 @@ class RingBuffer
 
     const RingBufferStats &stats() const { return rbStats; }
 
+    /** Attach a cycle-timeline tracer (nullptr detaches). */
+    void
+    set_tracer(obs::Tracer *t, int track)
+    {
+        tracer = t;
+        traceTrack = track;
+    }
+
   private:
     std::optional<std::size_t> find(CellId src, std::int32_t tag) const;
     SendRecord take(std::size_t index);
@@ -103,6 +114,8 @@ class RingBuffer
     std::deque<SendRecord> records;
     sim::Condition arrival;
     RingBufferStats rbStats;
+    obs::Tracer *tracer = nullptr;
+    int traceTrack = 0;
 };
 
 } // namespace ap::hw

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/logging.hh"
+#include "obs/debug.hh"
 
 namespace ap::net
 {
@@ -29,7 +30,17 @@ Bnet::broadcast(Message msg)
         prm.perByteUs * static_cast<double>(msg.wire_bytes()));
     Tick arrive = start + occupy;
     busyUntil = arrive;
-    ++numBroadcasts;
+    ++netStats.broadcasts;
+    netStats.payloadBytes += msg.payload.size();
+    netStats.wireBytes += msg.wire_bytes();
+    netStats.occupancyUs.sample(
+        static_cast<std::uint64_t>(ticks_to_us(occupy)));
+    if (tracer)
+        tracer->span_at(obs::machine_track, "bnet", "broadcast",
+                        start, arrive);
+    AP_DPRINTF(BNet, "broadcast from cell %d (%llu wire bytes)",
+               msg.src,
+               static_cast<unsigned long long>(msg.wire_bytes()));
 
     for (std::size_t id = 0; id < handlers.size(); ++id) {
         if (static_cast<CellId>(id) == msg.src || !handlers[id])

@@ -16,6 +16,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "net/message.hh"
+#include "obs/tracer.hh"
 #include "sim/eventq.hh"
 
 namespace ap::net
@@ -28,6 +29,16 @@ struct BnetParams
     double prologUs = 0.5;
     /** per-byte time; 50 MB/s -> 0.02 us/byte. */
     double perByteUs = 0.02;
+};
+
+/** Aggregate B-net statistics. */
+struct BnetStats
+{
+    std::uint64_t broadcasts = 0;
+    std::uint64_t payloadBytes = 0;
+    std::uint64_t wireBytes = 0;
+    /** Bus occupancy per broadcast, microseconds. */
+    Histogram occupancyUs;
 };
 
 /** The broadcast network. */
@@ -53,14 +64,20 @@ class Bnet
     Tick broadcast(Message msg);
 
     /** Number of broadcasts so far. */
-    std::uint64_t count() const { return numBroadcasts; }
+    std::uint64_t count() const { return netStats.broadcasts; }
+
+    const BnetStats &stats() const { return netStats; }
+
+    /** Attach a cycle-timeline tracer (nullptr detaches). */
+    void set_tracer(obs::Tracer *t) { tracer = t; }
 
   private:
     sim::Simulator &sim;
     BnetParams prm;
     std::vector<Deliver> handlers;
     Tick busyUntil = 0;
-    std::uint64_t numBroadcasts = 0;
+    BnetStats netStats;
+    obs::Tracer *tracer = nullptr;
 };
 
 } // namespace ap::net

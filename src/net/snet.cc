@@ -67,6 +67,15 @@ Snet::arrive(ContextId id, CellId cell, std::function<void()> on_release)
 }
 
 std::uint64_t
+Snet::total_episodes() const
+{
+    std::uint64_t n = 0;
+    for (const Context &ctx : contexts)
+        n += ctx.completed;
+    return n;
+}
+
+std::uint64_t
 Snet::episodes(ContextId id) const
 {
     if (id < 0 || static_cast<std::size_t>(id) >= contexts.size())

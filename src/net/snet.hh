@@ -59,6 +59,9 @@ class Snet
     /** Number of completed barrier episodes on @p ctx. */
     std::uint64_t episodes(ContextId ctx) const;
 
+    /** Completed barrier episodes across every context. */
+    std::uint64_t total_episodes() const;
+
   private:
     struct Context
     {

@@ -1,8 +1,10 @@
 #include "net/tnet.hh"
 
+#include <string>
 #include <utility>
 
 #include "base/logging.hh"
+#include "obs/debug.hh"
 
 namespace ap::net
 {
@@ -98,29 +100,58 @@ Tnet::send(Message msg)
     netStats.distance.sample(
         static_cast<std::uint64_t>(topo.distance(msg.src, msg.dst)));
     netStats.messageSize.sample(msg.payload.size());
+    netStats.latencyUs.sample(
+        static_cast<std::uint64_t>(ticks_to_us(arrive - inject)));
 
     auto &handler = handlers[static_cast<std::size_t>(msg.dst)];
     if (!handler)
         panic("no receive handler attached to cell %d", msg.dst);
 
+    AP_DPRINTF(TNet, "%s %d -> %d (%llu wire bytes, %.2f us)",
+               to_string(msg.kind), msg.src, msg.dst,
+               static_cast<unsigned long long>(msg.wire_bytes()),
+               ticks_to_us(arrive - inject));
+
     if (inject_faults) {
         if (faults->drop_message()) {
             // The wire was used (stats above) but nothing arrives.
             ++netStats.dropped;
+            if (tracer)
+                tracer->instant(obs::machine_track, "fault",
+                                std::string("drop:") +
+                                    to_string(msg.kind));
+            AP_DPRINTF(Fault, "dropped %s %d -> %d",
+                       to_string(msg.kind), msg.src, msg.dst);
             return arrive;
         }
         if (faults->duplicate_message()) {
             ++netStats.duplicated;
+            if (tracer)
+                tracer->instant(obs::machine_track, "fault",
+                                std::string("duplicate:") +
+                                    to_string(msg.kind));
+            AP_DPRINTF(Fault, "duplicated %s %d -> %d",
+                       to_string(msg.kind), msg.src, msg.dst);
             schedule_delivery(msg, arrive);
         }
         if (faults->reorder_message()) {
             // Held back past the FIFO clamp already recorded in
             // `last`: later same-pair traffic overtakes this message.
             ++netStats.reordered;
+            if (tracer)
+                tracer->instant(obs::machine_track, "fault",
+                                std::string("reorder:") +
+                                    to_string(msg.kind));
+            AP_DPRINTF(Fault, "reordered %s %d -> %d",
+                       to_string(msg.kind), msg.src, msg.dst);
             arrive += faults->reorder_delay();
         }
     }
 
+    if (tracer && msg.src != msg.dst)
+        tracer->span_at(static_cast<int>(msg.dst), "tnet",
+                        std::string("flight:") + to_string(msg.kind),
+                        inject, arrive);
     schedule_delivery(std::move(msg), arrive);
     return arrive;
 }

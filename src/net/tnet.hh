@@ -29,6 +29,7 @@
 #include "base/types.hh"
 #include "net/message.hh"
 #include "net/topology.hh"
+#include "obs/tracer.hh"
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 
@@ -61,6 +62,8 @@ struct TnetStats
     std::uint64_t reordered = 0;  ///< injected reorders
     Histogram distance;
     Histogram messageSize;
+    /** Injection-to-arrival flight time, microseconds. */
+    Histogram latencyUs;
 };
 
 /**
@@ -104,6 +107,13 @@ class Tnet
      */
     void set_fault_injector(sim::FaultInjector *inj) { faults = inj; }
 
+    /**
+     * Attach a cycle-timeline tracer (nullptr detaches). Message
+     * flight spans land on the destination cell's track; injected
+     * network faults land on the machine track.
+     */
+    void set_tracer(obs::Tracer *t) { tracer = t; }
+
   private:
     Tick contention_arrival(const Message &msg, Tick inject);
 
@@ -119,6 +129,7 @@ class Tnet
     /** per directed link (from * size + to) busy-until (contention). */
     std::unordered_map<std::uint64_t, Tick> linkBusy;
     TnetStats netStats;
+    obs::Tracer *tracer = nullptr;
 };
 
 } // namespace ap::net

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared telemetry command-line conventions.
+ *
+ * Every binary that drives the simulated machine — the app runner,
+ * the benches, the stress harness — accepts the same three flags:
+ *
+ *   --stats-out=FILE     write the stats-registry JSON dump
+ *   --trace-out=FILE     enable the tracer, write Chrome trace JSON
+ *   --debug-flags=A,B    turn on debug-log categories (obs/debug)
+ *
+ * consume_obs_arg() recognizes and applies them so each main() needs
+ * one line per argv entry. BenchReport is the bench half of the
+ * stats-dump satellite: benches accumulate named metrics while they
+ * print their human-readable tables and, when --json-out is given,
+ * write the same numbers as one `BENCH_<name>.json` object.
+ */
+
+#ifndef AP_OBS_CLI_HH
+#define AP_OBS_CLI_HH
+
+#include <cstdint>
+#include <string>
+
+#include "obs/json.hh"
+
+namespace ap::obs
+{
+
+/** Telemetry options shared by machine-driving binaries. */
+struct ObsOptions
+{
+    std::string statsOut; ///< --stats-out=FILE (empty = off)
+    std::string traceOut; ///< --trace-out=FILE (empty = off)
+
+    bool any() const { return !statsOut.empty() || !traceOut.empty(); }
+};
+
+/**
+ * If @p arg is one of the shared telemetry flags, apply it (including
+ * --debug-flags, which takes effect immediately) and return true;
+ * otherwise return false so the caller handles it. An unknown debug
+ * flag name is a fatal() user error.
+ */
+bool consume_obs_arg(const char *arg, ObsOptions &opt);
+
+/** One bench run's metrics, dumpable as BENCH_<name>.json. */
+class BenchReport
+{
+  public:
+    /** @param name bench name ("table2_speedup", ...). */
+    explicit BenchReport(std::string name);
+
+    /**
+     * If @p arg is `--json-out` or `--json-out=FILE`, remember the
+     * output path (default `BENCH_<name>.json`) and return true.
+     */
+    bool consume_arg(const char *arg);
+
+    /** @return true when --json-out was given. */
+    bool enabled() const { return jsonWanted; }
+
+    /** Record one numeric metric under a dotted path. */
+    void set(const std::string &path, double v);
+    void set(const std::string &path, std::uint64_t v);
+
+    /** Record one string metric under a dotted path. */
+    void set_string(const std::string &path, const std::string &v);
+
+    /**
+     * When --json-out was given, write the JSON object (bench name,
+     * every recorded metric) and inform() where it went. No-op
+     * otherwise. @return false on I/O failure.
+     */
+    bool write() const;
+
+    /** The output path that write() uses. */
+    const std::string &path() const { return outPath; }
+
+  private:
+    std::string benchName;
+    std::string outPath;
+    bool jsonWanted = false;
+    JsonTree tree;
+};
+
+} // namespace ap::obs
+
+#endif // AP_OBS_CLI_HH

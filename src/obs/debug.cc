@@ -1,0 +1,142 @@
+#include "obs/debug.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "base/logging.hh"
+#include "base/strings.hh"
+
+namespace ap::obs
+{
+
+/** The one global mask; read inline by debug_enabled(). */
+std::uint32_t debugMask = 0;
+
+std::uint32_t
+debug_mask()
+{
+    return debugMask;
+}
+
+void
+set_debug_mask(std::uint32_t mask)
+{
+    debugMask = mask;
+}
+
+const char *
+to_string(Dbg flag)
+{
+    switch (flag) {
+      case Dbg::MSC:
+        return "MSC";
+      case Dbg::MC:
+        return "MC";
+      case Dbg::MMU:
+        return "MMU";
+      case Dbg::Queue:
+        return "Queue";
+      case Dbg::Ring:
+        return "Ring";
+      case Dbg::DMA:
+        return "DMA";
+      case Dbg::TNet:
+        return "TNet";
+      case Dbg::BNet:
+        return "BNet";
+      case Dbg::SNet:
+        return "SNet";
+      case Dbg::Fault:
+        return "Fault";
+      case Dbg::RTS:
+        return "RTS";
+      case Dbg::Commreg:
+        return "Commreg";
+      case Dbg::Sim:
+        return "Sim";
+    }
+    return "?";
+}
+
+std::vector<Dbg>
+all_debug_flags()
+{
+    return {Dbg::MSC, Dbg::MC, Dbg::MMU, Dbg::Queue, Dbg::Ring,
+            Dbg::DMA, Dbg::TNet, Dbg::BNet, Dbg::SNet, Dbg::Fault,
+            Dbg::RTS, Dbg::Commreg, Dbg::Sim};
+}
+
+namespace
+{
+
+std::string
+lower(const std::string &s)
+{
+    std::string out = s;
+    for (char &c : out)
+        if (c >= 'A' && c <= 'Z')
+            c += 'a' - 'A';
+    return out;
+}
+
+} // namespace
+
+bool
+parse_debug_flags(const std::string &csv, std::string *err)
+{
+    std::uint32_t mask = debugMask;
+    std::size_t at = 0;
+    while (at <= csv.size()) {
+        std::size_t comma = csv.find(',', at);
+        std::string name =
+            csv.substr(at, comma == std::string::npos ? comma
+                                                      : comma - at);
+        at = comma == std::string::npos ? csv.size() + 1 : comma + 1;
+        if (name.empty())
+            continue;
+        std::string want = lower(name);
+        if (want == "all") {
+            for (Dbg f : all_debug_flags())
+                mask |= static_cast<std::uint32_t>(f);
+            continue;
+        }
+        bool found = false;
+        for (Dbg f : all_debug_flags()) {
+            if (lower(to_string(f)) == want) {
+                mask |= static_cast<std::uint32_t>(f);
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            if (err) {
+                std::string known;
+                for (Dbg f : all_debug_flags()) {
+                    if (!known.empty())
+                        known += ",";
+                    known += to_string(f);
+                }
+                *err = strprintf("unknown debug flag '%s' (known: "
+                                 "%s,All)",
+                                 name.c_str(), known.c_str());
+            }
+            debugMask = mask;
+            return false;
+        }
+    }
+    debugMask = mask;
+    return true;
+}
+
+void
+debug_print(Dbg flag, const char *fmt, ...)
+{
+    std::va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "DBG(%s): %s\n", to_string(flag),
+                 msg.c_str());
+}
+
+} // namespace ap::obs

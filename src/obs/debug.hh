@@ -1,0 +1,92 @@
+/**
+ * @file
+ * gem5-style category debug flags, layered on base/logging.
+ *
+ * Every instrumented component guards its diagnostic printf behind a
+ * category bit (`AP_DPRINTF(MSC, ...)`): when the category is off —
+ * the default — the cost is a single relaxed load and branch, and the
+ * format arguments are never evaluated. Categories are turned on at
+ * run time from a comma-separated list (the `--debug-flags=MSC,DMA`
+ * CLI convention), so a faulty run can be re-executed with exactly the
+ * layers of interest narrating to stderr.
+ */
+
+#ifndef AP_OBS_DEBUG_HH
+#define AP_OBS_DEBUG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ap::obs
+{
+
+/** One loggable category. Values are bit positions in the mask. */
+enum class Dbg : std::uint32_t
+{
+    MSC = 1u << 0,     ///< message controller command/receive paths
+    MC = 1u << 1,      ///< memory controller flag updates
+    MMU = 1u << 2,     ///< translations and page faults
+    Queue = 1u << 3,   ///< command queue spill/refill
+    Ring = 1u << 4,    ///< SEND/RECEIVE ring buffer
+    DMA = 1u << 5,     ///< gather/scatter transfers
+    TNet = 1u << 6,    ///< torus network injection/delivery
+    BNet = 1u << 7,    ///< broadcast network
+    SNet = 1u << 8,    ///< barrier network
+    Fault = 1u << 9,   ///< fault-injector decisions
+    RTS = 1u << 10,    ///< language runtime (collective moves)
+    Commreg = 1u << 11,///< communication registers
+    Sim = 1u << 12,    ///< event kernel
+};
+
+/** Currently enabled category mask. */
+std::uint32_t debug_mask();
+
+/** Replace the category mask (0 disables everything). */
+void set_debug_mask(std::uint32_t mask);
+
+/** @return true when @p flag 's category logging is on. */
+inline bool
+debug_enabled(Dbg flag)
+{
+    extern std::uint32_t debugMask;
+    return (debugMask & static_cast<std::uint32_t>(flag)) != 0;
+}
+
+/** Canonical name of one category ("MSC", "TNet", ...). */
+const char *to_string(Dbg flag);
+
+/** All categories, for help text and parsing. */
+std::vector<Dbg> all_debug_flags();
+
+/**
+ * Parse a comma-separated flag list ("MSC,DMA,TNet"; names are
+ * case-insensitive; "All" enables everything) and OR it into the
+ * mask. @return false (with a diagnostic in @p err when non-null) on
+ * an unknown name; known names up to that point are still applied.
+ */
+bool parse_debug_flags(const std::string &csv,
+                       std::string *err = nullptr);
+
+/**
+ * The slow path behind AP_DPRINTF: prints "DBG(<cat>): <message>" to
+ * stderr. Call through the macro so arguments are not evaluated when
+ * the category is off.
+ */
+void debug_print(Dbg flag, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace ap::obs
+
+/**
+ * Category-guarded diagnostic printf. Zero-cost when off: the guard
+ * is one mask test and no argument is evaluated.
+ */
+#define AP_DPRINTF(category, ...)                                     \
+    do {                                                              \
+        if (::ap::obs::debug_enabled(::ap::obs::Dbg::category))       \
+            ::ap::obs::debug_print(::ap::obs::Dbg::category,          \
+                                   __VA_ARGS__);                      \
+    } while (0)
+
+#endif // AP_OBS_DEBUG_HH

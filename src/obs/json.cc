@@ -1,0 +1,365 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace ap::obs
+{
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::string
+json_number(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    if (v == std::floor(v) && std::fabs(v) < 1e15)
+        return strprintf("%lld", static_cast<long long>(v));
+    return strprintf("%.6g", v);
+}
+
+void
+JsonTree::set(const std::string &path, double v)
+{
+    leaves[path] = json_number(v);
+}
+
+void
+JsonTree::set(const std::string &path, std::uint64_t v)
+{
+    leaves[path] = strprintf("%llu",
+                             static_cast<unsigned long long>(v));
+}
+
+void
+JsonTree::set_string(const std::string &path, const std::string &v)
+{
+    leaves[path] = "\"" + json_escape(v) + "\"";
+}
+
+void
+JsonTree::set_raw(const std::string &path, const std::string &json)
+{
+    leaves[path] = json;
+}
+
+namespace
+{
+
+std::vector<std::string>
+split_path(const std::string &path)
+{
+    std::vector<std::string> segs;
+    std::size_t at = 0;
+    while (at <= path.size()) {
+        std::size_t dot = path.find('.', at);
+        if (dot == std::string::npos) {
+            segs.push_back(path.substr(at));
+            break;
+        }
+        segs.push_back(path.substr(at, dot - at));
+        at = dot + 1;
+    }
+    return segs;
+}
+
+} // namespace
+
+std::string
+JsonTree::render(bool pretty) const
+{
+    // The map is sorted, so siblings sharing a prefix are adjacent:
+    // emit by tracking how many path segments stay open between
+    // consecutive leaves. needComma means "the next item at the
+    // current position must be preceded by a comma".
+    std::string out = "{";
+    std::vector<std::string> open;
+    bool needComma = false;
+    const std::string nl = pretty ? "\n" : "";
+    auto indent = [&](std::size_t depth) {
+        return pretty ? std::string(2 * (depth + 1), ' ')
+                      : std::string();
+    };
+
+    for (const auto &[path, value] : leaves) {
+        std::vector<std::string> segs = split_path(path);
+        // Common prefix with the currently open scopes.
+        std::size_t common = 0;
+        while (common < open.size() && common + 1 < segs.size() &&
+               open[common] == segs[common])
+            ++common;
+        // Close scopes deeper than the common prefix.
+        while (open.size() > common) {
+            out += nl + indent(open.size() - 1) + "}";
+            open.pop_back();
+            needComma = true;
+        }
+        // Open the new scopes.
+        for (std::size_t i = common; i + 1 < segs.size(); ++i) {
+            if (needComma)
+                out += ",";
+            out += nl + indent(open.size()) + "\"" +
+                   json_escape(segs[i]) + "\": {";
+            open.push_back(segs[i]);
+            needComma = false;
+        }
+        if (needComma)
+            out += ",";
+        out += nl + indent(open.size()) + "\"" +
+               json_escape(segs.back()) + "\": " + value;
+        needComma = true;
+    }
+    while (!open.empty()) {
+        out += nl + indent(open.size() - 1) + "}";
+        open.pop_back();
+    }
+    out += nl + "}";
+    if (pretty)
+        out += "\n";
+    return out;
+}
+
+// -- validating parser -------------------------------------------------
+
+namespace
+{
+
+struct Parser
+{
+    const std::string &s;
+    std::size_t at = 0;
+    std::string err;
+
+    bool
+    fail(const std::string &what)
+    {
+        if (err.empty())
+            err = strprintf("%s at offset %zu", what.c_str(), at);
+        return false;
+    }
+
+    void
+    skip_ws()
+    {
+        while (at < s.size() &&
+               (s[at] == ' ' || s[at] == '\t' || s[at] == '\n' ||
+                s[at] == '\r'))
+            ++at;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        std::size_t n = std::string(word).size();
+        if (s.compare(at, n, word) != 0)
+            return fail("bad literal");
+        at += n;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (at >= s.size() || s[at] != '"')
+            return fail("expected string");
+        ++at;
+        while (at < s.size() && s[at] != '"') {
+            if (s[at] == '\\') {
+                ++at;
+                if (at >= s.size())
+                    return fail("truncated escape");
+                char e = s[at];
+                if (e == 'u') {
+                    for (int i = 0; i < 4; ++i) {
+                        ++at;
+                        if (at >= s.size() ||
+                            !std::isxdigit(
+                                static_cast<unsigned char>(s[at])))
+                            return fail("bad \\u escape");
+                    }
+                } else if (e != '"' && e != '\\' && e != '/' &&
+                           e != 'b' && e != 'f' && e != 'n' &&
+                           e != 'r' && e != 't') {
+                    return fail("bad escape");
+                }
+            }
+            ++at;
+        }
+        if (at >= s.size())
+            return fail("unterminated string");
+        ++at; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = at;
+        if (at < s.size() && s[at] == '-')
+            ++at;
+        while (at < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[at])))
+            ++at;
+        if (at == start || (s[start] == '-' && at == start + 1))
+            return fail("expected number");
+        if (at < s.size() && s[at] == '.') {
+            ++at;
+            if (at >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[at])))
+                return fail("bad fraction");
+            while (at < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[at])))
+                ++at;
+        }
+        if (at < s.size() && (s[at] == 'e' || s[at] == 'E')) {
+            ++at;
+            if (at < s.size() && (s[at] == '+' || s[at] == '-'))
+                ++at;
+            if (at >= s.size() ||
+                !std::isdigit(static_cast<unsigned char>(s[at])))
+                return fail("bad exponent");
+            while (at < s.size() &&
+                   std::isdigit(static_cast<unsigned char>(s[at])))
+                ++at;
+        }
+        return true;
+    }
+
+    bool
+    value()
+    {
+        skip_ws();
+        if (at >= s.size())
+            return fail("unexpected end");
+        char c = s[at];
+        if (c == '{') {
+            ++at;
+            skip_ws();
+            if (at < s.size() && s[at] == '}') {
+                ++at;
+                return true;
+            }
+            for (;;) {
+                skip_ws();
+                if (!string())
+                    return false;
+                skip_ws();
+                if (at >= s.size() || s[at] != ':')
+                    return fail("expected ':'");
+                ++at;
+                if (!value())
+                    return false;
+                skip_ws();
+                if (at < s.size() && s[at] == ',') {
+                    ++at;
+                    continue;
+                }
+                if (at < s.size() && s[at] == '}') {
+                    ++at;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++at;
+            skip_ws();
+            if (at < s.size() && s[at] == ']') {
+                ++at;
+                return true;
+            }
+            for (;;) {
+                if (!value())
+                    return false;
+                skip_ws();
+                if (at < s.size() && s[at] == ',') {
+                    ++at;
+                    continue;
+                }
+                if (at < s.size() && s[at] == ']') {
+                    ++at;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"')
+            return string();
+        if (c == 't')
+            return literal("true");
+        if (c == 'f')
+            return literal("false");
+        if (c == 'n')
+            return literal("null");
+        return number();
+    }
+};
+
+} // namespace
+
+bool
+json_valid(const std::string &text, std::string *err)
+{
+    Parser p{text};
+    if (!p.value()) {
+        if (err)
+            *err = p.err;
+        return false;
+    }
+    p.skip_ws();
+    if (p.at != text.size()) {
+        if (err)
+            *err = strprintf("trailing garbage at offset %zu", p.at);
+        return false;
+    }
+    return true;
+}
+
+bool
+write_file(const std::string &path, const std::string &text)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::size_t n = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = (n == text.size()) && std::fclose(f) == 0;
+    if (n != text.size())
+        std::fclose(f);
+    return ok;
+}
+
+} // namespace ap::obs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Minimal JSON emission and validation for the telemetry layer.
+ *
+ * Everything the observability subsystem exports — stats-registry
+ * dumps, Chrome trace_event files, bench reports — is JSON, and the
+ * repository deliberately carries no third-party JSON dependency. This
+ * header provides the two halves actually needed: a writer that builds
+ * well-formed documents (string escaping, nesting by dotted path) and
+ * a strict validating parser used by the round-trip tests.
+ */
+
+#ifndef AP_OBS_JSON_HH
+#define AP_OBS_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ap::obs
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string json_escape(const std::string &s);
+
+/** Render a double as a JSON number (finite; NaN/inf become 0). */
+std::string json_number(double v);
+
+/**
+ * A flat key/value store rendered as one nested JSON object: dotted
+ * keys become nesting ("cell0.msc.puts" -> {"cell0":{"msc":{"puts":
+ * ...}}}). Values are either numbers, strings, or pre-rendered raw
+ * JSON fragments (for histograms). Keys are kept sorted so output is
+ * deterministic.
+ */
+class JsonTree
+{
+  public:
+    /** Set a numeric leaf. */
+    void set(const std::string &path, double v);
+    void set(const std::string &path, std::uint64_t v);
+
+    /** Set a string leaf. */
+    void set_string(const std::string &path, const std::string &v);
+
+    /** Set a leaf to a pre-rendered JSON fragment (used verbatim). */
+    void set_raw(const std::string &path, const std::string &json);
+
+    /** @return true when no leaf has been set. */
+    bool empty() const { return leaves.empty(); }
+
+    /** Render the nested object. @p pretty adds indentation. */
+    std::string render(bool pretty = true) const;
+
+  private:
+    /** leaf path -> rendered JSON value. */
+    std::map<std::string, std::string> leaves;
+};
+
+/**
+ * Strictly validate that @p text is one complete JSON value (objects,
+ * arrays, strings, numbers, true/false/null; UTF-8 passthrough).
+ * @return true when it parses; otherwise false with a position
+ * diagnostic in @p err (when non-null).
+ */
+bool json_valid(const std::string &text, std::string *err = nullptr);
+
+/** Write @p text to @p path. @return false on I/O failure. */
+bool write_file(const std::string &path, const std::string &text);
+
+} // namespace ap::obs
+
+#endif // AP_OBS_JSON_HH

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Hierarchical statistics registry — the machine's one dashboard.
+ *
+ * Section 5 of the paper sells MLSim on the statistics it can report
+ * (user/idle/overhead time, message sizes, communication distances,
+ * event counts). The functional machine grew the same needs: every
+ * component keeps counters, but until this registry existed they were
+ * hand-aggregated in Machine::report(). Components now register their
+ * counters, gauges and latency histograms under hierarchical dotted
+ * paths ("cell3.msc.user_queue.spills"), and consumers — the report,
+ * the JSON dump, the benches — walk the registry instead of knowing
+ * every struct.
+ *
+ * Registration is by pointer/closure, not by copy: an entry reads the
+ * live component state at query time, so registering is free on the
+ * simulation fast path. Entries must outlive the registry walk; a
+ * shorter-lived component (the language runtime) removes its subtree
+ * in its destructor via remove_prefix().
+ */
+
+#ifndef AP_OBS_STATS_REGISTRY_HH
+#define AP_OBS_STATS_REGISTRY_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/stats.hh"
+
+namespace ap::obs
+{
+
+/** What one registered path is. */
+enum class StatKind : std::uint8_t
+{
+    counter,  ///< monotonically increasing event count
+    gauge,    ///< instantaneous or high-water level
+    histogram,///< log2-bucketed distribution
+};
+
+/** One registry entry (readable view). */
+struct StatEntry
+{
+    StatKind kind = StatKind::counter;
+    /** Live value (counter/gauge; histograms report their count). */
+    std::function<std::uint64_t()> value;
+    /** Histogram payload; null for scalars. */
+    const Histogram *hist = nullptr;
+};
+
+/** The machine-wide stats namespace. */
+class StatsRegistry
+{
+  public:
+    /** Register a counter backed by a live component field. */
+    void add_counter(const std::string &path,
+                     const std::uint64_t *v);
+
+    /** Register a gauge computed on demand. */
+    void add_gauge(const std::string &path,
+                   std::function<std::uint64_t()> fn);
+
+    /** Register a gauge backed by a live high-water field. */
+    void add_gauge(const std::string &path, const std::uint64_t *v);
+
+    /** Register a histogram backed by a live component field. */
+    void add_histogram(const std::string &path, const Histogram *h);
+
+    /** Drop every entry whose path starts with @p prefix. */
+    void remove_prefix(const std::string &prefix);
+
+    /** Number of registered paths. */
+    std::size_t size() const { return entries.size(); }
+
+    /** All paths in sorted order. */
+    std::vector<std::string> paths() const;
+
+    /** Look up one entry; nullptr when @p path is not registered. */
+    const StatEntry *find(const std::string &path) const;
+
+    /**
+     * Current value of one scalar path (counter or gauge; a
+     * histogram's sample count). 0 when unregistered.
+     */
+    std::uint64_t value(const std::string &path) const;
+
+    /**
+     * Sum of every scalar matching @p pattern. Patterns are dotted
+     * paths where a "*" segment matches exactly one path segment:
+     * "*.msc.puts_sent" sums the counter across all cells.
+     */
+    std::uint64_t sum(const std::string &pattern) const;
+
+    /**
+     * Largest value among scalars matching @p pattern; the winning
+     * path lands in @p who when non-null. 0 when nothing matches.
+     */
+    std::uint64_t max_over(const std::string &pattern,
+                           std::string *who = nullptr) const;
+
+    /** @return true when @p path matches @p pattern (see sum()). */
+    static bool matches(const std::string &pattern,
+                        const std::string &path);
+
+    /**
+     * Render every entry as nested JSON. Histograms become objects
+     * with count/sum/min/max/mean and a bucket map ("b<k>" covers
+     * [2^(k-1), 2^k)).
+     */
+    std::string dump_json(bool pretty = true) const;
+
+    /** Render a flat "path = value" text table (histograms show
+     *  count/mean/max). */
+    std::string dump_text() const;
+
+  private:
+    std::map<std::string, StatEntry> entries;
+};
+
+} // namespace ap::obs
+
+#endif // AP_OBS_STATS_REGISTRY_HH

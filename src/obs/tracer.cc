@@ -1,0 +1,145 @@
+#include "obs/tracer.hh"
+
+#include <algorithm>
+#include <set>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+#include "sim/eventq.hh"
+
+namespace ap::obs
+{
+
+Tracer::Tracer(const sim::Simulator &sim, std::size_t capacity)
+    : sim(sim), cap(std::max<std::size_t>(capacity, 16))
+{
+    ring.reserve(std::min<std::size_t>(cap, 4096));
+}
+
+void
+Tracer::push(TraceRecord rec)
+{
+    if (ring.size() < cap) {
+        ring.push_back(std::move(rec));
+    } else {
+        ring[head] = std::move(rec);
+        head = (head + 1) % cap;
+    }
+    ++total;
+}
+
+void
+Tracer::instant(int track, const char *cat, std::string name)
+{
+    TraceRecord rec;
+    rec.ts = sim.now();
+    rec.track = track;
+    rec.instant = true;
+    rec.cat = cat;
+    rec.name = std::move(name);
+    push(std::move(rec));
+}
+
+void
+Tracer::span(int track, const char *cat, std::string name, Tick begin)
+{
+    span_at(track, cat, std::move(name), begin, sim.now());
+}
+
+void
+Tracer::span_at(int track, const char *cat, std::string name,
+                Tick begin, Tick end)
+{
+    TraceRecord rec;
+    rec.ts = begin;
+    rec.dur = end >= begin ? end - begin : 0;
+    rec.track = track;
+    rec.cat = cat;
+    rec.name = std::move(name);
+    push(std::move(rec));
+}
+
+std::size_t
+Tracer::size() const
+{
+    return ring.size();
+}
+
+std::uint64_t
+Tracer::dropped() const
+{
+    return total - ring.size();
+}
+
+std::vector<TraceRecord>
+Tracer::snapshot() const
+{
+    std::vector<TraceRecord> out;
+    out.reserve(ring.size());
+    for (std::size_t i = 0; i < ring.size(); ++i)
+        out.push_back(ring[(head + i) % ring.size()]);
+    return out;
+}
+
+std::string
+Tracer::chrome_json() const
+{
+    // tid 0 is the machine-wide track; cells map to tid = cell + 1.
+    auto tid_of = [](std::int32_t track) {
+        return track == machine_track ? 0 : track + 1;
+    };
+
+    std::vector<TraceRecord> recs = snapshot();
+    std::set<std::int32_t> tracks;
+    for (const TraceRecord &r : recs)
+        tracks.insert(r.track);
+
+    std::string out = "{\"traceEvents\": [";
+    bool first = true;
+    for (std::int32_t track : tracks) {
+        if (!first)
+            out += ",";
+        first = false;
+        std::string name =
+            track == machine_track ? std::string("machine")
+                                   : strprintf("cell %d", track);
+        out += strprintf("\n{\"ph\": \"M\", \"pid\": 0, \"tid\": %d, "
+                         "\"name\": \"thread_name\", "
+                         "\"args\": {\"name\": \"%s\"}}",
+                         tid_of(track), name.c_str());
+    }
+    for (const TraceRecord &r : recs) {
+        if (!first)
+            out += ",";
+        first = false;
+        double ts = ticks_to_us(r.ts);
+        if (r.instant) {
+            out += strprintf(
+                "\n{\"ph\": \"i\", \"pid\": 0, \"tid\": %d, "
+                "\"ts\": %s, \"s\": \"t\", \"cat\": \"%s\", "
+                "\"name\": \"%s\"}",
+                tid_of(r.track), json_number(ts).c_str(), r.cat,
+                json_escape(r.name).c_str());
+        } else {
+            out += strprintf(
+                "\n{\"ph\": \"X\", \"pid\": 0, \"tid\": %d, "
+                "\"ts\": %s, \"dur\": %s, \"cat\": \"%s\", "
+                "\"name\": \"%s\"}",
+                tid_of(r.track), json_number(ts).c_str(),
+                json_number(ticks_to_us(r.dur)).c_str(), r.cat,
+                json_escape(r.name).c_str());
+        }
+    }
+    out += strprintf("\n], \"displayTimeUnit\": \"ms\", "
+                     "\"otherData\": {\"dropped\": %llu}}\n",
+                     static_cast<unsigned long long>(dropped()));
+    return out;
+}
+
+bool
+Tracer::write_chrome_json(const std::string &path) const
+{
+    return write_file(path, chrome_json());
+}
+
+} // namespace ap::obs

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Cycle-timeline tracer: spans and instants on per-cell tracks,
+ * exported as Chrome trace_event JSON.
+ *
+ * The paper's MLSim is trace-*driven*; this tracer is the other
+ * direction — the functional machine narrating what its hardware did
+ * and when, so a faulty stress run can be opened in chrome://tracing
+ * or Perfetto and show exactly where a PUT stalled, a queue spilled,
+ * or an injected fault fired. Hardware components hold a Tracer
+ * pointer (null = tracing off, one branch per probe); the Machine
+ * owns the instance and wires it in when tracing is enabled.
+ *
+ * Records live in a bounded ring buffer: with tracing left on
+ * permanently, memory stays fixed and the export holds the most
+ * recent `capacity` events (dropped() counts what aged out). All
+ * timestamps come from the owning simulator, so the timeline uses
+ * simulated time — microseconds in the export, matching the tick
+ * convention (1 tick = 1 ns).
+ */
+
+#ifndef AP_OBS_TRACER_HH
+#define AP_OBS_TRACER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::sim
+{
+class Simulator;
+}
+
+namespace ap::obs
+{
+
+/** The machine-wide track for events not owned by one cell. */
+constexpr int machine_track = -1;
+
+/** One recorded event. */
+struct TraceRecord
+{
+    Tick ts = 0;        ///< begin tick
+    Tick dur = 0;       ///< span length; 0 for instants
+    std::int32_t track = machine_track; ///< cell id or machine_track
+    bool instant = false;
+    const char *cat = "";///< static category string ("msc", "fault")
+    std::string name;    ///< event name ("put", "spill:user", ...)
+};
+
+/** Bounded recorder + Chrome trace_event exporter. */
+class Tracer
+{
+  public:
+    static constexpr std::size_t default_capacity = 1 << 16;
+
+    /**
+     * @param sim clock source for instants/span ends
+     * @param capacity ring-buffer bound in records
+     */
+    explicit Tracer(const sim::Simulator &sim,
+                    std::size_t capacity = default_capacity);
+
+    /** Record a zero-duration event at the current simulated time. */
+    void instant(int track, const char *cat, std::string name);
+
+    /** Record a span from @p begin to the current simulated time. */
+    void span(int track, const char *cat, std::string name,
+              Tick begin);
+
+    /** Record a span with explicit endpoints. */
+    void span_at(int track, const char *cat, std::string name,
+                 Tick begin, Tick end);
+
+    /** Records currently retained. */
+    std::size_t size() const;
+
+    /** Ring-buffer bound. */
+    std::size_t capacity() const { return cap; }
+
+    /** Records that aged out of the ring. */
+    std::uint64_t dropped() const;
+
+    /** Retained records, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+    /**
+     * Render Chrome trace_event JSON ({"traceEvents": [...]}): one
+     * thread per track, named "cell N" (or "machine"), spans as
+     * complete ("X") events and instants as "i" events, timestamps
+     * in microseconds.
+     */
+    std::string chrome_json() const;
+
+    /** Write chrome_json() to @p path. @return false on I/O error. */
+    bool write_chrome_json(const std::string &path) const;
+
+  private:
+    void push(TraceRecord rec);
+
+    const sim::Simulator &sim;
+    std::size_t cap;
+    /** ring storage; grows to cap then wraps at `head`. */
+    std::vector<TraceRecord> ring;
+    std::size_t head = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace ap::obs
+
+#endif // AP_OBS_TRACER_HH

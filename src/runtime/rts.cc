@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "base/logging.hh"
+#include "obs/debug.hh"
 
 namespace ap::rt
 {
@@ -12,6 +13,23 @@ Runtime::Runtime(core::Context &ctx, AckPolicy policy)
     : ctx(ctx), ackPolicy(policy)
 {
     moveFlag = ctx.alloc_flag();
+
+    // The runtime is shorter-lived than the machine, so its counters
+    // join the machine's registry here and leave in the destructor.
+    obs::StatsRegistry &reg = ctx.owner().stats_registry();
+    std::string p = strprintf("cell%d.rts.", ctx.id());
+    reg.add_counter(p + "puts_issued", &rtStats.putsIssued);
+    reg.add_counter(p + "gets_issued", &rtStats.getsIssued);
+    reg.add_counter(p + "acks_issued", &rtStats.acksIssued);
+    reg.add_counter(p + "moves", &rtStats.moves);
+    reg.add_counter(p + "retried_puts", &rtStats.retriedPuts);
+    reg.add_counter(p + "verify_reads", &rtStats.verifyReads);
+}
+
+Runtime::~Runtime()
+{
+    ctx.owner().stats_registry().remove_prefix(
+        strprintf("cell%d.rts.", ctx.id()));
 }
 
 void
@@ -183,14 +201,19 @@ Runtime::flush_acks()
 void
 Runtime::movewait()
 {
+    Tick begin = ctx.owner().sim().now();
+    AP_DPRINTF(RTS, "cell %d: movewait (%zu pending puts)", ctx.id(),
+               pendingPuts.size());
     flush_acks();
     if (ctx.owner().config().retry.enabled()) {
         movewait_hardened();
-        return;
+    } else {
+        ctx.wait_all_acks();
+        ctx.wait_flag(moveFlag, moveFlagTarget);
+        ctx.barrier();
     }
-    ctx.wait_all_acks();
-    ctx.wait_flag(moveFlag, moveFlagTarget);
-    ctx.barrier();
+    if (auto *tr = ctx.owner().tracer())
+        tr->span(ctx.id(), "rts", "movewait", begin);
 }
 
 // -------------------------------------------------------- OVERLAP FIX

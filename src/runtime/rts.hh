@@ -65,6 +65,12 @@ class Runtime
     explicit Runtime(core::Context &ctx,
                      AckPolicy policy = AckPolicy::every_put);
 
+    /** Unregisters this runtime's stats subtree from the machine. */
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
     core::Context &context() { return ctx; }
     AckPolicy policy() const { return ackPolicy; }
     const RuntimeStats &stats() const { return rtStats; }

@@ -179,7 +179,7 @@ harness_retry()
 
 RunOutcome
 run_program(const OpProgram &prog, const sim::FaultPlan &plan,
-            const hw::RetryPolicy &retry)
+            const hw::RetryPolicy &retry, const obs::ObsOptions &obs)
 {
     hw::MachineConfig cfg =
         hw::MachineConfig::ap1000_plus(prog.cells);
@@ -187,6 +187,8 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     cfg.faults = plan;
     cfg.retry = retry;
     hw::Machine m(cfg);
+    if (!obs.traceOut.empty())
+        m.enable_tracing();
 
     const std::size_t region_bytes =
         static_cast<std::size_t>(prog.cells) * slots_per_writer *
@@ -352,6 +354,12 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
                 std::span<std::uint8_t>(out.regions[idx])))
             fatal("harness: cannot snapshot cell %d region", i);
     }
+    if (!obs.statsOut.empty() && !m.dump_stats(obs.statsOut))
+        fatal("harness: cannot write stats to %s",
+              obs.statsOut.c_str());
+    if (!obs.traceOut.empty() && !m.write_trace(obs.traceOut))
+        fatal("harness: cannot write trace to %s",
+              obs.traceOut.c_str());
     return out;
 }
 

@@ -41,6 +41,7 @@
 
 #include "base/types.hh"
 #include "hw/config.hh"
+#include "obs/cli.hh"
 #include "sim/fault.hh"
 
 namespace ap::harness
@@ -122,10 +123,16 @@ struct RunOutcome
     }
 };
 
-/** Execute @p prog on a machine configured with @p plan / @p retry. */
+/**
+ * Execute @p prog on a machine configured with @p plan / @p retry.
+ * When @p obs carries output paths, the run is traced and the
+ * machine's stats-registry JSON / Chrome trace are written after the
+ * simulator drains (a replayed failure seed becomes a timeline).
+ */
 RunOutcome run_program(const OpProgram &prog,
                        const sim::FaultPlan &plan,
-                       const hw::RetryPolicy &retry);
+                       const hw::RetryPolicy &retry,
+                       const obs::ObsOptions &obs = {});
 
 /** The default retry policy harness runs use under lossy plans. */
 hw::RetryPolicy harness_retry();

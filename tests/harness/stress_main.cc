@@ -34,6 +34,8 @@ struct Options
     int ops = 24;
     double durationS = 10.0;
     long iters = -1; // unlimited within the duration budget
+    /** Telemetry of the faulty run of each iteration (last wins). */
+    obs::ObsOptions obs;
 };
 
 sim::FaultPlan
@@ -84,13 +86,16 @@ parse(int argc, char **argv)
             opt.durationS = std::atof(a + 13);
         else if (std::strncmp(a, "--iters=", 8) == 0)
             opt.iters = std::atol(a + 8);
+        else if (obs::consume_obs_arg(a, opt.obs))
+            ;
         else {
             std::fprintf(stderr, "unknown argument '%s'\n", a);
             std::fprintf(
                 stderr,
                 "usage: stress_put_get [--seed=N] [--plan=NAME] "
                 "[--cells=N] [--ops=N] [--duration-s=S] "
-                "[--iters=N]\n");
+                "[--iters=N] [--stats-out=F] [--trace-out=F] "
+                "[--debug-flags=A,B]\n");
             std::exit(2);
         }
     }
@@ -141,8 +146,10 @@ main(int argc, char **argv)
                          opt.plan.c_str(), opt.cells, opt.ops);
             return 1;
         }
-        // Count injected faults of the faulty run for the summary.
-        RunOutcome o = run_program(prog, plan, retry);
+        // Count injected faults of the faulty run for the summary;
+        // this replay also carries the telemetry outputs, so a
+        // pinned --seed --iters=1 invocation yields its timeline.
+        RunOutcome o = run_program(prog, plan, retry, opt.obs);
         injected += o.faults.total() + o.faults.jitteredEvents;
         ++done;
     }

@@ -76,6 +76,58 @@ TEST(Accumulator, EmptyIsZero)
     EXPECT_EQ(a.count(), 0u);
     EXPECT_DOUBLE_EQ(a.mean(), 0.0);
     EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(Accumulator, SingleSampleIsItsOwnExtremes)
+{
+    // The first sample must overwrite the zero-initialized min/max —
+    // a negative or large first value exposes any min(0,v) shortcut.
+    Accumulator a;
+    a.sample(-7.5);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), -7.5);
+    EXPECT_DOUBLE_EQ(a.max(), -7.5);
+    EXPECT_DOUBLE_EQ(a.mean(), -7.5);
+    EXPECT_DOUBLE_EQ(a.sum(), -7.5);
+}
+
+TEST(Accumulator, ResetReturnsToEmptySemantics)
+{
+    Accumulator a;
+    a.sample(3.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    a.sample(-1.0); // post-reset first sample sets both extremes
+    EXPECT_DOUBLE_EQ(a.max(), -1.0);
+}
+
+TEST(Accumulator, MergeWithEmptySidesIsSafe)
+{
+    Accumulator empty1, empty2;
+    empty1.merge(empty2); // empty + empty
+    EXPECT_EQ(empty1.count(), 0u);
+    EXPECT_DOUBLE_EQ(empty1.mean(), 0.0);
+
+    Accumulator a;
+    a.sample(5.0);
+    a.merge(empty2); // non-empty + empty keeps values
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+
+    Accumulator b;
+    b.merge(a); // empty + non-empty adopts values
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.max(), 5.0);
+}
+
+TEST(Histogram, EmptyScalarIsZero)
+{
+    Histogram h;
+    EXPECT_TRUE(h.data().empty());
+    EXPECT_EQ(h.scalar().count(), 0u);
+    EXPECT_DOUBLE_EQ(h.scalar().mean(), 0.0);
 }
 
 TEST(Accumulator, MergeEqualsCombinedStream)

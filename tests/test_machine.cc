@@ -8,11 +8,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "base/logging.hh"
 #include "core/ap1000p.hh"
 #include "mlsim/params.hh"
 #include "mlsim/replay.hh"
 #include "mlsim/trace_file.hh"
+#include "obs/json.hh"
 
 using namespace ap;
 using namespace ap::core;
@@ -164,6 +169,41 @@ TEST(Machine, FunctionalTraceFileReplayPipeline)
             .run()
             .totalUs;
     EXPECT_LT(plus, base);
+}
+
+TEST(Machine, StatsJsonRoundTripsWithPerCellCounters)
+{
+    hw::Machine m(small(4));
+    run_spmd(m, [](Context &ctx) { ring_program(ctx, 3); });
+
+    std::string err;
+    EXPECT_TRUE(obs::json_valid(m.stats_json(), &err)) << err;
+    EXPECT_TRUE(obs::json_valid(m.stats_json(false), &err)) << err;
+
+    const obs::StatsRegistry &r = m.stats_registry();
+    for (int c = 0; c < 4; ++c) {
+        std::string p = strprintf("cell%d.", c);
+        EXPECT_GT(r.value(p + "msc.puts_sent"), 0u) << c;
+        EXPECT_NE(r.find(p + "msc.user_queue.pushes"), nullptr);
+        EXPECT_NE(r.find(p + "msc.user_queue.max_hw_depth"),
+                  nullptr);
+        EXPECT_NE(r.find(p + "mc.flag_increments"), nullptr);
+        EXPECT_NE(r.find(p + "commreg.stores"), nullptr);
+        EXPECT_NE(r.find(p + "mmu.tlb_hits"), nullptr);
+        EXPECT_NE(r.find(p + "ring.deposits"), nullptr);
+    }
+    // 3 iterations x 4 cells, one data PUT each.
+    EXPECT_EQ(r.sum("*.msc.puts_sent"), 12u);
+
+    // The on-disk dump is the same validated document.
+    std::string path = testing::TempDir() + "ap_stats_rt.json";
+    ASSERT_TRUE(m.dump_stats(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    EXPECT_TRUE(obs::json_valid(ss.str(), &err)) << err;
+    std::remove(path.c_str());
 }
 
 TEST(Machine, FaultHookCoversEveryCell)

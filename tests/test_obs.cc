@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Telemetry-layer tests: JSON emitter/validator, the stats registry
+ * (paths, pattern queries, subtree removal, dumps), debug-flag
+ * parsing, the bounded tracer ring, and the end-to-end timeline of a
+ * two-cell PUT program.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "core/ap1000p.hh"
+#include "obs/cli.hh"
+#include "obs/debug.hh"
+#include "obs/json.hh"
+#include "obs/stats_registry.hh"
+#include "obs/tracer.hh"
+#include "runtime/rts.hh"
+#include "sim/eventq.hh"
+
+using namespace ap;
+using namespace ap::obs;
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, DottedPathsNest)
+{
+    JsonTree t;
+    t.set("a.b.x", std::uint64_t{1});
+    t.set("a.b.y", 2.5);
+    t.set_string("a.name", "hi \"there\"\n");
+    std::string out = t.render(false);
+    std::string err;
+    EXPECT_TRUE(json_valid(out, &err)) << err;
+    EXPECT_NE(out.find("\"x\": 1"), std::string::npos);
+    EXPECT_NE(out.find("\\\"there\\\"\\n"), std::string::npos);
+}
+
+TEST(Json, ValidatorAcceptsAndRejects)
+{
+    EXPECT_TRUE(json_valid("{\"a\": [1, 2.5, -3e2, true, null]}"));
+    EXPECT_TRUE(json_valid("[]"));
+    std::string err;
+    EXPECT_FALSE(json_valid("{\"a\": }", &err));
+    EXPECT_FALSE(err.empty());
+    EXPECT_FALSE(json_valid("{\"a\": 1} trailing"));
+    EXPECT_FALSE(json_valid("{'a': 1}"));
+    EXPECT_FALSE(json_valid(""));
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(StatsRegistry, PatternQueriesAndRemoval)
+{
+    StatsRegistry r;
+    std::uint64_t a = 3, b = 7, other = 100;
+    r.add_counter("cell0.msc.puts_sent", &a);
+    r.add_counter("cell1.msc.puts_sent", &b);
+    r.add_counter("cell1.mc.loads", &other);
+    Histogram h;
+    h.sample(4);
+    r.add_histogram("cell0.msc.latency", &h);
+    r.add_gauge("machine.level", [] { return std::uint64_t{9}; });
+
+    EXPECT_EQ(r.size(), 5u);
+    EXPECT_EQ(r.value("cell0.msc.puts_sent"), 3u);
+    EXPECT_EQ(r.value("cell0.msc.latency"), 1u); // histogram count
+    EXPECT_EQ(r.value("no.such.path"), 0u);
+    EXPECT_EQ(r.sum("*.msc.puts_sent"), 10u);
+    EXPECT_EQ(r.sum("*.*.puts_sent"), 10u);
+    EXPECT_EQ(r.sum("*.puts_sent"), 0u); // '*' is one segment
+
+    std::string who;
+    EXPECT_EQ(r.max_over("*.msc.puts_sent", &who), 7u);
+    EXPECT_EQ(who, "cell1.msc.puts_sent");
+
+    b = 11; // entries read live values
+    EXPECT_EQ(r.value("cell1.msc.puts_sent"), 11u);
+
+    r.remove_prefix("cell1.");
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.find("cell1.msc.puts_sent"), nullptr);
+    EXPECT_NE(r.find("cell0.msc.puts_sent"), nullptr);
+}
+
+TEST(StatsRegistry, DumpsAreWellFormed)
+{
+    StatsRegistry r;
+    std::uint64_t v = 42;
+    r.add_counter("cell0.msc.puts_sent", &v);
+    Histogram h;
+    h.sample(3);
+    h.sample(100);
+    r.add_histogram("cell0.msc.sizes", &h);
+
+    std::string err;
+    EXPECT_TRUE(json_valid(r.dump_json(true), &err)) << err;
+    EXPECT_TRUE(json_valid(r.dump_json(false), &err)) << err;
+    EXPECT_NE(r.dump_json().find("\"puts_sent\""),
+              std::string::npos);
+
+    std::string text = r.dump_text();
+    EXPECT_NE(text.find("cell0.msc.puts_sent"), std::string::npos);
+    EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+TEST(StatsRegistry, RuntimeRegistersAndUnregistersItsSubtree)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.memBytesPerCell = 1 << 20;
+    hw::Machine m(cfg);
+
+    bool seenWhileAlive = false;
+    core::run_spmd(m, [&](core::Context &ctx) {
+        {
+            rt::Runtime rts(ctx);
+            if (ctx.id() == 0)
+                seenWhileAlive =
+                    ctx.owner().stats_registry().find(
+                        "cell0.rts.puts_issued") != nullptr;
+            ctx.barrier();
+        }
+        ctx.barrier();
+    });
+    EXPECT_TRUE(seenWhileAlive);
+    EXPECT_EQ(m.stats_registry().find("cell0.rts.puts_issued"),
+              nullptr);
+    EXPECT_EQ(m.stats_registry().find("cell1.rts.puts_issued"),
+              nullptr);
+}
+
+// ------------------------------------------------------------ debug flags
+
+namespace
+{
+
+/** Restore a clean mask around every debug-flag test. */
+struct MaskReset
+{
+    ~MaskReset() { set_debug_mask(0); }
+};
+
+} // namespace
+
+TEST(DebugFlags, ParseAppliesAndRejects)
+{
+    MaskReset reset;
+    set_debug_mask(0);
+    EXPECT_FALSE(debug_enabled(Dbg::MSC));
+
+    EXPECT_TRUE(parse_debug_flags("MSC,dma"));
+    EXPECT_TRUE(debug_enabled(Dbg::MSC));
+    EXPECT_TRUE(debug_enabled(Dbg::DMA));
+    EXPECT_FALSE(debug_enabled(Dbg::TNet));
+
+    std::string err;
+    EXPECT_FALSE(parse_debug_flags("TNet,bogus", &err));
+    EXPECT_NE(err.find("bogus"), std::string::npos);
+    // Known names before the bad one still applied.
+    EXPECT_TRUE(debug_enabled(Dbg::TNet));
+
+    set_debug_mask(0);
+    EXPECT_TRUE(parse_debug_flags("All"));
+    for (Dbg f : all_debug_flags())
+        EXPECT_TRUE(debug_enabled(f)) << to_string(f);
+}
+
+TEST(DebugFlags, ObsArgConsumption)
+{
+    MaskReset reset;
+    ObsOptions opt;
+    EXPECT_TRUE(consume_obs_arg("--stats-out=s.json", opt));
+    EXPECT_TRUE(consume_obs_arg("--trace-out=t.json", opt));
+    EXPECT_EQ(opt.statsOut, "s.json");
+    EXPECT_EQ(opt.traceOut, "t.json");
+    EXPECT_TRUE(opt.any());
+
+    set_debug_mask(0);
+    EXPECT_TRUE(consume_obs_arg("--debug-flags=Queue", opt));
+    EXPECT_TRUE(debug_enabled(Dbg::Queue));
+
+    EXPECT_FALSE(consume_obs_arg("--cells=4", opt));
+    EXPECT_FALSE(consume_obs_arg("stray", opt));
+}
+
+// ----------------------------------------------------------------- tracer
+
+TEST(Tracer, RingBoundsRetainedRecords)
+{
+    sim::Simulator s;
+    Tracer tr(s, 8); // clamped to the 16-record minimum
+    EXPECT_EQ(tr.capacity(), 16u);
+    for (int i = 0; i < 20; ++i)
+        tr.instant(0, "test", strprintf("ev%d", i));
+    EXPECT_EQ(tr.size(), 16u);
+    EXPECT_EQ(tr.dropped(), 4u);
+
+    auto snap = tr.snapshot();
+    ASSERT_EQ(snap.size(), 16u);
+    // Oldest-first: the 4 oldest aged out.
+    EXPECT_EQ(snap.front().name, "ev4");
+    EXPECT_EQ(snap.back().name, "ev19");
+}
+
+TEST(Tracer, SpansCarrySimulatedTime)
+{
+    sim::Simulator s;
+    Tracer tr(s, 64);
+    s.schedule(us_to_ticks(5.0), [&] {
+        tr.span(2, "test", "work", us_to_ticks(1.0));
+        tr.instant(machine_track, "test", "mark");
+    });
+    s.run();
+
+    auto snap = tr.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].ts, us_to_ticks(1.0));
+    EXPECT_EQ(snap[0].dur, us_to_ticks(4.0));
+    EXPECT_EQ(snap[0].track, 2);
+    EXPECT_FALSE(snap[0].instant);
+    EXPECT_TRUE(snap[1].instant);
+    EXPECT_EQ(snap[1].track, machine_track);
+
+    std::string err;
+    EXPECT_TRUE(json_valid(tr.chrome_json(), &err)) << err;
+}
+
+TEST(Tracer, ChromeJsonWritesToDisk)
+{
+    sim::Simulator s;
+    Tracer tr(s, 8);
+    tr.span_at(0, "test", "a", 0, us_to_ticks(2.0));
+    std::string path = testing::TempDir() + "ap_trace_rt.json";
+    ASSERT_TRUE(tr.write_chrome_json(path));
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    EXPECT_TRUE(json_valid(ss.str(), &err)) << err;
+    EXPECT_NE(ss.str().find("\"traceEvents\""), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ----------------------------------------------- end-to-end PUT timeline
+
+namespace
+{
+
+/** Names of interest of the PUT pipeline, in one filtered list. */
+std::vector<std::string>
+pipeline_names(const std::vector<TraceRecord> &recs)
+{
+    static const std::vector<std::string> interest = {
+        "put",      "dma_send",       "flight:PUT",
+        "dma_recv", "flag_increment", "wait_flag",
+    };
+    std::vector<std::string> out;
+    for (const TraceRecord &r : recs)
+        for (const std::string &n : interest)
+            if (r.name == n)
+                out.push_back(r.name);
+    return out;
+}
+
+} // namespace
+
+TEST(Tracer, TwoCellPutProducesThePipelineSpansInOrder)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.memBytesPerCell = 1 << 20;
+    hw::Machine m(cfg);
+    m.enable_tracing();
+
+    auto r = core::run_spmd(m, [](core::Context &ctx) {
+        Addr buf = ctx.alloc(64);
+        Addr rf = ctx.alloc_flag();
+        if (ctx.id() == 0)
+            ctx.put(1, buf, buf, 64, no_flag, rf);
+        if (ctx.id() == 1)
+            ctx.wait_flag(rf, 1);
+    });
+    ASSERT_FALSE(r.deadlock);
+    ASSERT_NE(m.tracer(), nullptr);
+
+    // Golden recording order of one flagged PUT: the issuing MSC+
+    // finishes its gather DMA, hands the message to the T-net (the
+    // flight span is stamped at injection), closes the command span,
+    // then the receiving MSC+ scatters it and raises the flag, and
+    // the waiting processor's span closes last.
+    std::vector<std::string> expect = {
+        "dma_send",       "flight:PUT", "put",
+        "dma_recv",       "flag_increment", "wait_flag",
+    };
+    EXPECT_EQ(pipeline_names(m.tracer()->snapshot()), expect);
+
+    std::string err;
+    EXPECT_TRUE(json_valid(m.tracer()->chrome_json(), &err)) << err;
+}

@@ -101,6 +101,49 @@ TEST(CommandQueue, MaxSpillDepthTracked)
     EXPECT_EQ(q.stats().maxSpillDepth, 42u);
 }
 
+TEST(CommandQueue, MaxHwDepthIsAHighWaterMark)
+{
+    CommandQueue q;
+    EXPECT_EQ(q.stats().maxHwDepth, 0u);
+    q.push(cmd(0));
+    q.push(cmd(1));
+    EXPECT_EQ(q.stats().maxHwDepth, 2u);
+    q.pop();
+    q.pop();
+    EXPECT_EQ(q.stats().maxHwDepth, 2u); // does not fall with drain
+    for (int i = 0; i < 20; ++i)
+        q.push(cmd(i));
+    EXPECT_EQ(q.stats().maxHwDepth, 8u); // capped by RAM capacity
+}
+
+TEST(CommandQueue, RefillRaisesMaxHwDepth)
+{
+    // Forced spills leave the RAM queue untouched; the high-water
+    // mark must still see the commands when the OS moves them back.
+    CommandQueue q;
+    q.push(cmd(0), /*force_spill=*/true);
+    q.push(cmd(1), /*force_spill=*/true);
+    EXPECT_EQ(q.stats().maxHwDepth, 0u);
+    ASSERT_TRUE(q.needs_refill());
+    q.refill();
+    EXPECT_EQ(q.stats().maxHwDepth, 2u);
+}
+
+TEST(CommandQueue, ForcedOverflowRecordsSpillDepth)
+{
+    CommandQueue q;
+    for (int i = 0; i < 4; ++i)
+        q.push(cmd(i), /*force_spill=*/true);
+    EXPECT_GT(q.stats().maxSpillDepth, 0u);
+    EXPECT_EQ(q.stats().maxSpillDepth, 4u);
+    while (!q.empty()) {
+        if (q.needs_refill())
+            q.refill();
+        q.pop();
+    }
+    EXPECT_EQ(q.stats().maxSpillDepth, 4u); // sticky after drain
+}
+
 TEST(CommandQueue, CustomCapacity)
 {
     CommandQueue q(16); // two commands
