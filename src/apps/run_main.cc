@@ -46,10 +46,12 @@ plan_by_name(const std::string &name, std::uint64_t seed)
         return sim::FaultPlan::pageFaults(seed);
     if (name == "jitter")
         return sim::FaultPlan::jitter(seed);
+    if (name == "lossy")
+        return sim::FaultPlan::lossy(seed);
     if (name == "chaos")
         return sim::FaultPlan::chaos(seed);
     fatal("unknown fault plan '%s' (try none, drops, duplicates, "
-          "reorders, overflows, pagefaults, jitter, chaos)",
+          "reorders, overflows, pagefaults, jitter, lossy, chaos)",
           name.c_str());
 }
 
@@ -60,8 +62,11 @@ usage(const char *prog)
         "usage: %s [options]\n"
         "  --cells=N          machine size (default 16)\n"
         "  --faults=PLAN      none|drops|duplicates|reorders|\n"
-        "                     overflows|pagefaults|jitter|chaos\n"
+        "                     overflows|pagefaults|jitter|lossy|chaos\n"
         "  --seed=N           fault-plan seed (default 1)\n"
+        "  --reliable         reliable-delivery protocol layer on\n"
+        "  --kill=CELL@US     fail-stop CELL at US microseconds\n"
+        "                     (survivors reconfigure; repeatable)\n"
         "  --stats-out=FILE   write the stats registry as JSON\n"
         "  --stats-text       print the flat stats table to stdout\n"
         "  --trace-out=FILE   write a Chrome trace_event timeline\n"
@@ -155,6 +160,8 @@ main(int argc, char **argv)
     std::string faults = "none";
     std::uint64_t seed = 1;
     bool statsText = false;
+    bool reliable = false;
+    std::vector<sim::FaultPlan::CellKill> kills;
     obs::ObsOptions obsOpts;
 
     for (int i = 1; i < argc; ++i) {
@@ -167,6 +174,17 @@ main(int argc, char **argv)
             faults = a + 9;
         } else if (std::strncmp(a, "--seed=", 7) == 0) {
             seed = std::strtoull(a + 7, nullptr, 10);
+        } else if (std::strcmp(a, "--reliable") == 0) {
+            reliable = true;
+        } else if (std::strncmp(a, "--kill=", 7) == 0) {
+            sim::FaultPlan::CellKill k{};
+            char *at = nullptr;
+            k.cell = static_cast<CellId>(
+                std::strtol(a + 7, &at, 10));
+            if (at == nullptr || *at != '@')
+                fatal("--kill wants CELL@US, got '%s'", a);
+            k.atUs = std::strtod(at + 1, nullptr);
+            kills.push_back(k);
         } else if (std::strcmp(a, "--stats-text") == 0) {
             statsText = true;
         } else if (std::strcmp(a, "--help") == 0) {
@@ -183,6 +201,12 @@ main(int argc, char **argv)
     hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(cells);
     cfg.memBytesPerCell = 1 << 20;
     cfg.faults = plan_by_name(faults, seed);
+    cfg.faults.kills = kills;
+    cfg.reliableNet = reliable;
+    // A kill parks peers in waits that can never complete; the
+    // watchdog converts those into typed errors with a wait graph.
+    if (!kills.empty() && !cfg.retry.watchdog_enabled())
+        cfg.retry.watchdogUs = 100000.0;
     hw::Machine machine(cfg);
     if (!obsOpts.traceOut.empty())
         machine.enable_tracing();
@@ -195,6 +219,9 @@ main(int argc, char **argv)
                     result.stuck.size());
     for (const std::string &e : result.errors)
         std::printf("comm error: %s\n", e.c_str());
+    for (CellId c : result.failedCells)
+        std::printf("cell %d failed (fault plan kill); survivors "
+                    "ran degraded\n", c);
 
     if (statsText)
         std::printf("%s", machine.stats_text().c_str());

@@ -18,6 +18,7 @@
 #include <array>
 #include <bit>
 #include <cstring>
+#include <memory>
 
 #include "base/logging.hh"
 #include "core/context.hh"
@@ -137,22 +138,46 @@ Context::commreg_exchange(CellId partner, int reg_index, double value)
 void
 Context::barrier()
 {
+    check_alive();
     TraceEvent ev;
     ev.op = TraceOp::barrier;
     trace(ev);
     ++ctxStats.barriers;
     SpanGuard span(machine, cellId, "barrier");
 
+    // The S-net releases as soon as every *live* member has arrived;
+    // a barrier crossed while cells are dead is marked degraded.
+    lastCollectiveDegraded = machine.any_failed();
+    if (lastCollectiveDegraded)
+        ++ctxStats.degradedCollectives;
+
     proc.delay(us_to_ticks(machine.config().timings.barrierIssueUs));
 
-    sim::Condition released;
-    bool done = false;
-    machine.snet().arrive(allBarrier, cellId, [&]() {
-        done = true;
-        released.notify_all();
+    // The release state is heap-owned by the S-net callback: if the
+    // watchdog throws us out of the wait, a later release must not
+    // touch a dead stack frame.
+    struct Release
+    {
+        sim::Condition released;
+        bool done = false;
+    };
+    auto rel = std::make_shared<Release>();
+    machine.snet().arrive(allBarrier, cellId, [rel]() {
+        rel->done = true;
+        rel->released.notify_all();
     });
-    while (!done)
-        proc.wait(released);
+    Tick deadline = watchdog_deadline();
+    if (deadline == 0) {
+        while (!rel->done)
+            proc.wait(rel->released);
+        return;
+    }
+    machine.set_wait(cellId, "barrier", /*addr=*/0, /*target=*/0);
+    while (!rel->done) {
+        if (!proc.wait_until(rel->released, deadline) && !rel->done)
+            watchdog_fire("barrier", /*addr=*/0, /*target=*/0);
+    }
+    machine.clear_wait(cellId);
 }
 
 // -- scalar all-cell reduction ----------------------------------------------
@@ -166,6 +191,18 @@ Context::allreduce(double value, ReduceOp op)
     trace(ev);
     ++ctxStats.gops;
     SpanGuard span(machine, cellId, "allreduce");
+
+    check_alive();
+    if (machine.any_failed()) {
+        // The commreg tree assumes a dense 0..p-1 cell space; with
+        // fail-stop cells fall back to a software reduction over the
+        // survivors and mark the result degraded.
+        double v = group_reduce_impl(live_group(), value, op);
+        lastCollectiveDegraded = true;
+        ++ctxStats.degradedCollectives;
+        return v;
+    }
+    lastCollectiveDegraded = false;
 
     int p = nprocs();
     if (p == 1)
@@ -254,6 +291,28 @@ Context::group_tag(const Group &group)
 
 double
 Context::group_reduce(const Group &group, double value, ReduceOp op)
+{
+    check_alive();
+    if (machine.any_failed()) {
+        std::vector<CellId> live;
+        for (CellId c : group.members())
+            if (!machine.cell_failed(c))
+                live.push_back(c);
+        if (live.size() != group.members().size()) {
+            double v = group_reduce_impl(Group(std::move(live)),
+                                         value, op);
+            lastCollectiveDegraded = true;
+            ++ctxStats.degradedCollectives;
+            return v;
+        }
+    }
+    lastCollectiveDegraded = false;
+    return group_reduce_impl(group, value, op);
+}
+
+double
+Context::group_reduce_impl(const Group &group, double value,
+                           ReduceOp op)
 {
     int rank = group.rank_of(cellId);
     if (rank < 0)
@@ -349,7 +408,21 @@ Context::allreduce_vector(Addr vec, std::uint32_t count, ReduceOp op)
     ++ctxStats.vgops;
     SpanGuard span(machine, cellId, "allreduce_vector");
 
+    check_alive();
     int p = nprocs();
+    CellId right = (cellId + 1) % p;
+    CellId left = (cellId - 1 + p) % p;
+    lastCollectiveDegraded = false;
+    if (machine.any_failed()) {
+        // Reform the ring over the survivors only.
+        Group live = live_group();
+        lastCollectiveDegraded = true;
+        ++ctxStats.degradedCollectives;
+        p = live.size();
+        int rank = live.rank_of(cellId);
+        right = live.at((rank + 1) % p);
+        left = live.at((rank - 1 + p) % p);
+    }
     if (p <= 1 || count == 0)
         return;
 
@@ -364,9 +437,6 @@ Context::allreduce_vector(Addr vec, std::uint32_t count, ReduceOp op)
     std::int32_t tag0 =
         vgop_tag_bit | static_cast<std::int32_t>(
                            (collectiveSeq++ * 2081) & 0x00FFFFFF);
-
-    CellId right = (cellId + 1) % p;
-    CellId left = (cellId - 1 + p) % p;
 
     // Ring pipeline: my contribution travels the whole ring; I
     // combine every contribution that passes through me. One tag

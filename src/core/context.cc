@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "base/logging.hh"
 
@@ -144,6 +145,59 @@ Context::set_rts_mode(bool on)
     rtsMode = on;
 }
 
+// -- fail-stop / watchdog ----------------------------------------------
+
+void
+Context::check_alive()
+{
+    if (machine.cell_failed(cellId))
+        throw CommError(
+            CommError::Kind::cell_failed, cellId, cellId,
+            strprintf("cell %d is fail-stop; communication aborted",
+                      cellId));
+}
+
+Tick
+Context::watchdog_deadline() const
+{
+    const hw::RetryPolicy &rp = machine.config().retry;
+    if (!rp.watchdog_enabled())
+        return 0;
+    return machine.sim().now() + us_to_ticks(rp.watchdogUs);
+}
+
+void
+Context::watchdog_fire(const char *what, Addr addr,
+                       std::uint64_t target)
+{
+    machine.clear_wait(cellId);
+    if (machine.cell_failed(cellId))
+        throw CommError(
+            CommError::Kind::cell_failed, cellId, cellId,
+            strprintf("cell %d: %s interrupted: cell is fail-stop",
+                      cellId, what));
+    throw CommError(
+        CommError::Kind::watchdog, cellId, cellId,
+        strprintf("cell %d: watchdog expired after %.0f us blocked in "
+                  "%s (addr=%#llx want %llu)\n%s",
+                  cellId, machine.config().retry.watchdogUs, what,
+                  static_cast<unsigned long long>(addr),
+                  static_cast<unsigned long long>(target),
+                  machine.wait_graph().c_str()));
+}
+
+Group
+Context::live_group() const
+{
+    std::vector<CellId> m;
+    for (int i = 0; i < machine.size(); ++i)
+        if (!machine.cell_failed(i))
+            m.push_back(i);
+    if (m.empty())
+        fatal("every cell has failed");
+    return Group(std::move(m));
+}
+
 // -- local memory ------------------------------------------------------
 
 Addr
@@ -224,8 +278,18 @@ Context::peek_u32(Addr addr) const
 void
 Context::wait_flag_internal(Addr flag_addr, std::uint32_t target)
 {
+    Tick deadline = watchdog_deadline();
+    if (deadline == 0) {
+        while (flag(flag_addr) < target)
+            proc.wait(cell().mc().flag_cond());
+        return;
+    }
+    machine.set_wait(cellId, "wait_flag_internal", flag_addr, target);
     while (flag(flag_addr) < target)
-        proc.wait(cell().mc().flag_cond());
+        if (!proc.wait_until(cell().mc().flag_cond(), deadline) &&
+            flag(flag_addr) < target)
+            watchdog_fire("wait_flag_internal", flag_addr, target);
+    machine.clear_wait(cellId);
 }
 
 void
@@ -256,7 +320,31 @@ hw::SendRecord
 Context::internal_recv(CellId src, std::int32_t tag)
 {
     proc.delay(us_to_ticks(machine.config().timings.receiveSearchUs));
-    return cell().ring().consume_in_place(src, tag, proc);
+    return ring_take_guarded(src, tag, /*in_place=*/true,
+                             "recv_reduce");
+}
+
+hw::SendRecord
+Context::ring_take_guarded(CellId src, std::int32_t tag,
+                           bool in_place, const char *what)
+{
+    Tick deadline = watchdog_deadline();
+    if (deadline == 0) {
+        return in_place
+                   ? cell().ring().consume_in_place(src, tag, proc)
+                   : cell().ring().receive(src, tag, proc);
+    }
+    machine.set_wait(cellId, what, /*addr=*/0,
+                     static_cast<std::uint64_t>(
+                         static_cast<std::uint32_t>(tag)));
+    std::optional<hw::SendRecord> got = cell().ring().receive_until(
+        src, tag, proc, deadline, in_place);
+    if (!got)
+        watchdog_fire(what, /*addr=*/0,
+                      static_cast<std::uint64_t>(
+                          static_cast<std::uint32_t>(tag)));
+    machine.clear_wait(cellId);
+    return std::move(*got);
 }
 
 // -- command issue -----------------------------------------------------
@@ -264,6 +352,7 @@ Context::internal_recv(CellId src, std::int32_t tag)
 void
 Context::issue(hw::Command cmd)
 {
+    check_alive();
     // Writing the 8 parameter words to the MSC+ special address.
     proc.delay(us_to_ticks(machine.config().timings.enqueueUs));
     cell().msc().issue_user(std::move(cmd));
@@ -457,12 +546,14 @@ Context::write_remote(CellId dst, Addr raddr, Addr laddr,
         return;
     }
 
-    Tick timeout = us_to_ticks(retry.timeoutUs);
     std::vector<std::uint8_t> want(size);
     peek(laddr, want);
     Addr check = verify_buffer(size);
     std::vector<std::uint8_t> got(size);
     for (int attempt = 0; attempt <= retry.maxRetries; ++attempt) {
+        // Exponential backoff: later attempts wait longer before
+        // declaring the transfer lost, up to the policy cap.
+        Tick timeout = us_to_ticks(retry.attempt_timeout_us(attempt));
         put(dst, raddr, laddr, size, no_flag, no_flag, true);
         if (!wait_all_acks_for(machine.sim().now() + timeout))
             resync_acks();
@@ -498,9 +589,12 @@ Context::read_remote(CellId dst, Addr raddr, Addr laddr,
         return;
     }
 
-    if (!timed_get(dst, raddr, laddr, size,
-                   us_to_ticks(retry.timeoutUs), retry.maxRetries))
-        throw CommError(
+    for (int attempt = 0; attempt <= retry.maxRetries; ++attempt)
+        if (timed_get(dst, raddr, laddr, size,
+                      us_to_ticks(retry.attempt_timeout_us(attempt)),
+                      0))
+            return;
+    throw CommError(
             CommError::Kind::timeout, cellId, dst,
             strprintf("cell %d: read_remote(%u B from cell %d at "
                       "%#llx) got no reply after %d attempts",
@@ -526,12 +620,25 @@ Context::wait_flag(Addr flag_addr, std::uint32_t target)
     ev.recvFlagAddr = flag_addr;
     trace(ev);
 
+    check_alive();
     proc.delay(us_to_ticks(machine.config().timings.flagCheckUs));
     Tick begin = machine.sim().now();
+    Tick deadline = watchdog_deadline();
     bool waited = false;
-    while (flag(flag_addr) < target) {
-        waited = true;
-        proc.wait(cell().mc().flag_cond());
+    if (deadline == 0) {
+        while (flag(flag_addr) < target) {
+            waited = true;
+            proc.wait(cell().mc().flag_cond());
+        }
+    } else {
+        machine.set_wait(cellId, "wait_flag", flag_addr, target);
+        while (flag(flag_addr) < target) {
+            waited = true;
+            if (!proc.wait_until(cell().mc().flag_cond(), deadline) &&
+                flag(flag_addr) < target)
+                watchdog_fire("wait_flag", flag_addr, target);
+        }
+        machine.clear_wait(cellId);
     }
     if (waited) {
         if (auto *tr = machine.tracer())
@@ -550,13 +657,26 @@ Context::wait_all_acks()
     ev.waitTarget = tracedPutAcks;
     trace(ev);
 
+    check_alive();
     proc.delay(us_to_ticks(machine.config().timings.flagCheckUs));
     Tick begin = machine.sim().now();
+    Tick deadline = watchdog_deadline();
     bool waited = false;
     std::uint64_t target = ackBase + acksOutstanding;
-    while (cell().msc().ack_count() < target) {
-        waited = true;
-        proc.wait(cell().msc().ack_cond());
+    if (deadline == 0) {
+        while (cell().msc().ack_count() < target) {
+            waited = true;
+            proc.wait(cell().msc().ack_cond());
+        }
+    } else {
+        machine.set_wait(cellId, "wait_acks", no_flag, target);
+        while (cell().msc().ack_count() < target) {
+            waited = true;
+            if (!proc.wait_until(cell().msc().ack_cond(), deadline) &&
+                cell().msc().ack_count() < target)
+                watchdog_fire("wait_acks", no_flag, target);
+        }
+        machine.clear_wait(cellId);
     }
     if (waited) {
         if (auto *tr = machine.tracer())
@@ -600,12 +720,12 @@ Context::resync_acks()
 std::uint32_t
 Context::remote_load_u32(CellId dst, Addr raddr)
 {
+    check_alive();
     proc.delay(
         us_to_ticks(machine.config().timings.remoteAccessIssueUs));
     std::uint64_t token = cell().msc().issue_remote_load(dst, raddr, 4);
     std::vector<std::uint8_t> data;
-    while (!cell().msc().take_load_reply(token, data))
-        proc.wait(cell().msc().load_cond());
+    wait_load_reply(token, raddr, data);
     std::uint32_t v = 0;
     std::memcpy(&v, data.data(), 4);
     return v;
@@ -614,20 +734,42 @@ Context::remote_load_u32(CellId dst, Addr raddr)
 std::uint64_t
 Context::remote_load_u64(CellId dst, Addr raddr)
 {
+    check_alive();
     proc.delay(
         us_to_ticks(machine.config().timings.remoteAccessIssueUs));
     std::uint64_t token = cell().msc().issue_remote_load(dst, raddr, 8);
     std::vector<std::uint8_t> data;
-    while (!cell().msc().take_load_reply(token, data))
-        proc.wait(cell().msc().load_cond());
+    wait_load_reply(token, raddr, data);
     std::uint64_t v = 0;
     std::memcpy(&v, data.data(), 8);
     return v;
 }
 
 void
+Context::wait_load_reply(std::uint64_t token, Addr raddr,
+                         std::vector<std::uint8_t> &data)
+{
+    Tick deadline = watchdog_deadline();
+    if (deadline != 0)
+        machine.set_wait(cellId, "remote_load", raddr, token);
+    while (!cell().msc().take_load_reply(token, data)) {
+        if (deadline == 0) {
+            proc.wait(cell().msc().load_cond());
+        } else if (!proc.wait_until(cell().msc().load_cond(),
+                                    deadline)) {
+            if (cell().msc().take_load_reply(token, data))
+                break;
+            watchdog_fire("remote_load", raddr, token);
+        }
+    }
+    if (deadline != 0)
+        machine.clear_wait(cellId);
+}
+
+void
 Context::remote_store_u32(CellId dst, Addr raddr, std::uint32_t v)
 {
+    check_alive();
     proc.delay(
         us_to_ticks(machine.config().timings.remoteAccessIssueUs));
     std::vector<std::uint8_t> data(4);
@@ -639,6 +781,7 @@ Context::remote_store_u32(CellId dst, Addr raddr, std::uint32_t v)
 void
 Context::remote_store_u64(CellId dst, Addr raddr, std::uint64_t v)
 {
+    check_alive();
     proc.delay(
         us_to_ticks(machine.config().timings.remoteAccessIssueUs));
     std::vector<std::uint8_t> data(8);
@@ -735,12 +878,14 @@ std::uint32_t
 Context::recv(CellId src, std::int32_t tag, Addr laddr,
               std::uint32_t max_size)
 {
+    check_alive();
     ++ctxStats.recvs;
 
     // RECEIVE searches the ring buffer, then copies to the user area
     // — the intrinsic SEND/RECEIVE overhead (Section 1.3).
     proc.delay(us_to_ticks(machine.config().timings.receiveSearchUs));
-    hw::SendRecord rec = cell().ring().receive(src, tag, proc);
+    hw::SendRecord rec =
+        ring_take_guarded(src, tag, /*in_place=*/false, "recv");
     if (rec.payload.size() > max_size)
         fatal("cell %d: received %zu bytes into a %u-byte area",
               cellId, rec.payload.size(), max_size);

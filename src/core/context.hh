@@ -47,8 +47,11 @@ class CommError : public std::runtime_error
   public:
     enum class Kind
     {
-        timeout, ///< completion wait timed out, retries exhausted
-        fault,   ///< page faults flushed the transfer repeatedly
+        timeout,     ///< completion wait timed out, retries exhausted
+        fault,       ///< page faults flushed the transfer repeatedly
+        watchdog,    ///< flag wait exceeded the watchdog deadline;
+                     ///< what() carries a machine-wide wait graph
+        cell_failed, ///< this cell (or a required peer) is fail-stop
     };
 
     CommError(Kind kind, CellId cell, CellId peer,
@@ -123,6 +126,9 @@ struct ContextStats
     std::uint64_t acksRequested = 0;
     std::uint64_t putBytes = 0;
     std::uint64_t getBytes = 0;
+    /** Collectives completed over a reduced (degraded) member set
+     *  because one or more cells had failed. */
+    std::uint64_t degradedCollectives = 0;
 };
 
 /**
@@ -378,6 +384,17 @@ class Context
 
     const ContextStats &stats() const { return ctxStats; }
 
+    /**
+     * @return true when the most recent collective (barrier or
+     * reduction) completed over a reduced member set because some
+     * cells had failed — the degraded-result marker: the value is
+     * valid over the survivors only.
+     */
+    bool last_collective_degraded() const
+    {
+        return lastCollectiveDegraded;
+    }
+
     /** The hardware cell behind this context. */
     hw::Cell &cell() { return machine.cell(cellId); }
     const hw::Cell &cell() const { return machine.cell(cellId); }
@@ -390,6 +407,25 @@ class Context
 
   private:
     void trace(TraceEvent ev);
+    /** Throw CommError(cell_failed) when this cell is fail-stop. */
+    void check_alive();
+    /** Throw CommError(watchdog) with a machine wait-graph dump. */
+    [[noreturn]] void watchdog_fire(const char *what, Addr addr,
+                                    std::uint64_t target);
+    /** Watchdog deadline from now, or 0 when the watchdog is off. */
+    Tick watchdog_deadline() const;
+    /** Park until the DSM load reply for @p token arrives. */
+    void wait_load_reply(std::uint64_t token, Addr raddr,
+                         std::vector<std::uint8_t> &data);
+    /** The group of all non-failed cells. */
+    Group live_group() const;
+    /** Ring-buffer take with the watchdog armed (copy or in-place). */
+    hw::SendRecord ring_take_guarded(CellId src, std::int32_t tag,
+                                     bool in_place,
+                                     const char *what);
+    /** group_reduce() body, after failed members were filtered out. */
+    double group_reduce_impl(const Group &group, double value,
+                             ReduceOp op);
     void issue(hw::Command cmd);
     void issue_ack_probe(CellId dst);
     double combine(double a, double b, ReduceOp op) const;
@@ -438,6 +474,7 @@ class Context
     std::uint64_t tracedPutAcks = 0;
     std::uint32_t collectiveSeq = 0;
     bool rtsMode = false;
+    bool lastCollectiveDegraded = false;
     ContextStats ctxStats;
 };
 

@@ -35,7 +35,10 @@ run_spmd(hw::Machine &machine, const SpmdBody &body, Trace *trace)
                 try {
                     body(*contexts[static_cast<std::size_t>(i)]);
                 } catch (const CommError &e) {
-                    result.errors.push_back(e.what());
+                    // A fail-stop cell's own demise is not a program
+                    // error; its fate is reported via failedCells.
+                    if (!machine.cell_failed(i))
+                        result.errors.push_back(e.what());
                 }
                 result.cellFinish[static_cast<std::size_t>(i)] =
                     p.simulator().now();
@@ -50,7 +53,9 @@ run_spmd(hw::Machine &machine, const SpmdBody &body, Trace *trace)
     for (int i = 0; i < n; ++i) {
         auto idx = static_cast<std::size_t>(i);
         result.cellBlocked[idx] = procs[idx]->blocked_ticks();
-        if (!procs[idx]->finished()) {
+        if (machine.cell_failed(i)) {
+            result.failedCells.push_back(i);
+        } else if (!procs[idx]->finished()) {
             result.deadlock = true;
             result.stuck.push_back(procs[idx]->name());
         }

@@ -45,6 +45,13 @@ struct SpmdResult
      * and the error is reported here instead of hanging the run.
      */
     std::vector<std::string> errors;
+    /**
+     * Cells declared fail-stop during the run (FaultPlan::kills). A
+     * dead cell's unfinished body or cell_failed CommError is expected
+     * — it lands here instead of errors/stuck, so a run where only
+     * killed cells misbehave still counts as passed.
+     */
+    std::vector<CellId> failedCells;
     bool failed() const { return deadlock || !errors.empty(); }
     /** Wall-clock of the run in microseconds of simulated time. */
     double finish_us() const { return ticks_to_us(finishTick); }

@@ -4,7 +4,7 @@ namespace ap::hw
 {
 
 Cell::Cell(sim::Simulator &sim, const MachineConfig &cfg, CellId id,
-           net::Tnet &tnet)
+           net::Link &tnet)
     : cellId(id),
       mem(cfg.memBytesPerCell),
       mcUnit(mem),

@@ -20,7 +20,7 @@
 #include "hw/memory.hh"
 #include "hw/msc.hh"
 #include "hw/ringbuf.hh"
-#include "net/tnet.hh"
+#include "net/link.hh"
 #include "sim/eventq.hh"
 
 namespace ap::hw
@@ -34,10 +34,10 @@ class Cell
      * @param sim owning simulator
      * @param cfg machine configuration
      * @param id this cell's id
-     * @param tnet the torus network
+     * @param tnet the outgoing message link
      */
     Cell(sim::Simulator &sim, const MachineConfig &cfg, CellId id,
-         net::Tnet &tnet);
+         net::Link &tnet);
 
     Cell(const Cell &) = delete;
     Cell &operator=(const Cell &) = delete;

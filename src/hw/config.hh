@@ -7,11 +7,13 @@
 #ifndef AP_HW_CONFIG_HH
 #define AP_HW_CONFIG_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <string>
 
 #include "base/types.hh"
 #include "net/bnet.hh"
+#include "net/reliable.hh"
 #include "net/snet.hh"
 #include "net/tnet.hh"
 #include "sim/fault.hh"
@@ -33,8 +35,36 @@ struct RetryPolicy
     double timeoutUs = 0.0;
     /** Reissue attempts after the first try. */
     int maxRetries = 8;
+    /** Per-attempt timeout multiplier (exponential backoff);
+     *  values <= 1 mean a flat timeout on every attempt. */
+    double backoffFactor = 2.0;
+    /** Backoff saturation cap in microseconds; 0 = 8x timeoutUs. */
+    double timeoutCapUs = 0.0;
+    /**
+     * Flag-wait watchdog deadline in microseconds; 0 disables. A
+     * blocked flag/ack wait past this deadline raises a typed
+     * CommError carrying a machine-wide wait-graph dump instead of
+     * hanging forever. Independent of enabled(): the watchdog is
+     * useful even when retries are off.
+     */
+    double watchdogUs = 0.0;
 
     bool enabled() const { return timeoutUs > 0.0; }
+    bool watchdog_enabled() const { return watchdogUs > 0.0; }
+
+    /** Timeout of the @p attempt-th reissue (0 = first try),
+     *  backed off exponentially and saturated at the cap. */
+    double
+    attempt_timeout_us(int attempt) const
+    {
+        double cap = timeoutCapUs > 0.0 ? timeoutCapUs
+                                        : timeoutUs * 8.0;
+        double t = timeoutUs;
+        double factor = backoffFactor > 1.0 ? backoffFactor : 1.0;
+        for (int i = 0; i < attempt && t < cap; ++i)
+            t *= factor;
+        return std::min(t, cap);
+    }
 };
 
 /**
@@ -103,6 +133,13 @@ struct MachineConfig
     sim::FaultPlan faults;
     /** Retry/timeout policy for the runtime's completion waits. */
     RetryPolicy retry;
+
+    /** Stack the reliable-delivery layer (net/reliable.hh) between
+     *  the MSC+ and the T-net. Off by default: the paper's T-net is
+     *  lossless, and benches measure the layer's overhead. */
+    bool reliableNet = false;
+    /** Reliable-layer protocol parameters (window, RTO, ...). */
+    net::ReliableParams rnet;
 
     /** Peak system GFLOPS (Table 1: 0.2 - 51.2). */
     double

@@ -13,32 +13,111 @@ Machine::Machine(MachineConfig config)
       tnetNet(simulator, net::Torus::squarest(cfg.cells), cfg.tnet),
       bnetNet(simulator, cfg.cells, cfg.bnet),
       snetNet(simulator, cfg.cells, cfg.snet),
-      dsmMap(cfg.cells, cfg.memBytesPerCell / 2)
+      dsmMap(cfg.cells, cfg.memBytesPerCell / 2),
+      cellFailed(static_cast<std::size_t>(cfg.cells), 0),
+      waitInfos(static_cast<std::size_t>(cfg.cells))
 {
     // Wire fault injection only when the plan injects something: a
     // machine built with the default (empty) plan runs the exact same
     // code paths as before the fault layer existed.
     if (cfg.faults.any()) {
         tnetNet.set_fault_injector(&faultInj);
+        faultInj.set_cells(cfg.cells);
         if (cfg.faults.jitterMaxUs > 0.0)
             simulator.set_delay_jitter(
                 [this](Tick) { return faultInj.jitter(); });
     }
+    if (cfg.reliableNet)
+        rnetNet = std::make_unique<net::ReliableNet>(
+            simulator, tnetNet, cfg.rnet);
+    if (!cfg.faults.kills.empty()) {
+        auto aliveFn = [this](CellId id) { return !cell_failed(id); };
+        tnetNet.set_liveness(aliveFn);
+        if (rnetNet)
+            rnetNet->set_liveness(aliveFn);
+    }
+
+    // The MSC+ injects into the reliable layer when it is on, the raw
+    // T-net otherwise; delivery takes the same path in reverse, and a
+    // failed cell's inbound traffic is discarded at the last hop.
+    net::Link &link =
+        rnetNet ? static_cast<net::Link &>(*rnetNet)
+                : static_cast<net::Link &>(tnetNet);
     cells.reserve(static_cast<std::size_t>(cfg.cells));
     for (int i = 0; i < cfg.cells; ++i) {
         cells.push_back(std::make_unique<Cell>(simulator, cfg, i,
-                                               tnetNet));
+                                               link));
         Cell *c = cells.back().get();
         if (cfg.faults.any())
             c->msc().set_fault_injector(&faultInj);
-        tnetNet.attach(i, [c](net::Message msg) {
+        auto deliver = [this, c](net::Message msg) {
+            if (cell_failed(c->id()))
+                return;
             c->msc().deliver(std::move(msg));
-        });
-        bnetNet.attach(i, [c](net::Message msg) {
-            c->msc().deliver(std::move(msg));
-        });
+        };
+        if (rnetNet)
+            rnetNet->attach(i, deliver);
+        else
+            tnetNet.attach(i, deliver);
+        bnetNet.attach(i, deliver);
+    }
+    for (const sim::FaultPlan::CellKill &k : cfg.faults.kills) {
+        if (k.cell < 0 || k.cell >= cfg.cells)
+            panic("kill plan names cell %d outside machine of %d",
+                  k.cell, cfg.cells);
+        simulator.schedule(us_to_ticks(k.atUs),
+                           [this, id = k.cell]() { fail_cell(id); });
     }
     register_stats();
+}
+
+void
+Machine::fail_cell(CellId id)
+{
+    if (cell_failed(id))
+        return;
+    cellFailed[static_cast<std::size_t>(id)] = 1;
+    ++cellKills;
+    warn("cell %d declared failed at t=%.1f us", id,
+         ticks_to_us(simulator.now()));
+    snetNet.fail_cell(id);
+    if (rnetNet)
+        rnetNet->flush_cell(id);
+    if (tracerPtr)
+        tracerPtr->instant(obs::machine_track, "fault",
+                           strprintf("kill:cell%d", id));
+}
+
+std::string
+Machine::wait_graph()
+{
+    std::string out = strprintf(
+        "wait graph at t=%.1f us (%d cells):\n",
+        ticks_to_us(simulator.now()), cfg.cells);
+    for (int i = 0; i < cfg.cells; ++i) {
+        const WaitInfo &w = waitInfos[static_cast<std::size_t>(i)];
+        if (cell_failed(i)) {
+            out += strprintf("  cell %d: FAILED\n", i);
+            continue;
+        }
+        if (!w.what) {
+            out += strprintf("  cell %d: running\n", i);
+            continue;
+        }
+        Cell &c = *cells[static_cast<std::size_t>(i)];
+        std::uint64_t live =
+            w.addr != no_flag
+                ? c.mc().read_flag(w.addr)
+                : static_cast<std::uint64_t>(c.msc().ack_count());
+        out += strprintf("  cell %d: blocked on %s addr=%#llx "
+                         "(have %llu, want %llu) since t=%.1f us\n",
+                         i, w.what,
+                         static_cast<unsigned long long>(w.addr),
+                         static_cast<unsigned long long>(live),
+                         static_cast<unsigned long long>(w.target),
+                         ticks_to_us(w.since));
+    }
+    return out;
 }
 
 void
@@ -52,6 +131,8 @@ Machine::register_stats()
     statsReg.add_counter("tnet.dropped", &t.dropped);
     statsReg.add_counter("tnet.duplicated", &t.duplicated);
     statsReg.add_counter("tnet.reordered", &t.reordered);
+    statsReg.add_counter("tnet.corrupted", &t.corrupted);
+    statsReg.add_counter("tnet.dead_cell_drops", &t.deadCellDrops);
     statsReg.add_histogram("tnet.distance", &t.distance);
     statsReg.add_histogram("tnet.message_size", &t.messageSize);
     statsReg.add_histogram("tnet.latency_us", &t.latencyUs);
@@ -74,6 +155,8 @@ Machine::register_stats()
                          &f.injectedPageFaults);
     statsReg.add_counter("faults.jittered_events", &f.jitteredEvents);
     statsReg.add_gauge("faults.jitter_ticks", &f.jitterTicks);
+    statsReg.add_counter("faults.corruptions", &f.corruptions);
+    statsReg.add_gauge("faults.cell_kills", &cellKills);
 
     // Per-cell subtrees.
     for (auto &cp : cells) {
@@ -163,6 +246,42 @@ Machine::register_stats()
                              &rb.growInterrupts);
         statsReg.add_gauge(p + "ring.max_depth", &rb.maxDepth);
         statsReg.add_gauge(p + "ring.max_bytes", &rb.maxBytes);
+
+        if (cfg.faults.any()) {
+            const sim::FaultInjector::HoldStats &h =
+                faultInj.hold_stats(c->id());
+            statsReg.add_gauge(p + "fault.held_high_water",
+                               &h.heldHighWater);
+            statsReg.add_counter(p + "fault.dup_evictions",
+                                 &h.dupEvictions);
+            statsReg.add_counter(p + "fault.reorder_evictions",
+                                 &h.reorderEvictions);
+        }
+
+        if (rnetNet) {
+            const net::RnetStats &rn = rnetNet->stats(c->id());
+            statsReg.add_counter(p + "rnet.data_sent", &rn.dataSent);
+            statsReg.add_counter(p + "rnet.retransmits",
+                                 &rn.retransmits);
+            statsReg.add_counter(p + "rnet.acks_piggybacked",
+                                 &rn.acksPiggybacked);
+            statsReg.add_counter(p + "rnet.queued_full",
+                                 &rn.queuedFull);
+            statsReg.add_gauge(p + "rnet.window_high_water",
+                               &rn.windowHighWater);
+            statsReg.add_counter(p + "rnet.aborted",
+                                 &rn.abortedMsgs);
+            statsReg.add_counter(p + "rnet.dup_drops", &rn.dupDrops);
+            statsReg.add_counter(p + "rnet.ooo_buffered",
+                                 &rn.oooBuffered);
+            statsReg.add_counter(p + "rnet.ooo_evictions",
+                                 &rn.oooEvictions);
+            statsReg.add_counter(p + "rnet.checksum_drops",
+                                 &rn.checksumDrops);
+            statsReg.add_counter(p + "rnet.acks_sent", &rn.acksSent);
+            statsReg.add_histogram(p + "rnet.ack_latency_us",
+                                   &rn.ackLatencyUs);
+        }
     }
 }
 
@@ -192,6 +311,8 @@ Machine::enable_tracing(std::size_t capacity)
     tracerPtr = std::make_unique<obs::Tracer>(simulator, capacity);
     tnetNet.set_tracer(tracerPtr.get());
     bnetNet.set_tracer(tracerPtr.get());
+    if (rnetNet)
+        rnetNet->set_tracer(tracerPtr.get());
     for (auto &c : cells) {
         int track = c->id();
         c->msc().set_tracer(tracerPtr.get(), track);
@@ -262,6 +383,15 @@ Machine::report() const
                      hist_mean("tnet.distance"));
     out += strprintf("B-net: %llu broadcasts\n",
                      llu(r.value("bnet.broadcasts")));
+    if (rnetNet)
+        out += strprintf("rnet: %llu sent, %llu retransmits, "
+                         "%llu dup drops, %llu ooo buffered, "
+                         "%llu standalone acks\n",
+                         llu(r.sum("*.rnet.data_sent")),
+                         llu(r.sum("*.rnet.retransmits")),
+                         llu(r.sum("*.rnet.dup_drops")),
+                         llu(r.sum("*.rnet.ooo_buffered")),
+                         llu(r.sum("*.rnet.acks_sent")));
     out += strprintf("MSC+: %llu PUTs, %llu GETs, %llu SENDs, "
                      "%llu acks, %llu rstores, %llu rloads, "
                      "faults %llu/%llu (local/remote)\n",

@@ -15,6 +15,7 @@
 #include "hw/config.hh"
 #include "hw/dsm.hh"
 #include "net/bnet.hh"
+#include "net/reliable.hh"
 #include "net/snet.hh"
 #include "net/tnet.hh"
 #include "net/topology.hh"
@@ -49,6 +50,10 @@ class Machine
     net::Tnet &tnet() { return tnetNet; }
     net::Bnet &bnet() { return bnetNet; }
     net::Snet &snet() { return snetNet; }
+
+    /** The reliable layer, or nullptr when cfg.reliableNet is off. */
+    net::ReliableNet *reliable() { return rnetNet.get(); }
+    const net::ReliableNet *reliable() const { return rnetNet.get(); }
     const net::Torus &topology() const { return tnetNet.topology(); }
     const DsmMap &dsm() const { return dsmMap; }
 
@@ -61,6 +66,64 @@ class Machine
 
     /** Install a PUT/GET page-fault observer on every cell. */
     void set_fault_hook(FaultHook hook);
+
+    // -- fail-stop cells -----------------------------------------------
+
+    /** @return true when @p id has been declared failed. */
+    bool
+    cell_failed(CellId id) const
+    {
+        return cellFailed[static_cast<std::size_t>(id)] != 0;
+    }
+
+    /** @return true when any cell has been declared failed. */
+    bool any_failed() const { return cellKills > 0; }
+
+    /**
+     * Declare @p id failed (fail-stop, idempotent): its traffic is
+     * discarded, queued reliable-layer messages to/from it abort,
+     * and barriers release without it. Scheduled automatically for
+     * every FaultPlan::kills entry.
+     */
+    void fail_cell(CellId id);
+
+    // -- watchdog wait registry ----------------------------------------
+
+    /** What one cell is currently parked on (for wait_graph()). */
+    struct WaitInfo
+    {
+        const char *what = nullptr; ///< "wait_flag", "ack", ...
+        Addr addr = 0;
+        std::uint64_t target = 0;
+        Tick since = 0;
+    };
+
+    /** Record that @p id is blocked on @p what (watchdog support). */
+    void
+    set_wait(CellId id, const char *what, Addr addr,
+             std::uint64_t target)
+    {
+        WaitInfo &w = waitInfos[static_cast<std::size_t>(id)];
+        w.what = what;
+        w.addr = addr;
+        w.target = target;
+        w.since = simulator.now();
+    }
+
+    /** Clear @p id 's wait record (the wait completed). */
+    void
+    clear_wait(CellId id)
+    {
+        waitInfos[static_cast<std::size_t>(id)].what = nullptr;
+    }
+
+    /**
+     * Render a machine-wide wait-graph dump: every cell's current
+     * blocked operation with the live value of the awaited flag/ack
+     * counter, plus failed cells. Attached to watchdog CommErrors so
+     * a stuck run explains itself instead of hanging.
+     */
+    std::string wait_graph();
 
     /**
      * Render a machine-wide statistics report: network traffic,
@@ -118,8 +181,12 @@ class Machine
     net::Tnet tnetNet;
     net::Bnet bnetNet;
     net::Snet snetNet;
+    std::unique_ptr<net::ReliableNet> rnetNet;
     DsmMap dsmMap;
     std::vector<std::unique_ptr<Cell>> cells;
+    std::vector<char> cellFailed;
+    std::vector<WaitInfo> waitInfos;
+    std::uint64_t cellKills = 0;
     obs::StatsRegistry statsReg;
     std::unique_ptr<obs::Tracer> tracerPtr;
 };

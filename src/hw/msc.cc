@@ -12,7 +12,7 @@ namespace ap::hw
 {
 
 Msc::Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
-         net::Tnet &tnet)
+         net::Link &tnet)
     : sim(sim), cfg(cfg), cell(cell), tnet(tnet),
       userQ(cfg.queueCapacityWords),
       systemQ(cfg.queueCapacityWords),
@@ -540,6 +540,10 @@ Msc::receive_body(net::Message msg)
         cell.mc().increment_flag(msg.destFlag);
         break;
       }
+      case net::MsgKind::rnet_ack:
+        // Protocol-internal; the reliable layer consumes these before
+        // they reach the MSC+. Nothing to do if one slips through.
+        break;
     }
 }
 

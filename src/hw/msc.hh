@@ -36,8 +36,8 @@
 #include "hw/command.hh"
 #include "hw/config.hh"
 #include "hw/queues.hh"
+#include "net/link.hh"
 #include "net/message.hh"
-#include "net/tnet.hh"
 #include "obs/tracer.hh"
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
@@ -85,10 +85,11 @@ class Msc
      * @param sim owning simulator
      * @param cfg machine configuration (timings, queue sizes)
      * @param cell the cell this controller belongs to
-     * @param tnet the torus network
+     * @param tnet the outgoing link (raw T-net or the reliable
+     *             layer stacked on it)
      */
     Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
-        net::Tnet &tnet);
+        net::Link &tnet);
 
     // -- processor side ------------------------------------------------
 
@@ -182,7 +183,7 @@ class Msc
     sim::Simulator &sim;
     const MachineConfig &cfg;
     Cell &cell;
-    net::Tnet &tnet;
+    net::Link &tnet;
 
     CommandQueue userQ;
     CommandQueue systemQ;

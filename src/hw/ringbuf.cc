@@ -97,4 +97,23 @@ RingBuffer::consume_in_place(CellId src, std::int32_t tag,
     return take(*hit);
 }
 
+std::optional<SendRecord>
+RingBuffer::receive_until(CellId src, std::int32_t tag,
+                          sim::Process &proc, Tick deadline,
+                          bool in_place)
+{
+    std::optional<std::size_t> hit;
+    while (!(hit = find(src, tag))) {
+        if (!proc.wait_until(arrival, deadline) &&
+            !(hit = find(src, tag)))
+            return std::nullopt;
+    }
+    ++rbStats.receives;
+    if (in_place)
+        ++rbStats.inPlaceReads;
+    else
+        ++rbStats.copies;
+    return take(*hit);
+}
+
 } // namespace ap::hw

@@ -86,6 +86,18 @@ class RingBuffer
     SendRecord consume_in_place(CellId src, std::int32_t tag,
                                 sim::Process &proc);
 
+    /**
+     * Deadline-aware blocking take: like receive() (or
+     * consume_in_place() when @p in_place), but gives up when
+     * @p deadline passes with no matching record — the watchdog's
+     * hook into SEND/RECEIVE and reduction waits.
+     */
+    std::optional<SendRecord> receive_until(CellId src,
+                                            std::int32_t tag,
+                                            sim::Process &proc,
+                                            Tick deadline,
+                                            bool in_place);
+
     /** Messages currently buffered. */
     std::size_t depth() const { return records.size(); }
 

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Abstract point-to-point message link.
+ *
+ * The MSC+ hands outgoing messages to a Link; concretely that is
+ * either the raw T-net or the reliable-delivery layer stacked on top
+ * of it (net/reliable.hh). The seam keeps the MSC+ oblivious to
+ * whether sequencing/retransmission happens underneath.
+ */
+
+#ifndef AP_NET_LINK_HH
+#define AP_NET_LINK_HH
+
+#include "base/types.hh"
+#include "net/message.hh"
+
+namespace ap::net
+{
+
+/** Anything that can carry a Message from src to dst. */
+class Link
+{
+  public:
+    virtual ~Link() = default;
+
+    /**
+     * Accept @p msg for delivery to its destination's handler.
+     * @return the scheduled arrival tick of the initial transmission
+     * (informational; reliable links may deliver later).
+     */
+    virtual Tick send(Message msg) = 0;
+};
+
+} // namespace ap::net
+
+#endif // AP_NET_LINK_HH

@@ -25,8 +25,43 @@ to_string(MsgKind kind)
         return "RLOAD_REPLY";
       case MsgKind::broadcast:
         return "BCAST";
+      case MsgKind::rnet_ack:
+        return "RNET_ACK";
     }
     return "?";
+}
+
+namespace
+{
+
+inline void
+fnv1a(std::uint32_t &h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= static_cast<std::uint8_t>(v >> (i * 8));
+        h *= 16777619u;
+    }
+}
+
+} // namespace
+
+std::uint32_t
+Message::payload_checksum() const
+{
+    std::uint32_t h = 2166136261u;
+    fnv1a(h, static_cast<std::uint64_t>(kind));
+    fnv1a(h, static_cast<std::uint64_t>(src));
+    fnv1a(h, static_cast<std::uint64_t>(dst));
+    fnv1a(h, raddr);
+    fnv1a(h, laddr);
+    fnv1a(h, seq);
+    fnv1a(h, static_cast<std::uint64_t>(tag));
+    fnv1a(h, token);
+    for (std::uint8_t b : payload) {
+        h ^= b;
+        h *= 16777619u;
+    }
+    return h;
 }
 
 std::string

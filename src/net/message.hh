@@ -31,6 +31,7 @@ enum class MsgKind : std::uint8_t
     remote_load,       ///< DSM hardware load (blocking)
     remote_load_reply, ///< data coming back for a remote load
     broadcast,         ///< B-net broadcast payload
+    rnet_ack,          ///< standalone cumulative ack (reliable layer)
 };
 
 /** @return a short printable name for a message kind. */
@@ -114,18 +115,43 @@ struct Message
     /** Matching token for remote-load replies. */
     std::uint64_t token = 0;
 
+    /**
+     * Reliable-layer envelope (net/reliable.hh). When @ref reliable
+     * is set the message carries a per-(src,dst)-channel sequence
+     * number, a piggybacked cumulative ack for the reverse channel,
+     * and an FNV-1a checksum over the header+payload.
+     */
+    bool reliable = false;
+    /** Channel sequence number (1-based; 0 = unsequenced). */
+    std::uint64_t seq = 0;
+    /** Cumulative ack: highest in-order seq received on dst->src. */
+    std::uint64_t ackSeq = 0;
+    /** payload_checksum() at send time (reliable messages only). */
+    std::uint32_t checksum = 0;
+
     /** Payload bytes (data-bearing kinds only). */
     std::vector<std::uint8_t> payload;
 
     /** Header size on the wire, bytes (8 words, Section 4.1). */
     static constexpr std::uint32_t header_bytes = 32;
 
+    /** Extra wire bytes of the reliable envelope (seq/ack/csum). */
+    static constexpr std::uint32_t reliable_header_bytes = 16;
+
     /** Total wire size: header plus payload. */
     std::uint64_t
     wire_bytes() const
     {
-        return header_bytes + payload.size();
+        return header_bytes + payload.size() +
+               (reliable ? reliable_header_bytes : 0);
     }
+
+    /**
+     * FNV-1a-32 over the delivery-relevant header fields, seq and the
+     * payload. Excludes ackSeq so a retransmission can refresh its
+     * piggybacked ack without recomputing the checksum.
+     */
+    std::uint32_t payload_checksum() const;
 
     /** Diagnostic one-liner. */
     std::string describe() const;

@@ -1,0 +1,355 @@
+#include "net/reliable.hh"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "base/logging.hh"
+#include "obs/debug.hh"
+
+namespace ap::net
+{
+
+ReliableNet::ReliableNet(sim::Simulator &sim, Tnet &tnet,
+                         ReliableParams params)
+    : sim(sim), tnet(tnet), prm(params), cells(tnet.topology().size()),
+      handlers(static_cast<std::size_t>(cells)),
+      cellStats(static_cast<std::size_t>(cells))
+{
+}
+
+void
+ReliableNet::attach(CellId id, Deliver deliver)
+{
+    handlers[static_cast<std::size_t>(id)] = std::move(deliver);
+    tnet.attach(id,
+                [this](Message m) { on_deliver(std::move(m)); });
+}
+
+std::uint64_t
+ReliableNet::chan_key(CellId src, CellId dst) const
+{
+    return static_cast<std::uint64_t>(src) *
+               static_cast<std::uint64_t>(cells) +
+           static_cast<std::uint64_t>(dst);
+}
+
+ReliableNet::SendChannel &
+ReliableNet::send_channel(CellId src, CellId dst)
+{
+    SendChannel &ch = sendChans[chan_key(src, dst)];
+    if (ch.rtoUs == 0.0)
+        ch.rtoUs = prm.rtoUs;
+    return ch;
+}
+
+ReliableNet::RecvChannel &
+ReliableNet::recv_channel(CellId src, CellId dst)
+{
+    return recvChans[chan_key(src, dst)];
+}
+
+void
+ReliableNet::stamp_ack(Message &msg)
+{
+    // An outgoing src->dst data message acknowledges what we have
+    // received in order on the reverse channel dst->src.
+    RecvChannel &rc = recv_channel(msg.dst, msg.src);
+    msg.ackSeq = rc.expected - 1;
+    if (rc.ackPending) {
+        rc.ackPending = false;
+        ++stats_of(msg.src).acksPiggybacked;
+    }
+}
+
+Tick
+ReliableNet::send(Message msg)
+{
+    CellId src = msg.src, dst = msg.dst;
+    if (is_dead(src) || is_dead(dst)) {
+        ++stats_of(src).abortedMsgs;
+        return sim.now();
+    }
+
+    SendChannel &ch = send_channel(src, dst);
+    msg.reliable = true;
+    msg.seq = ch.nextSeq++;
+    stamp_ack(msg);
+    msg.checksum = msg.payload_checksum();
+
+    RnetStats &st = stats_of(src);
+    ++st.dataSent;
+
+    AP_DPRINTF(RNet, "send %s %d -> %d seq=%llu ack=%llu",
+               to_string(msg.kind), src, dst,
+               static_cast<unsigned long long>(msg.seq),
+               static_cast<unsigned long long>(msg.ackSeq));
+
+    if (ch.window.size() <
+        static_cast<std::size_t>(prm.windowSize)) {
+        transmit(ch, src, dst, std::move(msg));
+    } else {
+        ++st.queuedFull;
+        ch.backlog.push_back(std::move(msg));
+    }
+    return sim.now();
+}
+
+void
+ReliableNet::transmit(SendChannel &ch, CellId src, CellId dst,
+                      Message msg)
+{
+    Pending p;
+    p.msg = msg;
+    p.firstSent = sim.now();
+    p.lastSent = sim.now();
+    ch.window.push_back(std::move(p));
+    RnetStats &st = stats_of(src);
+    st.windowHighWater =
+        std::max(st.windowHighWater,
+                 static_cast<std::uint64_t>(ch.window.size()));
+    tnet.send(std::move(msg));
+    arm_timer(ch, src, dst, ch.rtoUs);
+}
+
+void
+ReliableNet::arm_timer(SendChannel &ch, CellId src, CellId dst,
+                       double delayUs)
+{
+    if (ch.timerArmed)
+        return;
+    ch.timerArmed = true;
+    std::uint64_t expect = ++ch.timerSeq;
+    sim.schedule(sim.now() + us_to_ticks(delayUs),
+                 [this, src, dst, expect]() {
+                     on_timer(src, dst, expect);
+                 });
+}
+
+void
+ReliableNet::on_timer(CellId src, CellId dst, std::uint64_t expect)
+{
+    SendChannel &ch = send_channel(src, dst);
+    if (ch.timerSeq != expect)
+        return; // stale timer (superseded or flushed)
+    ch.timerArmed = false;
+
+    if (ch.window.empty()) {
+        ch.rtoUs = prm.rtoUs;
+        return;
+    }
+    if (is_dead(src) || is_dead(dst)) {
+        // flush_cell normally handles this; defensive sweep in case
+        // the liveness transition raced the timer.
+        stats_of(src).abortedMsgs +=
+            ch.window.size() + ch.backlog.size();
+        ch.window.clear();
+        ch.backlog.clear();
+        return;
+    }
+
+    Tick due = ch.window.front().lastSent + us_to_ticks(ch.rtoUs);
+    if (sim.now() < due) {
+        // An ack advanced the window since this timer was armed;
+        // re-arm relative to the oldest unacked transmission.
+        arm_timer(ch, src, dst, ticks_to_us(due - sim.now()));
+        return;
+    }
+
+    if (ch.window.front().sends > prm.maxRetransmits) {
+        std::uint64_t lost = ch.window.size() + ch.backlog.size();
+        stats_of(src).abortedMsgs += lost;
+        warn("rnet: channel %d -> %d gave up after %d retransmits "
+             "(%llu messages aborted)",
+             src, dst, prm.maxRetransmits,
+             static_cast<unsigned long long>(lost));
+        ch.window.clear();
+        ch.backlog.clear();
+        return;
+    }
+
+    // Go-back-N: retransmit the whole window with fresh piggybacked
+    // acks; the receiver's duplicate suppression absorbs any that
+    // were delivered but whose acks were lost.
+    RnetStats &st = stats_of(src);
+    for (Pending &p : ch.window) {
+        ++st.retransmits;
+        ++p.sends;
+        p.lastSent = sim.now();
+        Message copy = p.msg;
+        stamp_ack(copy);
+        AP_DPRINTF(RNet, "retransmit %s %d -> %d seq=%llu (try %d)",
+                   to_string(copy.kind), src, dst,
+                   static_cast<unsigned long long>(copy.seq),
+                   p.sends);
+        tnet.send(std::move(copy));
+    }
+    if (tracer)
+        tracer->instant(obs::machine_track, "rnet",
+                        strprintf("retransmit:%d->%d", src, dst));
+    ch.rtoUs = std::min(ch.rtoUs * 2.0, prm.rtoMaxUs);
+    arm_timer(ch, src, dst, ch.rtoUs);
+}
+
+void
+ReliableNet::on_deliver(Message msg)
+{
+    CellId src = msg.src, dst = msg.dst;
+
+    if (msg.kind == MsgKind::rnet_ack) {
+        process_ack(dst, src, msg.ackSeq);
+        return;
+    }
+    if (!msg.reliable) {
+        // Defensive pass-through for unsequenced traffic.
+        deliver_up(std::move(msg));
+        return;
+    }
+
+    // Piggybacked cumulative ack for our dst->src send channel.
+    process_ack(dst, src, msg.ackSeq);
+
+    RnetStats &st = stats_of(dst);
+    if (msg.payload_checksum() != msg.checksum) {
+        // Corrupted in flight: drop without acking; the sender's
+        // retransmission carries a clean copy.
+        ++st.checksumDrops;
+        AP_DPRINTF(RNet, "checksum drop %s %d -> %d seq=%llu",
+                   to_string(msg.kind), src, dst,
+                   static_cast<unsigned long long>(msg.seq));
+        return;
+    }
+
+    RecvChannel &rc = recv_channel(src, dst);
+    if (msg.seq < rc.expected || rc.ooo.count(msg.seq)) {
+        ++st.dupDrops;
+        AP_DPRINTF(RNet, "dup drop %s %d -> %d seq=%llu (expect "
+                   "%llu)",
+                   to_string(msg.kind), src, dst,
+                   static_cast<unsigned long long>(msg.seq),
+                   static_cast<unsigned long long>(rc.expected));
+        // Re-ack so a sender whose ack was lost stops retransmitting.
+        schedule_ack(src, dst);
+        return;
+    }
+    if (msg.seq == rc.expected) {
+        ++rc.expected;
+        deliver_up(std::move(msg));
+        // Release any directly following out-of-order arrivals.
+        auto it = rc.ooo.find(rc.expected);
+        while (it != rc.ooo.end()) {
+            ++rc.expected;
+            Message next = std::move(it->second);
+            rc.ooo.erase(it);
+            deliver_up(std::move(next));
+            it = rc.ooo.find(rc.expected);
+        }
+        schedule_ack(src, dst);
+        return;
+    }
+    // Ahead of sequence: buffer for reassembly (bounded).
+    if (rc.ooo.size() >= static_cast<std::size_t>(prm.oooCapacity)) {
+        ++st.oooEvictions;
+    } else {
+        ++st.oooBuffered;
+        rc.ooo.emplace(msg.seq, std::move(msg));
+    }
+    schedule_ack(src, dst);
+}
+
+void
+ReliableNet::process_ack(CellId me, CellId peer,
+                         std::uint64_t ackSeq)
+{
+    if (ackSeq == 0)
+        return;
+    auto it = sendChans.find(chan_key(me, peer));
+    if (it == sendChans.end())
+        return;
+    SendChannel &ch = it->second;
+    bool progress = false;
+    while (!ch.window.empty() &&
+           ch.window.front().msg.seq <= ackSeq) {
+        stats_of(me).ackLatencyUs.sample(static_cast<std::uint64_t>(
+            ticks_to_us(sim.now() - ch.window.front().firstSent)));
+        ch.window.pop_front();
+        progress = true;
+    }
+    if (!progress)
+        return;
+    ch.rtoUs = prm.rtoUs;
+    // Promote parked sends into the freed window slots.
+    while (!ch.backlog.empty() &&
+           ch.window.size() <
+               static_cast<std::size_t>(prm.windowSize)) {
+        Message next = std::move(ch.backlog.front());
+        ch.backlog.pop_front();
+        stamp_ack(next);
+        transmit(ch, me, peer, std::move(next));
+    }
+}
+
+void
+ReliableNet::schedule_ack(CellId src, CellId dst)
+{
+    RecvChannel &rc = recv_channel(src, dst);
+    if (rc.ackPending)
+        return;
+    rc.ackPending = true;
+    sim.schedule(sim.now() + us_to_ticks(prm.ackDelayUs),
+                 [this, src, dst]() {
+                     RecvChannel &c = recv_channel(src, dst);
+                     if (!c.ackPending)
+                         return; // piggybacked meanwhile
+                     c.ackPending = false;
+                     if (is_dead(src) || is_dead(dst))
+                         return;
+                     Message ack;
+                     ack.kind = MsgKind::rnet_ack;
+                     ack.src = dst;
+                     ack.dst = src;
+                     ack.ackSeq = c.expected - 1;
+                     ++stats_of(dst).acksSent;
+                     tnet.send(std::move(ack));
+                 });
+}
+
+void
+ReliableNet::deliver_up(Message msg)
+{
+    Deliver &h = handlers[static_cast<std::size_t>(msg.dst)];
+    if (h)
+        h(std::move(msg));
+}
+
+void
+ReliableNet::flush_cell(CellId dead)
+{
+    for (auto &[key, ch] : sendChans) {
+        CellId src = static_cast<CellId>(
+            key / static_cast<std::uint64_t>(cells));
+        CellId dst = static_cast<CellId>(
+            key % static_cast<std::uint64_t>(cells));
+        if (src != dead && dst != dead)
+            continue;
+        stats_of(src).abortedMsgs +=
+            ch.window.size() + ch.backlog.size();
+        ch.window.clear();
+        ch.backlog.clear();
+        ++ch.timerSeq; // invalidate any scheduled timer
+        ch.timerArmed = false;
+        ch.rtoUs = prm.rtoUs;
+    }
+    for (auto &[key, rc] : recvChans) {
+        CellId src = static_cast<CellId>(
+            key / static_cast<std::uint64_t>(cells));
+        CellId dst = static_cast<CellId>(
+            key % static_cast<std::uint64_t>(cells));
+        if (src != dead && dst != dead)
+            continue;
+        rc.ooo.clear();
+        rc.ackPending = false;
+    }
+}
+
+} // namespace ap::net

@@ -9,7 +9,8 @@ namespace ap::net
 {
 
 Snet::Snet(sim::Simulator &sim, int cells, SnetParams params)
-    : sim(sim), numCells(cells), prm(params)
+    : sim(sim), numCells(cells), prm(params),
+      failedCells(static_cast<std::size_t>(cells), false)
 {
 }
 
@@ -52,18 +53,42 @@ Snet::arrive(ContextId id, CellId cell, std::function<void()> on_release)
     ctx.callbacks.push_back(std::move(on_release));
     ctx.count++;
 
-    if (ctx.count == static_cast<int>(ctx.members.size())) {
-        // Last arrival: release everyone after the combine latency.
-        Tick release = sim.now() + us_to_ticks(prm.releaseUs);
-        std::vector<std::function<void()>> cbs;
-        cbs.swap(ctx.callbacks);
-        ctx.count = 0;
-        ctx.completed++;
-        for (CellId m : ctx.members)
-            ctx.arrived[static_cast<std::size_t>(m)] = false;
-        for (auto &cb : cbs)
-            sim.schedule(release, std::move(cb));
-    }
+    maybe_release(ctx);
+}
+
+void
+Snet::maybe_release(Context &ctx)
+{
+    if (ctx.callbacks.empty())
+        return;
+    // Release once every live member has arrived. With no failed
+    // cells this is exactly the classic "count == members" condition.
+    for (CellId m : ctx.members)
+        if (!ctx.arrived[static_cast<std::size_t>(m)] &&
+            !failedCells[static_cast<std::size_t>(m)])
+            return;
+
+    Tick release = sim.now() + us_to_ticks(prm.releaseUs);
+    std::vector<std::function<void()>> cbs;
+    cbs.swap(ctx.callbacks);
+    ctx.count = 0;
+    ctx.completed++;
+    for (CellId m : ctx.members)
+        ctx.arrived[static_cast<std::size_t>(m)] = false;
+    for (auto &cb : cbs)
+        sim.schedule(release, std::move(cb));
+}
+
+void
+Snet::fail_cell(CellId cell)
+{
+    if (cell < 0 || cell >= numCells)
+        panic("fail_cell %d outside machine of %d cells", cell,
+              numCells);
+    failedCells[static_cast<std::size_t>(cell)] = true;
+    // Contexts already blocked only on the dead cell release now.
+    for (Context &ctx : contexts)
+        maybe_release(ctx);
 }
 
 std::uint64_t

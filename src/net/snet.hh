@@ -62,6 +62,14 @@ class Snet
     /** Completed barrier episodes across every context. */
     std::uint64_t total_episodes() const;
 
+    /**
+     * Declare @p cell failed: every context releases as soon as all
+     * its *live* members have arrived, so surviving cells complete
+     * their barriers instead of waiting on the dead one forever.
+     * Contexts already waiting only on @p cell release immediately.
+     */
+    void fail_cell(CellId cell);
+
   private:
     struct Context
     {
@@ -72,10 +80,14 @@ class Snet
         std::uint64_t completed = 0;
     };
 
+    /** Release @p ctx when every live member has arrived. */
+    void maybe_release(Context &ctx);
+
     sim::Simulator &sim;
     int numCells;
     SnetParams prm;
     std::vector<Context> contexts;
+    std::vector<bool> failedCells;
 };
 
 } // namespace ap::net

@@ -63,11 +63,27 @@ Tnet::schedule_delivery(Message msg, Tick arrive)
     });
 }
 
+void
+Tnet::schedule_held_delivery(Message msg, Tick arrive)
+{
+    sim.schedule(arrive, [this, msg = std::move(msg)]() mutable {
+        faults->release_hold(msg.dst);
+        handlers[static_cast<std::size_t>(msg.dst)](std::move(msg));
+    });
+}
+
 Tick
 Tnet::send(Message msg)
 {
     if (!topo.valid(msg.src) || !topo.valid(msg.dst))
         panic("send between invalid cells %d -> %d", msg.src, msg.dst);
+
+    // Fail-stop cells neither send nor receive: discard silently so
+    // retransmission logic above (or a watchdog) surfaces the loss.
+    if (alive && (!alive(msg.src) || !alive(msg.dst))) {
+        ++netStats.deadCellDrops;
+        return sim.now();
+    }
 
     Tick inject = sim.now();
     Tick arrive;
@@ -124,7 +140,9 @@ Tnet::send(Message msg)
                        to_string(msg.kind), msg.src, msg.dst);
             return arrive;
         }
-        if (faults->duplicate_message()) {
+        if (faults->duplicate_message() &&
+            faults->try_hold(msg.dst,
+                             sim::FaultInjector::HoldKind::duplicate)) {
             ++netStats.duplicated;
             if (tracer)
                 tracer->instant(obs::machine_track, "fault",
@@ -132,9 +150,11 @@ Tnet::send(Message msg)
                                     to_string(msg.kind));
             AP_DPRINTF(Fault, "duplicated %s %d -> %d",
                        to_string(msg.kind), msg.src, msg.dst);
-            schedule_delivery(msg, arrive);
+            schedule_held_delivery(msg, arrive);
         }
-        if (faults->reorder_message()) {
+        if (faults->reorder_message() &&
+            faults->try_hold(msg.dst,
+                             sim::FaultInjector::HoldKind::reorder)) {
             // Held back past the FIFO clamp already recorded in
             // `last`: later same-pair traffic overtakes this message.
             ++netStats.reordered;
@@ -144,7 +164,29 @@ Tnet::send(Message msg)
                                     to_string(msg.kind));
             AP_DPRINTF(Fault, "reordered %s %d -> %d",
                        to_string(msg.kind), msg.src, msg.dst);
-            arrive += faults->reorder_delay();
+            if (tracer && msg.src != msg.dst)
+                tracer->span_at(static_cast<int>(msg.dst), "tnet",
+                                std::string("flight:") +
+                                    to_string(msg.kind),
+                                inject,
+                                arrive + faults->reorder_delay());
+            schedule_held_delivery(std::move(msg),
+                                   arrive + faults->reorder_delay());
+            return arrive;
+        }
+        if (faults->corrupt_message()) {
+            ++netStats.corrupted;
+            if (!msg.payload.empty())
+                msg.payload[faults->corrupt_index(
+                    msg.payload.size())] ^= 0xFF;
+            else
+                msg.checksum ^= 1;
+            if (tracer)
+                tracer->instant(obs::machine_track, "fault",
+                                std::string("corrupt:") +
+                                    to_string(msg.kind));
+            AP_DPRINTF(Fault, "corrupted %s %d -> %d",
+                       to_string(msg.kind), msg.src, msg.dst);
         }
     }
 

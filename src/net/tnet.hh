@@ -27,6 +27,7 @@
 
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "net/link.hh"
 #include "net/message.hh"
 #include "net/topology.hh"
 #include "obs/tracer.hh"
@@ -60,6 +61,9 @@ struct TnetStats
     std::uint64_t dropped = 0;    ///< injected drops
     std::uint64_t duplicated = 0; ///< injected duplicates
     std::uint64_t reordered = 0;  ///< injected reorders
+    std::uint64_t corrupted = 0;  ///< injected payload corruptions
+    /** Messages discarded because an endpoint was declared failed. */
+    std::uint64_t deadCellDrops = 0;
     Histogram distance;
     Histogram messageSize;
     /** Injection-to-arrival flight time, microseconds. */
@@ -70,7 +74,7 @@ struct TnetStats
  * The torus network. Cells attach a delivery callback; send() injects
  * a message and schedules that callback at the arrival tick.
  */
-class Tnet
+class Tnet : public Link
 {
   public:
     using Deliver = std::function<void(Message)>;
@@ -89,7 +93,7 @@ class Tnet
      * Inject @p msg now. @return the arrival tick at the destination.
      * Messages between the same pair never reorder.
      */
-    Tick send(Message msg);
+    Tick send(Message msg) override;
 
     /** Point-to-point pure latency for a @p bytes-byte wire message. */
     Tick latency(CellId src, CellId dst, std::uint64_t bytes) const;
@@ -114,15 +118,31 @@ class Tnet
      */
     void set_tracer(obs::Tracer *t) { tracer = t; }
 
+    /**
+     * Install a cell-liveness predicate. When set, traffic to or
+     * from a cell the predicate declares dead is silently discarded
+     * (counted as deadCellDrops) — a fail-stop cell neither sends
+     * nor receives.
+     */
+    void set_liveness(std::function<bool(CellId)> aliveFn)
+    {
+        alive = std::move(aliveFn);
+    }
+
   private:
     Tick contention_arrival(const Message &msg, Tick inject);
 
     void schedule_delivery(Message msg, Tick arrive);
 
+    /** Like schedule_delivery, but retires the injector hold slot
+     *  admitted for this duplicated/reordered message on delivery. */
+    void schedule_held_delivery(Message msg, Tick arrive);
+
     sim::Simulator &sim;
     Torus topo;
     TnetParams prm;
     sim::FaultInjector *faults = nullptr;
+    std::function<bool(CellId)> alive;
     std::vector<Deliver> handlers;
     /** last arrival tick per (src * size + dst) pair, for FIFO. */
     std::unordered_map<std::uint64_t, Tick> lastArrival;

@@ -54,6 +54,8 @@ to_string(Dbg flag)
         return "Commreg";
       case Dbg::Sim:
         return "Sim";
+      case Dbg::RNet:
+        return "RNet";
     }
     return "?";
 }
@@ -63,7 +65,7 @@ all_debug_flags()
 {
     return {Dbg::MSC, Dbg::MC, Dbg::MMU, Dbg::Queue, Dbg::Ring,
             Dbg::DMA, Dbg::TNet, Dbg::BNet, Dbg::SNet, Dbg::Fault,
-            Dbg::RTS, Dbg::Commreg, Dbg::Sim};
+            Dbg::RTS, Dbg::Commreg, Dbg::Sim, Dbg::RNet};
 }
 
 namespace

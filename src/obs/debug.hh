@@ -37,6 +37,7 @@ enum class Dbg : std::uint32_t
     RTS = 1u << 10,    ///< language runtime (collective moves)
     Commreg = 1u << 11,///< communication registers
     Sim = 1u << 12,    ///< event kernel
+    RNet = 1u << 13,   ///< reliable-delivery protocol layer
 };
 
 /** Currently enabled category mask. */

@@ -140,7 +140,6 @@ void
 Runtime::movewait_hardened()
 {
     const hw::RetryPolicy &retry = ctx.owner().config().retry;
-    Tick timeout = us_to_ticks(retry.timeoutUs);
 
     // The acknowledge probes and the receive-count flag both lie
     // under message loss (a probe can survive its dropped PUT; a
@@ -151,6 +150,8 @@ Runtime::movewait_hardened()
     // receives have landed too.
     bool allVerified = false;
     for (int attempt = 0; attempt <= retry.maxRetries; ++attempt) {
+        // Later attempts back off so a congested window can drain.
+        Tick timeout = us_to_ticks(retry.attempt_timeout_us(attempt));
         if (!ctx.wait_all_acks_for(ctx.now() + timeout))
             ctx.resync_acks();
         allVerified = true;
@@ -205,12 +206,19 @@ Runtime::movewait()
     AP_DPRINTF(RTS, "cell %d: movewait (%zu pending puts)", ctx.id(),
                pendingPuts.size());
     flush_acks();
-    if (ctx.owner().config().retry.enabled()) {
-        movewait_hardened();
-    } else {
-        ctx.wait_all_acks();
-        ctx.wait_flag(moveFlag, moveFlagTarget);
-        ctx.barrier();
+    try {
+        if (ctx.owner().config().retry.enabled()) {
+            movewait_hardened();
+        } else {
+            ctx.wait_all_acks();
+            ctx.wait_flag(moveFlag, moveFlagTarget);
+            ctx.barrier();
+        }
+    } catch (const core::CommError &e) {
+        // Re-tag so a watchdog/timeout names the runtime phase that
+        // was blocked, keeping kind and peer intact.
+        throw core::CommError(e.kind(), ctx.id(), e.peer(),
+                              strprintf("movewait: %s", e.what()));
     }
     if (auto *tr = ctx.owner().tracer())
         tr->span(ctx.id(), "rts", "movewait", begin);

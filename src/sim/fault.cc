@@ -1,5 +1,7 @@
 #include "sim/fault.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace ap::sim
@@ -22,6 +24,10 @@ FaultPlan::describe() const
     add("overflow", overflowProb);
     add("pagefault", pageFaultProb);
     add("jitter", jitterMaxUs);
+    add("corrupt", corruptProb);
+    if (!kills.empty())
+        out += strprintf("%skills=%zu", out.empty() ? "" : " ",
+                         kills.size());
     out += strprintf(" seed=%llu",
                      static_cast<unsigned long long>(seed));
     return out;
@@ -82,6 +88,26 @@ FaultPlan::jitter(std::uint64_t seed, double maxUs)
 }
 
 FaultPlan
+FaultPlan::corrupts(std::uint64_t seed, double p)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.corruptProb = p;
+    return f;
+}
+
+FaultPlan
+FaultPlan::lossy(std::uint64_t seed)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.dropProb = 0.02;
+    f.dupProb = 0.01;
+    f.reorderProb = 0.02;
+    return f;
+}
+
+FaultPlan
 FaultPlan::chaos(std::uint64_t seed)
 {
     FaultPlan f;
@@ -107,6 +133,8 @@ FaultInjector::reset(FaultPlan plan)
     rng = Random(plan.seed);
     armed = plan.any();
     faultStats = FaultStats{};
+    for (HoldStats &h : holdStats)
+        h = HoldStats{};
 }
 
 bool
@@ -166,6 +194,66 @@ FaultInjector::inject_page_fault()
         return false;
     ++faultStats.injectedPageFaults;
     return true;
+}
+
+bool
+FaultInjector::corrupt_message()
+{
+    if (!roll(fp.corruptProb))
+        return false;
+    ++faultStats.corruptions;
+    return true;
+}
+
+std::size_t
+FaultInjector::corrupt_index(std::size_t size)
+{
+    return static_cast<std::size_t>(rng.below(size));
+}
+
+void
+FaultInjector::set_cells(int cells)
+{
+    if (holdStats.size() < static_cast<std::size_t>(cells))
+        holdStats.resize(static_cast<std::size_t>(cells));
+}
+
+bool
+FaultInjector::try_hold(CellId dst, HoldKind kind)
+{
+    if (static_cast<std::size_t>(dst) >= holdStats.size())
+        holdStats.resize(static_cast<std::size_t>(dst) + 1);
+    HoldStats &h = holdStats[static_cast<std::size_t>(dst)];
+    if (fp.maxHeldPerCell > 0 &&
+        h.held >= static_cast<std::uint64_t>(fp.maxHeldPerCell)) {
+        if (kind == HoldKind::duplicate)
+            ++h.dupEvictions;
+        else
+            ++h.reorderEvictions;
+        return false;
+    }
+    ++h.held;
+    h.heldHighWater = std::max(h.heldHighWater, h.held);
+    return true;
+}
+
+void
+FaultInjector::release_hold(CellId dst)
+{
+    if (static_cast<std::size_t>(dst) >= holdStats.size())
+        return;
+    HoldStats &h = holdStats[static_cast<std::size_t>(dst)];
+    if (h.held > 0)
+        --h.held;
+}
+
+const FaultInjector::HoldStats &
+FaultInjector::hold_stats(CellId cell) const
+{
+    static const HoldStats empty{};
+    if (static_cast<std::size_t>(cell) >= holdStats.size())
+        return empty;
+    return holdStats[static_cast<std::size_t>(cell)];
 }
 
 Tick

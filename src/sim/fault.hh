@@ -32,8 +32,10 @@
 #ifndef AP_SIM_FAULT_HH
 #define AP_SIM_FAULT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "base/random.hh"
 #include "base/types.hh"
@@ -63,6 +65,27 @@ struct FaultPlan
     double pageFaultProb = 0.0;
     /** Upper bound of uniform extra latency per hardware event. */
     double jitterMaxUs = 0.0;
+    /** Probability a T-net message has one payload byte flipped. */
+    double corruptProb = 0.0;
+
+    /**
+     * Cap on messages the injector may hold in flight per destination
+     * cell for duplicate/reorder injection. A would-be injection past
+     * the cap is skipped and counted as an eviction, so a hostile
+     * plan cannot grow the holding state without bound. Not a fault
+     * mechanism itself (excluded from any()).
+     */
+    int maxHeldPerCell = 32;
+
+    /** Declare one cell dead at a point in simulated time. */
+    struct CellKill
+    {
+        CellId cell = 0;
+        double atUs = 0.0;
+    };
+
+    /** Cells to kill during the run (fail-stop, no recovery). */
+    std::vector<CellKill> kills;
 
     /** @return true when any fault mechanism is enabled. */
     bool
@@ -70,7 +93,7 @@ struct FaultPlan
     {
         return dropProb > 0 || dupProb > 0 || reorderProb > 0 ||
                overflowProb > 0 || pageFaultProb > 0 ||
-               jitterMaxUs > 0;
+               jitterMaxUs > 0 || corruptProb > 0 || !kills.empty();
     }
 
     /** Diagnostic one-liner ("drop=0.02 seed=7"). */
@@ -84,6 +107,10 @@ struct FaultPlan
     static FaultPlan overflows(std::uint64_t seed, double p = 0.5);
     static FaultPlan pageFaults(std::uint64_t seed, double p = 0.02);
     static FaultPlan jitter(std::uint64_t seed, double maxUs = 20.0);
+    static FaultPlan corrupts(std::uint64_t seed, double p = 0.02);
+    /** The reliable-layer acceptance plan: 2% drop + 1% dup +
+     *  2% reorder, all at once. */
+    static FaultPlan lossy(std::uint64_t seed);
     /** Everything at once (drop+dup+reorder+overflow+fault+jitter). */
     static FaultPlan chaos(std::uint64_t seed);
 };
@@ -97,6 +124,7 @@ struct FaultStats
     std::uint64_t forcedSpills = 0;
     std::uint64_t injectedPageFaults = 0;
     std::uint64_t jitteredEvents = 0;
+    std::uint64_t corruptions = 0;
     Tick jitterTicks = 0;
 
     /** Total number of injected faults of any kind. */
@@ -104,7 +132,7 @@ struct FaultStats
     total() const
     {
         return drops + duplicates + reorders + forcedSpills +
-               injectedPageFaults;
+               injectedPageFaults + corruptions;
     }
 };
 
@@ -144,6 +172,51 @@ class FaultInjector
     /** Extra hold-back for a reordered message. */
     Tick reorder_delay() const;
 
+    /** T-net: should this message have a payload byte flipped? */
+    bool corrupt_message();
+
+    /** Which byte of a @p size-byte payload to flip (size > 0). */
+    std::size_t corrupt_index(std::size_t size);
+
+    // -- bounded duplicate/reorder holding accounting ------------------
+    // The T-net keeps duplicated and reordered messages in flight as
+    // scheduled events; the injector bounds how many may be held per
+    // destination cell so a hostile plan cannot grow memory without
+    // bound. try_hold() admits (or refuses, counting an eviction) one
+    // held message; release_hold() retires it at delivery time.
+
+    /** What a held message was held for. */
+    enum class HoldKind
+    {
+        duplicate,
+        reorder,
+    };
+
+    /** Size the per-cell hold-stat table (stable addresses). */
+    void set_cells(int cells);
+
+    /**
+     * Try to admit one held message for @p dst. @return false when
+     * the cell is at plan().maxHeldPerCell — the injection must be
+     * skipped; the eviction is counted under the cell's HoldStats.
+     */
+    bool try_hold(CellId dst, HoldKind kind);
+
+    /** Retire one held message for @p dst (delivery completed). */
+    void release_hold(CellId dst);
+
+    /** Per-cell holding-buffer occupancy and eviction counts. */
+    struct HoldStats
+    {
+        std::uint64_t held = 0;
+        std::uint64_t heldHighWater = 0;
+        std::uint64_t dupEvictions = 0;
+        std::uint64_t reorderEvictions = 0;
+    };
+
+    /** Hold stats for @p cell (valid after set_cells()). */
+    const HoldStats &hold_stats(CellId cell) const;
+
     /** MSC+: should this queue push be forced to spill to DRAM? */
     bool force_overflow();
 
@@ -162,6 +235,7 @@ class FaultInjector
     Random rng;
     bool armed = false;
     FaultStats faultStats;
+    std::vector<HoldStats> holdStats;
 };
 
 } // namespace ap::sim

@@ -179,13 +179,15 @@ harness_retry()
 
 RunOutcome
 run_program(const OpProgram &prog, const sim::FaultPlan &plan,
-            const hw::RetryPolicy &retry, const obs::ObsOptions &obs)
+            const hw::RetryPolicy &retry, const obs::ObsOptions &obs,
+            bool reliable)
 {
     hw::MachineConfig cfg =
         hw::MachineConfig::ap1000_plus(prog.cells);
     cfg.memBytesPerCell = 1 << 20;
     cfg.faults = plan;
     cfg.retry = retry;
+    cfg.reliableNet = reliable;
     hw::Machine m(cfg);
     if (!obs.traceOut.empty())
         m.enable_tracing();
@@ -344,6 +346,9 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     out.deadlock = result.deadlock;
     out.finish = result.finishTick;
     out.faults = m.faults().stats();
+    if (m.reliable())
+        out.rnetRetransmits =
+            m.stats_registry().sum("*.rnet.retransmits");
     out.regions.resize(static_cast<std::size_t>(prog.cells));
     for (int i = 0; i < prog.cells; ++i) {
         auto idx = static_cast<std::size_t>(i);
@@ -366,16 +371,17 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
 std::string
 check_against_golden(const OpProgram &prog,
                      const sim::FaultPlan &plan,
-                     const hw::RetryPolicy &retry)
+                     const hw::RetryPolicy &retry, bool reliable)
 {
-    RunOutcome golden = run_program(prog, sim::FaultPlan{}, retry);
+    RunOutcome golden =
+        run_program(prog, sim::FaultPlan{}, retry, {}, reliable);
     if (!golden.clean())
         return strprintf("golden (zero-fault) run failed: "
                          "deadlock=%d errors=%zu dataErrors=%d",
                          golden.deadlock, golden.errors.size(),
                          golden.dataErrors);
 
-    RunOutcome faulty = run_program(prog, plan, retry);
+    RunOutcome faulty = run_program(prog, plan, retry, {}, reliable);
     if (faulty.deadlock)
         return strprintf("deadlock under plan [%s]",
                          plan.describe().c_str());

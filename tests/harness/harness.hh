@@ -115,6 +115,8 @@ struct RunOutcome
     int dataErrors = 0;
     Tick finish = 0;
     sim::FaultStats faults;
+    /** Total reliable-layer retransmissions (0 with the layer off). */
+    std::uint64_t rnetRetransmits = 0;
 
     bool
     clean() const
@@ -132,7 +134,8 @@ struct RunOutcome
 RunOutcome run_program(const OpProgram &prog,
                        const sim::FaultPlan &plan,
                        const hw::RetryPolicy &retry,
-                       const obs::ObsOptions &obs = {});
+                       const obs::ObsOptions &obs = {},
+                       bool reliable = false);
 
 /** The default retry policy harness runs use under lossy plans. */
 hw::RetryPolicy harness_retry();
@@ -144,7 +147,8 @@ hw::RetryPolicy harness_retry();
  */
 std::string check_against_golden(const OpProgram &prog,
                                  const sim::FaultPlan &plan,
-                                 const hw::RetryPolicy &retry);
+                                 const hw::RetryPolicy &retry,
+                                 bool reliable = false);
 
 /**
  * Shrink @p prog to a minimal op sequence for which @p fails still

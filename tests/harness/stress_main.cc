@@ -34,6 +34,8 @@ struct Options
     int ops = 24;
     double durationS = 10.0;
     long iters = -1; // unlimited within the duration budget
+    /** Stack the reliable-delivery layer under the MSC+. */
+    bool reliable = false;
     /** Telemetry of the faulty run of each iteration (last wins). */
     obs::ObsOptions obs;
 };
@@ -55,9 +57,11 @@ plan_by_name(const std::string &name, std::uint64_t seed)
         return sim::FaultPlan::jitter(seed);
     if (name == "chaos")
         return sim::FaultPlan::chaos(seed);
+    if (name == "lossy")
+        return sim::FaultPlan::lossy(seed);
     std::fprintf(stderr,
                  "unknown plan '%s' (drop|dup|reorder|overflow|"
-                 "pagefault|jitter|chaos)\n",
+                 "pagefault|jitter|chaos|lossy)\n",
                  name.c_str());
     std::exit(2);
 }
@@ -66,6 +70,23 @@ bool
 lossless(const std::string &name)
 {
     return name == "overflow" || name == "jitter";
+}
+
+/**
+ * Whether the op generator may use the full (unverified) vocabulary:
+ * always under lossless plans, and under pure transport-loss plans
+ * when the reliable layer recovers the losses below the MSC+.
+ * Page-fault and chaos plans corrupt above the transport, so they
+ * keep the verified vocabulary even with --reliable.
+ */
+bool
+full_vocabulary(const Options &opt)
+{
+    if (lossless(opt.plan))
+        return true;
+    return opt.reliable &&
+           (opt.plan == "drop" || opt.plan == "dup" ||
+            opt.plan == "reorder" || opt.plan == "lossy");
 }
 
 Options
@@ -86,6 +107,8 @@ parse(int argc, char **argv)
             opt.durationS = std::atof(a + 13);
         else if (std::strncmp(a, "--iters=", 8) == 0)
             opt.iters = std::atol(a + 8);
+        else if (std::strcmp(a, "--reliable") == 0)
+            opt.reliable = true;
         else if (obs::consume_obs_arg(a, opt.obs))
             ;
         else {
@@ -94,8 +117,8 @@ parse(int argc, char **argv)
                 stderr,
                 "usage: stress_put_get [--seed=N] [--plan=NAME] "
                 "[--cells=N] [--ops=N] [--duration-s=S] "
-                "[--iters=N] [--stats-out=F] [--trace-out=F] "
-                "[--debug-flags=A,B]\n");
+                "[--iters=N] [--reliable] [--stats-out=F] "
+                "[--trace-out=F] [--debug-flags=A,B]\n");
             std::exit(2);
         }
     }
@@ -109,6 +132,11 @@ main(int argc, char **argv)
 {
     Options opt = parse(argc, argv);
     hw::RetryPolicy retry = harness_retry();
+    if (opt.reliable) {
+        // The protocol layer absorbs transport loss; the watchdog
+        // turns any residual hang into a typed, shrinkable failure.
+        retry.watchdogUs = 200000.0;
+    }
     auto start = std::chrono::steady_clock::now();
     auto elapsed_s = [&]() {
         return std::chrono::duration<double>(
@@ -118,6 +146,7 @@ main(int argc, char **argv)
 
     long done = 0;
     std::uint64_t injected = 0;
+    std::uint64_t retransmits = 0;
     for (std::uint64_t seed = opt.seed;; ++seed) {
         if (opt.iters >= 0 && done >= opt.iters)
             break;
@@ -126,39 +155,47 @@ main(int argc, char **argv)
 
         sim::FaultPlan plan = plan_by_name(opt.plan, seed);
         OpProgram prog = make_program(seed, opt.cells, opt.ops,
-                                      lossless(opt.plan));
-        std::string diag = check_against_golden(prog, plan, retry);
+                                      full_vocabulary(opt));
+        std::string diag =
+            check_against_golden(prog, plan, retry, opt.reliable);
         if (!diag.empty()) {
             std::fprintf(stderr,
                          "FAILURE at seed %llu (plan %s): %s\n",
                          static_cast<unsigned long long>(seed),
                          opt.plan.c_str(), diag.c_str());
             auto pred = [&](const OpProgram &p) {
-                return check_against_golden(p, plan, retry);
+                return check_against_golden(p, plan, retry,
+                                            opt.reliable);
             };
             OpProgram minimal = shrink(prog, pred);
             std::fprintf(stderr, "minimal reproducer:\n%s",
                          describe(minimal).c_str());
             std::fprintf(stderr,
                          "replay: stress_put_get --seed=%llu "
-                         "--plan=%s --cells=%d --ops=%d --iters=1\n",
+                         "--plan=%s --cells=%d --ops=%d --iters=1%s\n",
                          static_cast<unsigned long long>(seed),
-                         opt.plan.c_str(), opt.cells, opt.ops);
+                         opt.plan.c_str(), opt.cells, opt.ops,
+                         opt.reliable ? " --reliable" : "");
             return 1;
         }
         // Count injected faults of the faulty run for the summary;
         // this replay also carries the telemetry outputs, so a
         // pinned --seed --iters=1 invocation yields its timeline.
-        RunOutcome o = run_program(prog, plan, retry, opt.obs);
+        RunOutcome o =
+            run_program(prog, plan, retry, opt.obs, opt.reliable);
         injected += o.faults.total() + o.faults.jitteredEvents;
+        retransmits += o.rnetRetransmits;
         ++done;
     }
 
-    std::printf("stress ok: %ld iterations (plan %s, first seed "
-                "%llu, %.1f s, %llu faults/jitters injected)\n",
+    std::printf("stress ok: %ld iterations (plan %s%s, first seed "
+                "%llu, %.1f s, %llu faults/jitters injected, "
+                "%llu retransmits)\n",
                 done, opt.plan.c_str(),
+                opt.reliable ? " +reliable" : "",
                 static_cast<unsigned long long>(opt.seed),
                 elapsed_s(),
-                static_cast<unsigned long long>(injected));
+                static_cast<unsigned long long>(injected),
+                static_cast<unsigned long long>(retransmits));
     return 0;
 }

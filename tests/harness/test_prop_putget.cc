@@ -77,6 +77,102 @@ TEST_P(PropSeeds, SurvivesInjectedPageFaults)
 INSTANTIATE_TEST_SUITE_P(Seeds, PropSeeds,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+// With the reliable-delivery layer stacked under the MSC+, the FULL
+// op vocabulary — including unverified PUT bursts, SEND/RECEIVE and
+// collectives that are normally lossless-only — must survive lossy
+// plans with no software retries at all: the protocol layer itself
+// recovers drops, suppresses duplicates and reorders out-of-order
+// arrivals. The watchdog is armed purely as a hang-to-error converter.
+namespace
+{
+
+hw::RetryPolicy
+watchdog_only()
+{
+    hw::RetryPolicy retry;
+    retry.watchdogUs = 200000.0;
+    return retry;
+}
+
+void
+expect_reliable_plan_holds(std::uint64_t seed,
+                           const sim::FaultPlan &plan)
+{
+    int cells = 3 + static_cast<int>(seed % 4); // 3..6
+    OpProgram prog = make_program(seed, cells, 24, true);
+    hw::RetryPolicy retry = watchdog_only();
+    std::string diag = check_against_golden(prog, plan, retry, true);
+    if (diag.empty())
+        return;
+    auto pred = [&](const OpProgram &p) {
+        return check_against_golden(p, plan, retry, true);
+    };
+    OpProgram minimal = shrink(prog, pred);
+    FAIL() << diag << "\nseed " << seed << ", plan ["
+           << plan.describe() << "] with reliable layer\n"
+           << "minimal reproducer:\n"
+           << describe(minimal);
+}
+
+} // namespace
+
+class ReliableSeeds : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ReliableSeeds, FullVocabularySurvivesDrops)
+{
+    expect_reliable_plan_holds(GetParam(),
+                               sim::FaultPlan::drops(GetParam()));
+}
+
+TEST_P(ReliableSeeds, FullVocabularySurvivesDuplication)
+{
+    expect_reliable_plan_holds(
+        GetParam(), sim::FaultPlan::duplicates(GetParam()));
+}
+
+TEST_P(ReliableSeeds, FullVocabularySurvivesReordering)
+{
+    expect_reliable_plan_holds(GetParam(),
+                               sim::FaultPlan::reorders(GetParam()));
+}
+
+TEST_P(ReliableSeeds, FullVocabularySurvivesLossyMix)
+{
+    expect_reliable_plan_holds(GetParam(),
+                               sim::FaultPlan::lossy(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliableSeeds,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+TEST(PropReliable, RetransmitsActuallyHappen)
+{
+    OpProgram prog = make_program(5, 4, 24, true);
+    RunOutcome out = run_program(prog, sim::FaultPlan::lossy(5),
+                                 watchdog_only(), {}, true);
+    EXPECT_TRUE(out.clean()) << (out.errors.empty()
+                                     ? "data/deadlock failure"
+                                     : out.errors.front());
+    EXPECT_GT(out.faults.drops, 0u) << "lossy plan dropped nothing";
+    EXPECT_GT(out.rnetRetransmits, 0u)
+        << "drops recovered without any retransmission?";
+}
+
+TEST(PropReliable, FaultyReliableRunsReplayExactly)
+{
+    OpProgram prog = make_program(9, 5, 24, true);
+    sim::FaultPlan plan = sim::FaultPlan::lossy(9);
+    RunOutcome a = run_program(prog, plan, watchdog_only(), {}, true);
+    RunOutcome b = run_program(prog, plan, watchdog_only(), {}, true);
+    EXPECT_EQ(a.finish, b.finish);
+    EXPECT_EQ(a.regions, b.regions);
+    EXPECT_EQ(a.errors, b.errors);
+    EXPECT_EQ(a.rnetRetransmits, b.rnetRetransmits);
+    EXPECT_EQ(a.faults.total(), b.faults.total());
+}
+
 TEST(PropDeterminism, FaultyRunsReplayExactly)
 {
     OpProgram prog = program_for(7);

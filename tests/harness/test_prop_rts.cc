@@ -45,7 +45,7 @@ cell_value(std::uint64_t seed, int round, int r, int c, int n)
  */
 RtsOutcome
 run_rts(std::uint64_t seed, const sim::FaultPlan &plan,
-        const hw::RetryPolicy &retry)
+        const hw::RetryPolicy &retry, bool reliable = false)
 {
     constexpr int cells = 4;
     constexpr int n = 16;
@@ -53,6 +53,7 @@ run_rts(std::uint64_t seed, const sim::FaultPlan &plan,
     cfg.memBytesPerCell = 1 << 20;
     cfg.faults = plan;
     cfg.retry = retry;
+    cfg.reliableNet = reliable;
     hw::Machine m(cfg);
 
     RtsOutcome out;
@@ -154,6 +155,22 @@ TEST_P(RtsSeeds, HardenedMovewaitRecoversFromMessageLoss)
     RtsOutcome out = run_rts(seed, sim::FaultPlan::drops(seed, 0.03),
                              harness::harness_retry());
     expect_clean(out, "drop", seed);
+}
+
+TEST_P(RtsSeeds, ReliableLayerCarriesUnhardenedRuntimeOverLoss)
+{
+    // With the reliable layer on, the *unhardened* runtime (no
+    // software retries, no read-back verification) must survive a
+    // lossy plan: recovery happens entirely below the MSC+. The
+    // watchdog converts any protocol bug into a typed error.
+    std::uint64_t seed = GetParam();
+    hw::RetryPolicy retry;
+    retry.watchdogUs = 200000.0;
+    RtsOutcome out =
+        run_rts(seed, sim::FaultPlan::lossy(seed), retry, true);
+    expect_clean(out, "lossy+reliable", seed);
+    EXPECT_GT(out.faults.total(), 0u)
+        << "lossy plan injected nothing, seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RtsSeeds,

@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Reliable-delivery layer tests: sequencing, cumulative acks,
+ * go-back-N retransmission, duplicate suppression, out-of-order
+ * reassembly, checksum rejection, window/backlog discipline,
+ * standalone acks, dead-cell channel flush, and the bounded holding
+ * buffers of the fault injector feeding it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "net/reliable.hh"
+#include "net/tnet.hh"
+#include "sim/eventq.hh"
+#include "sim/fault.hh"
+
+using namespace ap;
+using namespace ap::net;
+
+namespace
+{
+
+Message
+mk(CellId src, CellId dst, std::uint32_t marker,
+   std::size_t bytes = 32)
+{
+    Message m;
+    m.kind = MsgKind::put_data;
+    m.src = src;
+    m.dst = dst;
+    m.payload.assign(bytes, 0);
+    std::memcpy(m.payload.data(), &marker, 4);
+    return m;
+}
+
+std::uint32_t
+marker_of(const Message &m)
+{
+    std::uint32_t v = 0;
+    std::memcpy(&v, m.payload.data(), 4);
+    return v;
+}
+
+/** A 4-cell line with an optional fault plan under the rnet. */
+struct Rig
+{
+    sim::Simulator sim;
+    sim::FaultInjector inj;
+    Tnet tnet;
+    ReliableNet rnet;
+    std::vector<std::vector<std::uint32_t>> delivered;
+
+    explicit Rig(sim::FaultPlan plan = {},
+                 ReliableParams params = {})
+        : inj(plan), tnet(sim, Torus(4, 1), TnetParams{}),
+          rnet(sim, tnet, params), delivered(4)
+    {
+        inj.set_cells(4);
+        if (plan.any())
+            tnet.set_fault_injector(&inj);
+        for (CellId c = 0; c < 4; ++c)
+            rnet.attach(c, [this, c](Message m) {
+                delivered[static_cast<std::size_t>(c)].push_back(
+                    marker_of(m));
+            });
+    }
+};
+
+} // namespace
+
+TEST(Reliable, SequencesAndDeliversInOrderOnCleanWire)
+{
+    Rig r;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        r.rnet.send(mk(0, 1, 100 + i));
+    r.sim.run();
+
+    ASSERT_EQ(r.delivered[1].size(), 8u);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_EQ(r.delivered[1][i], 100 + i);
+    EXPECT_EQ(r.rnet.stats(0).dataSent, 8u);
+    EXPECT_EQ(r.rnet.stats(0).retransmits, 0u);
+    EXPECT_EQ(r.rnet.stats(1).dupDrops, 0u);
+}
+
+TEST(Reliable, ReliableEnvelopeCostsWireBytes)
+{
+    Message plain = mk(0, 1, 1);
+    Message tagged = mk(0, 1, 1);
+    tagged.reliable = true;
+    EXPECT_EQ(tagged.wire_bytes(),
+              plain.wire_bytes() + Message::reliable_header_bytes);
+}
+
+TEST(Reliable, RetransmitRecoversDroppedMessages)
+{
+    Rig r(sim::FaultPlan::drops(3, 0.3));
+    for (std::uint32_t i = 0; i < 20; ++i)
+        r.rnet.send(mk(0, 1, i));
+    r.sim.run();
+
+    ASSERT_EQ(r.delivered[1].size(), 20u);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        EXPECT_EQ(r.delivered[1][i], i);
+    EXPECT_GT(r.inj.stats().drops, 0u) << "plan dropped nothing";
+    EXPECT_GT(r.rnet.stats(0).retransmits, 0u);
+}
+
+TEST(Reliable, DuplicatesAreSuppressed)
+{
+    Rig r(sim::FaultPlan::duplicates(5, 0.5));
+    for (std::uint32_t i = 0; i < 20; ++i)
+        r.rnet.send(mk(0, 1, i));
+    r.sim.run();
+
+    ASSERT_EQ(r.delivered[1].size(), 20u);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        EXPECT_EQ(r.delivered[1][i], i);
+    EXPECT_GT(r.inj.stats().duplicates, 0u);
+    EXPECT_GT(r.rnet.stats(1).dupDrops, 0u);
+}
+
+TEST(Reliable, OutOfOrderArrivalsAreReassembled)
+{
+    Rig r(sim::FaultPlan::reorders(7, 0.5));
+    for (std::uint32_t i = 0; i < 20; ++i)
+        r.rnet.send(mk(0, 1, i));
+    r.sim.run();
+
+    ASSERT_EQ(r.delivered[1].size(), 20u);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        EXPECT_EQ(r.delivered[1][i], i);
+    EXPECT_GT(r.inj.stats().reorders, 0u);
+    EXPECT_GT(r.rnet.stats(1).oooBuffered, 0u);
+}
+
+TEST(Reliable, CorruptedPayloadsAreRejectedAndRecovered)
+{
+    Rig r(sim::FaultPlan::corrupts(9, 0.3));
+    for (std::uint32_t i = 0; i < 20; ++i)
+        r.rnet.send(mk(0, 1, i));
+    r.sim.run();
+
+    // Every message arrives exactly once, in order, with the original
+    // bytes: corrupted copies fail the checksum, are dropped without
+    // an ack, and the retransmit timer resends the pristine copy.
+    ASSERT_EQ(r.delivered[1].size(), 20u);
+    for (std::uint32_t i = 0; i < 20; ++i)
+        EXPECT_EQ(r.delivered[1][i], i);
+    EXPECT_GT(r.inj.stats().corruptions, 0u);
+    EXPECT_GT(r.rnet.stats(1).checksumDrops, 0u);
+    EXPECT_GT(r.rnet.stats(0).retransmits, 0u);
+}
+
+TEST(Reliable, WindowParksExcessSendsInBacklog)
+{
+    ReliableParams params;
+    params.windowSize = 2;
+    Rig r({}, params);
+    for (std::uint32_t i = 0; i < 12; ++i)
+        r.rnet.send(mk(0, 1, i));
+    r.sim.run();
+
+    ASSERT_EQ(r.delivered[1].size(), 12u);
+    for (std::uint32_t i = 0; i < 12; ++i)
+        EXPECT_EQ(r.delivered[1][i], i);
+    EXPECT_GT(r.rnet.stats(0).queuedFull, 0u);
+    EXPECT_LE(r.rnet.stats(0).windowHighWater, 2u);
+}
+
+TEST(Reliable, OneWayTrafficAcksViaStandaloneMessages)
+{
+    Rig r;
+    for (std::uint32_t i = 0; i < 6; ++i)
+        r.rnet.send(mk(0, 1, i));
+    r.sim.run();
+
+    // No reverse data ever flows 1 -> 0, so the delayed-ack timer
+    // must emit standalone RNET_ACKs; without them the sender's
+    // window never drains and retransmits forever.
+    EXPECT_GT(r.rnet.stats(1).acksSent, 0u);
+    EXPECT_EQ(r.rnet.stats(0).retransmits, 0u);
+}
+
+TEST(Reliable, ReverseTrafficPiggybacksAcks)
+{
+    // Reverse data sent while a standalone ack is still pending must
+    // carry the cumulative ack itself and cancel the standalone one.
+    ReliableParams params;
+    params.ackDelayUs = 500.0;
+    Rig r({}, params);
+    for (std::uint32_t i = 0; i < 6; ++i)
+        r.rnet.send(mk(0, 1, i));
+    r.sim.schedule(us_to_ticks(100.0), [&r] {
+        for (std::uint32_t i = 0; i < 6; ++i)
+            r.rnet.send(mk(1, 0, 100 + i));
+    });
+    r.sim.run();
+
+    ASSERT_EQ(r.delivered[1].size(), 6u);
+    ASSERT_EQ(r.delivered[0].size(), 6u);
+    EXPECT_GT(r.rnet.stats(1).acksPiggybacked, 0u);
+    EXPECT_EQ(r.rnet.stats(1).acksSent, 0u)
+        << "piggyback should have preempted the standalone ack";
+}
+
+TEST(Reliable, DeadPeerChannelsFlushAndTheQueueDrains)
+{
+    Rig r(sim::FaultPlan::drops(11, 1.0)); // nothing ever arrives
+    bool dead = false;
+    r.rnet.set_liveness([&dead](CellId id) {
+        return id != 1 || !dead;
+    });
+    for (std::uint32_t i = 0; i < 5; ++i)
+        r.rnet.send(mk(0, 1, i));
+    // Declare cell 1 dead shortly after; flush_cell must abort the
+    // retransmit queue or sim.run() would spin on backed-off timers
+    // until the give-up bound.
+    r.sim.schedule(us_to_ticks(500.0), [&] {
+        dead = true;
+        r.rnet.flush_cell(1);
+    });
+    r.sim.run();
+
+    EXPECT_TRUE(r.delivered[1].empty());
+    EXPECT_GT(r.rnet.stats(0).abortedMsgs, 0u);
+    // New sends to the dead peer abort immediately.
+    std::uint64_t before = r.rnet.stats(0).abortedMsgs;
+    r.rnet.send(mk(0, 1, 99));
+    r.sim.run();
+    EXPECT_EQ(r.rnet.stats(0).abortedMsgs, before + 1);
+}
+
+TEST(Reliable, GiveUpBoundAbortsUnreachablePeerWithoutLiveness)
+{
+    // Total blackout and no liveness oracle: retransmission must not
+    // run forever — the per-message give-up bound abandons the
+    // channel and lets the event queue drain.
+    ReliableParams params;
+    params.maxRetransmits = 3;
+    Rig r(sim::FaultPlan::drops(13, 1.0), params);
+    r.rnet.send(mk(0, 1, 7));
+    r.sim.run();
+
+    EXPECT_TRUE(r.delivered[1].empty());
+    EXPECT_GT(r.rnet.stats(0).abortedMsgs, 0u);
+}
+
+TEST(FaultHolding, HoldingBuffersAreBoundedAndCountEvictions)
+{
+    // Satellite: the injector's dup/reorder copies park in per-cell
+    // holding buffers; past maxHeldPerCell the injection is refused
+    // (counted), never unbounded.
+    sim::FaultPlan plan = sim::FaultPlan::duplicates(17, 1.0);
+    plan.reorderProb = 1.0;
+    plan.maxHeldPerCell = 2;
+
+    sim::Simulator sim;
+    sim::FaultInjector inj(plan);
+    inj.set_cells(4);
+    Tnet tnet(sim, Torus(4, 1), TnetParams{});
+    tnet.set_fault_injector(&inj);
+    int arrived = 0;
+    for (CellId c = 0; c < 4; ++c)
+        tnet.attach(c, [&](Message) { ++arrived; });
+
+    for (std::uint32_t i = 0; i < 50; ++i) {
+        Message m;
+        m.kind = MsgKind::put_data;
+        m.src = 0;
+        m.dst = 1;
+        m.payload.assign(16, 0x5a);
+        tnet.send(std::move(m));
+    }
+    sim.run();
+
+    const auto &hs = inj.hold_stats(1);
+    EXPECT_EQ(hs.held, 0u) << "holds not released after delivery";
+    EXPECT_LE(hs.heldHighWater, 2u);
+    EXPECT_GT(hs.dupEvictions + hs.reorderEvictions, 0u);
+    // Every original message still arrives (dups/reorders only add
+    // or delay copies), plus at most the admitted duplicates.
+    EXPECT_GE(arrived, 50);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Flag-wait watchdog and cell-failure degradation tests.
+ *
+ * A blocked completion wait past the watchdog deadline must surface a
+ * typed CommError carrying a machine-wide wait-graph dump — never
+ * hang (a CTest TIMEOUT guards the whole binary). Killing a cell via
+ * the fault plan must let the survivors reconfigure: barriers release
+ * without the dead member and reductions run over the live group with
+ * the degraded-result marker set.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/program.hh"
+#include "hw/config.hh"
+#include "hw/machine.hh"
+#include "sim/fault.hh"
+
+using namespace ap;
+
+TEST(Watchdog, DroppedFlagUpdateRaisesTypedErrorWithWaitGraph)
+{
+    // Pinned seed, total loss, no retries: the receiver's flag can
+    // never arrive. Without the watchdog this wait_flag blocks until
+    // the event queue drains and the run reports deadlock; with it
+    // the wait converts into a CommError whose message embeds the
+    // wait graph naming the blocked cell, flag address and target.
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.faults = sim::FaultPlan::drops(31, 1.0);
+    cfg.retry.watchdogUs = 500.0;
+    hw::Machine m(cfg);
+
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        Addr flag = ctx.alloc_flag();
+        if (ctx.id() == 0) {
+            Addr buf = ctx.alloc(64);
+            ctx.poke_u32(buf, 7);
+            ctx.put(1, 0x800, buf, 64, no_flag, flag, false);
+            return; // fire-and-forget sender
+        }
+        ctx.wait_flag(flag, 1); // the update was dropped
+    });
+
+    EXPECT_FALSE(r.deadlock) << "watchdog failed to unblock the wait";
+    ASSERT_EQ(r.errors.size(), 1u);
+    const std::string &err = r.errors.front();
+    EXPECT_NE(err.find("watchdog expired"), std::string::npos) << err;
+    EXPECT_NE(err.find("wait_flag"), std::string::npos) << err;
+    // The wait-graph dump lists every cell's state.
+    EXPECT_NE(err.find("cell 0"), std::string::npos) << err;
+    EXPECT_NE(err.find("cell 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("blocked"), std::string::npos) << err;
+}
+
+TEST(Watchdog, AckWaitIsGuardedToo)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.faults = sim::FaultPlan::drops(33, 1.0);
+    cfg.retry.watchdogUs = 500.0;
+    hw::Machine m(cfg);
+
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        if (ctx.id() != 0)
+            return;
+        Addr buf = ctx.alloc(64);
+        ctx.put(1, 0x800, buf, 64, no_flag, no_flag, true);
+        ctx.wait_all_acks(); // the GET-reply ack was dropped
+    });
+
+    EXPECT_FALSE(r.deadlock);
+    ASSERT_EQ(r.errors.size(), 1u);
+    EXPECT_NE(r.errors.front().find("wait_acks"), std::string::npos)
+        << r.errors.front();
+}
+
+TEST(CellFailure, SurvivorsFinishBarrierAndReductionsDegraded)
+{
+    // Kill cell 3 at t=100us while everyone computes. The survivors
+    // must cross the next barrier (the S-net releases without the
+    // dead member), and both the scalar and the vector reduction must
+    // reconfigure to the live group — flagged degraded, with values
+    // folded over the survivors only.
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(4);
+    cfg.faults.seed = 41;
+    cfg.faults.kills.push_back({3, 100.0});
+    cfg.retry.watchdogUs = 100000.0;
+    hw::Machine m(cfg);
+
+    int degradedMarks = 0;
+    int wrongScalar = 0;
+    int wrongVector = 0;
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        CellId me = ctx.id();
+        ctx.compute_us(200.0); // the kill lands inside this
+        if (ctx.owner().cell_failed(me))
+            return; // a dead cell's body bows out
+
+        ctx.barrier();
+        double s = ctx.allreduce(static_cast<double>(me + 1),
+                                 core::ReduceOp::sum);
+        if (!ctx.last_collective_degraded())
+            ++degradedMarks; // inverted below: must be degraded
+        if (s != 1.0 + 2.0 + 3.0) // survivors 0,1,2 contribute
+            ++wrongScalar;
+
+        Addr vec = ctx.alloc(2 * 8);
+        ctx.poke_f64(vec, static_cast<double>(me));
+        ctx.poke_f64(vec + 8, 10.0);
+        ctx.allreduce_vector(vec, 2, core::ReduceOp::sum);
+        if (!ctx.last_collective_degraded())
+            ++degradedMarks;
+        if (ctx.peek_f64(vec) != 0.0 + 1.0 + 2.0)
+            ++wrongVector;
+        if (ctx.peek_f64(vec + 8) != 30.0)
+            ++wrongVector;
+
+        ctx.barrier();
+        EXPECT_TRUE(ctx.last_collective_degraded());
+        EXPECT_GT(ctx.stats().degradedCollectives, 0u);
+    });
+
+    EXPECT_FALSE(r.failed()) << (r.errors.empty()
+                                     ? "deadlock"
+                                     : r.errors.front());
+    ASSERT_EQ(r.failedCells.size(), 1u);
+    EXPECT_EQ(r.failedCells.front(), 3);
+    EXPECT_EQ(degradedMarks, 0) << "a survivor's collective was not "
+                                   "marked degraded";
+    EXPECT_EQ(wrongScalar, 0);
+    EXPECT_EQ(wrongVector, 0);
+    EXPECT_TRUE(m.any_failed());
+    EXPECT_TRUE(m.cell_failed(3));
+}
+
+TEST(CellFailure, DeadCellBlockedInWaitIsExcusedNotAnError)
+{
+    // Cell 3 is parked in a wait that can never complete when the
+    // kill lands. The watchdog converts its wait into a cell_failed
+    // CommError, which run_spmd files under failedCells — the run
+    // itself still passes.
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(4);
+    cfg.faults.seed = 43;
+    cfg.faults.kills.push_back({3, 100.0});
+    cfg.retry.watchdogUs = 1000.0;
+    hw::Machine m(cfg);
+
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        CellId me = ctx.id();
+        if (me == 3) {
+            Addr flag = ctx.alloc_flag();
+            ctx.wait_flag(flag, 1); // nobody will ever bump this
+            return;
+        }
+        ctx.compute_us(200.0);
+        ctx.barrier();
+    });
+
+    EXPECT_FALSE(r.failed()) << (r.errors.empty()
+                                     ? "deadlock"
+                                     : r.errors.front());
+    ASSERT_EQ(r.failedCells.size(), 1u);
+    EXPECT_EQ(r.failedCells.front(), 3);
+}
+
+TEST(CellFailure, GroupReduceFiltersDeadMembers)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(4);
+    cfg.faults.seed = 47;
+    cfg.faults.kills.push_back({1, 50.0});
+    cfg.retry.watchdogUs = 100000.0;
+    hw::Machine m(cfg);
+
+    int wrong = 0;
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        CellId me = ctx.id();
+        ctx.compute_us(100.0);
+        if (ctx.owner().cell_failed(me))
+            return;
+        core::Group g = core::Group::all(ctx.nprocs());
+        double s = ctx.allreduce_group(
+            g, static_cast<double>(me + 1), core::ReduceOp::sum);
+        // Dead member 1 contributes nothing: 1 + 3 + 4.
+        if (s != 8.0)
+            ++wrong;
+        EXPECT_TRUE(ctx.last_collective_degraded());
+    });
+
+    EXPECT_FALSE(r.failed()) << (r.errors.empty()
+                                     ? "deadlock"
+                                     : r.errors.front());
+    EXPECT_EQ(wrong, 0);
+}
