@@ -7,11 +7,31 @@
  * the simulated microseconds reported as counters:
  *  - sim_us_per_op: simulated latency of one operation
  *  - sim_MBps: simulated delivered bandwidth.
+ *
+ * Carries its own main so three extra flags ride alongside the
+ * google-benchmark ones:
+ *  - --profile            run a span-profiled PUT pass after the
+ *                         suite and print the critical-path table
+ *  - --profile-out=FILE   write that breakdown as JSON
+ *                         (default PROFILE_micro_putget.json)
+ *  - --span-trace-out=F   write the pass's span rings as Chrome
+ *                         trace JSON
+ * plus the repo-wide --json-out (obs/cli.hh) for BENCH_*.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
 #include "core/ap1000p.hh"
+#include "obs/cli.hh"
+#include "obs/critpath.hh"
+#include "obs/json.hh"
+#include "obs/span.hh"
 
 using namespace ap;
 using namespace ap::core;
@@ -155,4 +175,95 @@ BM_SendRecvLatency(benchmark::State &state)
 }
 BENCHMARK(BM_SendRecvLatency)->Arg(8)->Arg(1024)->Arg(65536);
 
-BENCHMARK_MAIN();
+namespace
+{
+
+/**
+ * The --profile pass: one pipelined PUT burst on a two-cell machine
+ * with full span recording, fed to the critical-path profiler. The
+ * acceptance bar is >= 95% of the end-to-end PUT latency attributed
+ * to named stages.
+ */
+void
+run_profile_pass(const std::string &profileOut,
+                 const std::string &spanTraceOut,
+                 obs::BenchReport &report)
+{
+    constexpr int count = 64;
+    constexpr std::uint32_t bytes = 4096;
+    hw::MachineConfig cfg = cfg2();
+    cfg.spanMode = obs::SpanMode::full;
+    hw::Machine m(cfg);
+    run_spmd(m, [&](Context &ctx) {
+        Addr buf = ctx.alloc(bytes);
+        Addr rf = ctx.alloc_flag();
+        ctx.barrier();
+        if (ctx.id() == 0)
+            for (int i = 0; i < count; ++i)
+                ctx.put(1, buf, buf, bytes, no_flag, rf);
+        if (ctx.id() == 1)
+            ctx.wait_flag(rf, count);
+    });
+
+    obs::CritPathReport rep =
+        obs::analyze_spans(m.spans().events());
+    std::printf("\n-- span profile: %d x %u B PUT --\n%s", count,
+                bytes, rep.text().c_str());
+    if (!profileOut.empty()) {
+        if (!obs::write_file(profileOut, rep.json()))
+            fatal("cannot write profile to %s", profileOut.c_str());
+        std::printf("profile JSON written to %s\n",
+                    profileOut.c_str());
+    }
+    if (!spanTraceOut.empty()) {
+        if (!m.dump_flight_recorder(spanTraceOut))
+            fatal("cannot write span trace to %s",
+                  spanTraceOut.c_str());
+        std::printf("span Chrome trace written to %s\n",
+                    spanTraceOut.c_str());
+    }
+    report.set("profile.coverage", rep.coverage());
+    report.set("profile.put_coverage",
+               rep.op_coverage(obs::SpanOp::put));
+    report.set("profile.traces", rep.traces);
+    report.set("profile.events", rep.events);
+    report.set("profile.end_to_end_us",
+               ticks_to_us(rep.endToEndTicks));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::BenchReport report("micro_putget");
+    bool profile = false;
+    std::string profileOut = "PROFILE_micro_putget.json";
+    std::string spanTraceOut;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--profile") == 0)
+            profile = true;
+        else if (std::strncmp(a, "--profile-out=", 14) == 0) {
+            profileOut = a + 14;
+            profile = true;
+        } else if (std::strncmp(a, "--span-trace-out=", 17) == 0) {
+            spanTraceOut = a + 17;
+            profile = true;
+        } else if (!report.consume_arg(a))
+            rest.push_back(argv[i]);
+    }
+    int bargc = static_cast<int>(rest.size());
+    benchmark::Initialize(&bargc, rest.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, rest.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    if (profile)
+        run_profile_pass(profileOut, spanTraceOut, report);
+    report.write();
+    return 0;
+}

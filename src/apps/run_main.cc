@@ -16,11 +16,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/logging.hh"
 #include "core/ap1000p.hh"
 #include "obs/cli.hh"
+#include "obs/critpath.hh"
+#include "obs/json.hh"
+#include "obs/span.hh"
 #include "sim/fault.hh"
 
 using namespace ap;
@@ -70,15 +76,61 @@ usage(const char *prog)
         "  --stats-out=FILE   write the stats registry as JSON\n"
         "  --stats-text       print the flat stats table to stdout\n"
         "  --trace-out=FILE   write a Chrome trace_event timeline\n"
+        "  --profile          record full spans, print the\n"
+        "                     critical-path latency breakdown\n"
+        "  --profile-json=FILE  write the breakdown as JSON\n"
+        "  --phase-stats      print per-phase stats-registry deltas\n"
+        "  --flight-dump=FILE write the flight-recorder rings as\n"
+        "                     Chrome trace JSON\n"
+        "  --postmortem-out=FILE  on CommError, also dump the full\n"
+        "                     flight rings there\n"
         "  --debug-flags=A,B  narrate categories to stderr "
         "(MSC,DMA,TNet,Fault,...)\n",
         prog);
 }
 
+/**
+ * Per-phase stats snapshots (--phase-stats): cell 0 marks the
+ * registry after every demo barrier, so each mark captures the whole
+ * machine at a synchronization point.
+ */
+struct PhaseRecorder
+{
+    hw::Machine &machine;
+    std::vector<std::pair<std::string, obs::StatsRegistry::Snapshot>>
+        marks;
+
+    void
+    mark(const char *name)
+    {
+        marks.emplace_back(name,
+                           machine.stats_registry().snapshot());
+    }
+};
+
+/** Change between two snapshots (after - before). */
+std::map<std::string, std::int64_t>
+snapshot_diff(const obs::StatsRegistry::Snapshot &before,
+              const obs::StatsRegistry::Snapshot &after)
+{
+    std::map<std::string, std::int64_t> d;
+    for (const auto &[path, v] : after) {
+        auto it = before.find(path);
+        std::uint64_t was = it == before.end() ? 0 : it->second;
+        d[path] = static_cast<std::int64_t>(v) -
+                  static_cast<std::int64_t>(was);
+    }
+    return d;
+}
+
 /** The demo body: every primitive once, deterministic result. */
 void
-demo_body(Context &ctx)
+demo_body(Context &ctx, PhaseRecorder *phases)
 {
+    auto mark = [&](const char *name) {
+        if (phases != nullptr && ctx.id() == 0)
+            phases->mark(name);
+    };
     int p = ctx.nprocs();
     CellId right = (ctx.id() + 1) % p;
     CellId left = (ctx.id() - 1 + p) % p;
@@ -95,12 +147,14 @@ demo_body(Context &ctx)
     ctx.put(right, landing, buf, 64, no_flag, flag);
     ctx.wait_flag(flag, 1);
     ctx.barrier();
+    mark("put");
 
     // 2. GET from the left neighbour.
     Addr done = ctx.alloc_flag();
     ctx.get(left, buf, landing + 64, 64, no_flag, done);
     ctx.wait_flag(done, 1);
     ctx.barrier();
+    mark("get");
 
     // 3. stride PUT (every other doubleword).
     net::StrideSpec spec{8, 8, 8};
@@ -108,16 +162,19 @@ demo_body(Context &ctx)
                    flag, spec, spec);
     ctx.wait_flag(flag, 2);
     ctx.barrier();
+    mark("stride_put");
 
     // 4. acknowledged PUT (Ack & Barrier completion).
     ctx.put(right, landing, buf, 32, no_flag, no_flag, /*ack=*/true);
     ctx.wait_all_acks();
     ctx.barrier();
+    mark("ack_put");
 
     // 5. SEND/RECEIVE through the ring buffer.
     ctx.send(right, /*tag=*/7, buf, 48);
     ctx.recv(left, /*tag=*/7, landing, 48);
     ctx.barrier();
+    mark("send_recv");
 
     // 6. B-net broadcast from cell 0.
     Addr bcast = ctx.alloc(64);
@@ -129,11 +186,13 @@ demo_body(Context &ctx)
     if (ctx.id() != 0)
         ctx.wait_flag(bflag, 1);
     ctx.barrier();
+    mark("broadcast");
 
     // 7. DSM-style blocking remote access.
     ctx.write_remote(right, landing + 192, buf, 16);
     ctx.read_remote(left, buf, landing + 208, 16);
     ctx.barrier();
+    mark("dsm");
 
     // 8. reductions: scalar over commregs, vector over ring buffers.
     double sum = ctx.allreduce(static_cast<double>(ctx.id()),
@@ -144,6 +203,7 @@ demo_body(Context &ctx)
                      static_cast<double>(ctx.id() + i));
     ctx.allreduce_vector(vec, 4, ReduceOp::max);
     ctx.barrier();
+    mark("reduce");
 
     if (ctx.id() == 0)
         std::printf("[cell 0] allreduce(sum of ids) = %.0f "
@@ -161,6 +221,11 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     bool statsText = false;
     bool reliable = false;
+    bool profile = false;
+    bool phaseStats = false;
+    std::string profileJson;
+    std::string flightDump;
+    std::string postmortemOut;
     std::vector<sim::FaultPlan::CellKill> kills;
     obs::ObsOptions obsOpts;
 
@@ -187,6 +252,17 @@ main(int argc, char **argv)
             kills.push_back(k);
         } else if (std::strcmp(a, "--stats-text") == 0) {
             statsText = true;
+        } else if (std::strcmp(a, "--profile") == 0) {
+            profile = true;
+        } else if (std::strncmp(a, "--profile-json=", 15) == 0) {
+            profileJson = a + 15;
+            profile = true;
+        } else if (std::strcmp(a, "--phase-stats") == 0) {
+            phaseStats = true;
+        } else if (std::strncmp(a, "--flight-dump=", 14) == 0) {
+            flightDump = a + 14;
+        } else if (std::strncmp(a, "--postmortem-out=", 17) == 0) {
+            postmortemOut = a + 17;
         } else if (std::strcmp(a, "--help") == 0) {
             usage(argv[0]);
             return 0;
@@ -207,11 +283,20 @@ main(int argc, char **argv)
     // watchdog converts those into typed errors with a wait graph.
     if (!kills.empty() && !cfg.retry.watchdog_enabled())
         cfg.retry.watchdogUs = 100000.0;
+    if (profile)
+        cfg.spanMode = obs::SpanMode::full;
+    cfg.postmortemOut = postmortemOut;
     hw::Machine machine(cfg);
     if (!obsOpts.traceOut.empty())
         machine.enable_tracing();
 
-    SpmdResult result = run_spmd(machine, demo_body);
+    PhaseRecorder phases{machine, {}};
+    obs::StatsRegistry::Snapshot startSnap =
+        machine.stats_registry().snapshot();
+
+    SpmdResult result = run_spmd(machine, [&](Context &ctx) {
+        demo_body(ctx, phaseStats ? &phases : nullptr);
+    });
 
     std::printf("%s", machine.report().c_str());
     if (result.deadlock)
@@ -239,6 +324,40 @@ main(int argc, char **argv)
         std::printf("Chrome trace written to %s (open in "
                     "chrome://tracing or ui.perfetto.dev)\n",
                     obsOpts.traceOut.c_str());
+    }
+
+    if (phaseStats) {
+        std::printf("== per-phase stats deltas ==\n");
+        const obs::StatsRegistry::Snapshot *prev = &startSnap;
+        for (const auto &[name, snap] : phases.marks) {
+            std::printf("-- phase %s --\n%s", name.c_str(),
+                        obs::StatsRegistry::delta_text(
+                            snapshot_diff(*prev, snap), 12)
+                            .c_str());
+            prev = &snap;
+        }
+    }
+
+    if (profile) {
+        obs::CritPathReport rep =
+            obs::analyze_spans(machine.spans().events());
+        std::printf("%s", rep.text().c_str());
+        if (!profileJson.empty()) {
+            if (!obs::write_file(profileJson, rep.json()))
+                fatal("cannot write profile to %s",
+                      profileJson.c_str());
+            std::printf("profile JSON written to %s\n",
+                        profileJson.c_str());
+        }
+    }
+
+    if (!flightDump.empty()) {
+        if (!machine.dump_flight_recorder(flightDump))
+            fatal("cannot write flight dump to %s",
+                  flightDump.c_str());
+        std::printf("flight recorder (%s) written to %s\n",
+                    machine.flight_report().c_str(),
+                    flightDump.c_str());
     }
     return result.failed() ? 1 : 0;
 }

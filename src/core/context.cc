@@ -153,8 +153,8 @@ Context::check_alive()
     if (machine.cell_failed(cellId))
         throw CommError(
             CommError::Kind::cell_failed, cellId, cellId,
-            strprintf("cell %d is fail-stop; communication aborted",
-                      cellId));
+            strprintf("cell %d is fail-stop; communication aborted\n%s",
+                      cellId, machine.postmortem().c_str()));
 }
 
 Tick
@@ -174,16 +174,17 @@ Context::watchdog_fire(const char *what, Addr addr,
     if (machine.cell_failed(cellId))
         throw CommError(
             CommError::Kind::cell_failed, cellId, cellId,
-            strprintf("cell %d: %s interrupted: cell is fail-stop",
-                      cellId, what));
+            strprintf("cell %d: %s interrupted: cell is fail-stop\n%s",
+                      cellId, what, machine.postmortem().c_str()));
     throw CommError(
         CommError::Kind::watchdog, cellId, cellId,
         strprintf("cell %d: watchdog expired after %.0f us blocked in "
-                  "%s (addr=%#llx want %llu)\n%s",
+                  "%s (addr=%#llx want %llu)\n%s%s",
                   cellId, machine.config().retry.watchdogUs, what,
                   static_cast<unsigned long long>(addr),
                   static_cast<unsigned long long>(target),
-                  machine.wait_graph().c_str()));
+                  machine.wait_graph().c_str(),
+                  machine.postmortem().c_str()));
 }
 
 Group
@@ -354,7 +355,27 @@ Context::issue(hw::Command cmd)
 {
     check_alive();
     // Writing the 8 parameter words to the MSC+ special address.
+    Tick t0 = machine.sim().now();
     proc.delay(us_to_ticks(machine.config().timings.enqueueUs));
+    if ((cmd.traceId = machine.spans().new_trace()) != 0) {
+        obs::SpanOp op = obs::SpanOp::none;
+        switch (cmd.kind) {
+          case hw::CommandKind::put:
+            op = obs::SpanOp::put;
+            break;
+          case hw::CommandKind::get:
+            op = cmd.isAckProbe ? obs::SpanOp::ack : obs::SpanOp::get;
+            break;
+          case hw::CommandKind::send:
+            op = obs::SpanOp::send;
+            break;
+          default:
+            break;
+        }
+        machine.spans().record(cellId, cmd.traceId,
+                               obs::SpanStage::issue, t0,
+                               machine.sim().now(), op);
+    }
     cell().msc().issue_user(std::move(cmd));
 }
 
@@ -570,10 +591,11 @@ Context::write_remote(CellId dst, Addr raddr, Addr laddr,
     throw CommError(
         CommError::Kind::timeout, cellId, dst,
         strprintf("cell %d: write_remote(%u B to cell %d at %#llx) "
-                  "unacknowledged after %d attempts",
+                  "unacknowledged after %d attempts\n%s",
                   cellId, size, dst,
                   static_cast<unsigned long long>(raddr),
-                  retry.maxRetries + 1));
+                  retry.maxRetries + 1,
+                  machine.postmortem().c_str()));
 }
 
 void
@@ -597,10 +619,11 @@ Context::read_remote(CellId dst, Addr raddr, Addr laddr,
     throw CommError(
             CommError::Kind::timeout, cellId, dst,
             strprintf("cell %d: read_remote(%u B from cell %d at "
-                      "%#llx) got no reply after %d attempts",
+                      "%#llx) got no reply after %d attempts\n%s",
                       cellId, size, dst,
                       static_cast<unsigned long long>(raddr),
-                      retry.maxRetries + 1));
+                      retry.maxRetries + 1,
+                      machine.postmortem().c_str()));
 }
 
 // -- completion ----------------------------------------------------------
@@ -839,6 +862,7 @@ Context::broadcast(CellId root, Addr laddr, std::uint32_t size,
         return; // receivers synchronize on the flag
 
     // The B-net is driven like a PUT: parameters plus payload gather.
+    Tick t0 = machine.sim().now();
     proc.delay(us_to_ticks(machine.config().timings.enqueueUs));
     std::vector<std::uint8_t> payload(size);
     peek(laddr, payload);
@@ -849,6 +873,11 @@ Context::broadcast(CellId root, Addr laddr, std::uint32_t size,
     msg.raddr = laddr;
     msg.destFlag = recv_flag;
     msg.payload = std::move(payload);
+    if ((msg.traceId = machine.spans().new_trace()) != 0)
+        machine.spans().record(cellId, msg.traceId,
+                               obs::SpanStage::issue, t0,
+                               machine.sim().now(),
+                               obs::SpanOp::bcast);
     machine.bnet().broadcast(std::move(msg));
 }
 

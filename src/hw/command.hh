@@ -50,6 +50,9 @@ struct Command
     std::uint64_t token = 0;    ///< remote-load matching token
     bool isAckProbe = false;    ///< GET to address 0 (PUT ack trick)
     Tick issuedAt = 0;          ///< enqueue time (latency telemetry)
+    /** Causal span trace id (obs/span.hh); 0 = untraced. Stamped at
+     *  issue and copied onto every message the command spawns. */
+    std::uint64_t traceId = 0;
     /** Inline data for remote stores (processor-supplied word). */
     std::vector<std::uint8_t> inlineData;
 

@@ -13,6 +13,7 @@
 
 #include "base/types.hh"
 #include "net/bnet.hh"
+#include "obs/span.hh"
 #include "net/reliable.hh"
 #include "net/snet.hh"
 #include "net/tnet.hh"
@@ -140,6 +141,15 @@ struct MachineConfig
     bool reliableNet = false;
     /** Reliable-layer protocol parameters (window, RTO, ...). */
     net::ReliableParams rnet;
+
+    /** Causal span recording mode (obs/span.hh). The flight
+     *  recorder is on by default: probes cost a POD ring store. */
+    obs::SpanMode spanMode = obs::SpanMode::flight;
+    /** Per-cell flight-recorder capacity in span events. */
+    std::size_t flightEvents = obs::FlightRecorder::default_capacity;
+    /** When set, CommError postmortems also dump the merged flight
+     *  rings as Chrome trace JSON to this path. */
+    std::string postmortemOut = "";
 
     /** Peak system GFLOPS (Table 1: 0.2 - 51.2). */
     double

@@ -15,8 +15,10 @@ Machine::Machine(MachineConfig config)
       snetNet(simulator, cfg.cells, cfg.snet),
       dsmMap(cfg.cells, cfg.memBytesPerCell / 2),
       cellFailed(static_cast<std::size_t>(cfg.cells), 0),
-      waitInfos(static_cast<std::size_t>(cfg.cells))
+      waitInfos(static_cast<std::size_t>(cfg.cells)),
+      spanLayer(cfg.cells, cfg.flightEvents)
 {
+    spanLayer.set_mode(cfg.spanMode);
     // Wire fault injection only when the plan injects something: a
     // machine built with the default (empty) plan runs the exact same
     // code paths as before the fault layer existed.
@@ -30,6 +32,14 @@ Machine::Machine(MachineConfig config)
     if (cfg.reliableNet)
         rnetNet = std::make_unique<net::ReliableNet>(
             simulator, tnetNet, cfg.rnet);
+    // The span layer is wired unconditionally: the default flight
+    // mode is the always-on black box, and off-mode probes reduce to
+    // one branch inside record()/new_trace().
+    tnetNet.set_spans(&spanLayer);
+    bnetNet.set_spans(&spanLayer);
+    snetNet.set_spans(&spanLayer);
+    if (rnetNet)
+        rnetNet->set_spans(&spanLayer);
     if (!cfg.faults.kills.empty()) {
         auto aliveFn = [this](CellId id) { return !cell_failed(id); };
         tnetNet.set_liveness(aliveFn);
@@ -48,6 +58,8 @@ Machine::Machine(MachineConfig config)
         cells.push_back(std::make_unique<Cell>(simulator, cfg, i,
                                                link));
         Cell *c = cells.back().get();
+        c->msc().set_spans(&spanLayer);
+        c->ring().set_spans(&spanLayer, i, &simulator);
         if (cfg.faults.any())
             c->msc().set_fault_injector(&faultInj);
         auto deliver = [this, c](net::Message msg) {
@@ -145,6 +157,14 @@ Machine::register_stats()
 
     statsReg.add_gauge("snet.episodes",
                        [this]() { return snetNet.total_episodes(); });
+
+    statsReg.add_gauge("spans.recorded",
+                       [this]() { return spanLayer.recorded(); });
+    statsReg.add_gauge("spans.full_log_events", [this]() {
+        return static_cast<std::uint64_t>(spanLayer.events().size());
+    });
+    statsReg.add_gauge("spans.full_dropped",
+                       [this]() { return spanLayer.full_dropped(); });
 
     const sim::FaultStats &f = faultInj.stats();
     statsReg.add_counter("faults.drops", &f.drops);
@@ -327,6 +347,51 @@ Machine::write_trace(const std::string &path) const
     if (!tracerPtr)
         return false;
     return tracerPtr->write_chrome_json(path);
+}
+
+std::string
+Machine::postmortem(std::size_t maxPerCell)
+{
+    std::string out = strprintf(
+        "flight recorder (span mode %s, %llu events recorded, last "
+        "%zu per cell):\n",
+        obs::to_string(spanLayer.mode()),
+        static_cast<unsigned long long>(spanLayer.recorded()),
+        maxPerCell);
+    out += obs::flight_text(spanLayer.flight_events(maxPerCell));
+    if (!cfg.postmortemOut.empty()) {
+        if (dump_flight_recorder(cfg.postmortemOut))
+            out += strprintf("full flight rings dumped to %s\n",
+                             cfg.postmortemOut.c_str());
+        else
+            out += strprintf("(failed to write flight dump %s)\n",
+                             cfg.postmortemOut.c_str());
+    }
+    return out;
+}
+
+bool
+Machine::dump_flight_recorder(const std::string &path) const
+{
+    return obs::write_file(
+        path, obs::span_chrome_json(spanLayer.flight_events()));
+}
+
+std::string
+Machine::flight_report() const
+{
+    std::uint64_t retained = 0, dropped = 0;
+    for (int i = -1; i < cfg.cells; ++i) {
+        const obs::FlightRecorder &r = spanLayer.flight(i);
+        retained += r.size();
+        dropped += r.dropped();
+    }
+    return strprintf(
+        "flight recorder: %llu span events retained, %llu aged out "
+        "(%zu per-cell capacity, mode %s)\n",
+        static_cast<unsigned long long>(retained),
+        static_cast<unsigned long long>(dropped),
+        cfg.flightEvents, obs::to_string(spanLayer.mode()));
 }
 
 Cell &

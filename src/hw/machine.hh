@@ -19,6 +19,7 @@
 #include "net/snet.hh"
 #include "net/tnet.hh"
 #include "net/topology.hh"
+#include "obs/span.hh"
 #include "obs/stats_registry.hh"
 #include "obs/tracer.hh"
 #include "sim/eventq.hh"
@@ -172,6 +173,39 @@ class Machine
      */
     bool write_trace(const std::string &path) const;
 
+    // -- causal spans / flight recorder --------------------------------
+
+    /** The causal span layer, wired into every component at
+     *  construction (mode from MachineConfig::spanMode). */
+    obs::SpanLayer &spans() { return spanLayer; }
+    const obs::SpanLayer &spans() const { return spanLayer; }
+
+    /** Switch the span recording mode at runtime (off/flight/full).
+     *  Use full before a run that feeds the critical-path
+     *  profiler (obs/critpath.hh). */
+    void set_span_mode(obs::SpanMode mode)
+    {
+        spanLayer.set_mode(mode);
+    }
+
+    /**
+     * The black box: render the merged flight rings (last
+     * @p maxPerCell events per cell) as a postmortem text block.
+     * When cfg.postmortemOut is set, the full merged rings are also
+     * written there as Chrome trace JSON and the path is named in
+     * the text. Appended to every CommError the runtime raises.
+     */
+    std::string postmortem(std::size_t maxPerCell = 8);
+
+    /**
+     * Write the merged flight rings as Chrome trace_event JSON to
+     * @p path. @return false on I/O error.
+     */
+    bool dump_flight_recorder(const std::string &path) const;
+
+    /** One-line flight-recorder status (events retained/dropped). */
+    std::string flight_report() const;
+
   private:
     void register_stats();
 
@@ -189,6 +223,7 @@ class Machine
     std::uint64_t cellKills = 0;
     obs::StatsRegistry statsReg;
     std::unique_ptr<obs::Tracer> tracerPtr;
+    obs::SpanLayer spanLayer;
 };
 
 } // namespace ap::hw

@@ -100,6 +100,9 @@ Msc::issue_remote_load(CellId dst, Addr raddr, std::uint32_t size)
     cmd.remoteStride = net::StrideSpec::contiguous(size);
     cmd.token = nextLoadToken++;
     std::uint64_t token = cmd.token;
+    if (spans && (cmd.traceId = spans->new_trace()))
+        spans->record(cell.id(), cmd.traceId, obs::SpanStage::issue,
+                      sim.now(), sim.now(), obs::SpanOp::remote_load);
     enqueue(remoteQ, std::move(cmd));
     return token;
 }
@@ -125,6 +128,10 @@ Msc::issue_remote_store(CellId dst, Addr raddr,
     cmd.dst = dst;
     cmd.raddr = raddr;
     cmd.inlineData = std::move(data);
+    if (spans && (cmd.traceId = spans->new_trace()))
+        spans->record(cell.id(), cmd.traceId, obs::SpanStage::issue,
+                      sim.now(), sim.now(),
+                      obs::SpanOp::remote_store);
     enqueue(remoteQ, std::move(cmd));
 }
 
@@ -179,15 +186,19 @@ Msc::kick()
     senderBusy = true;
     Command cmd = q->pop();
     maybe_refill(*q);
+    Tick popT = sim.now();
+    if (spans && cmd.traceId != 0)
+        spans->record(cell.id(), cmd.traceId, obs::SpanStage::queue,
+                      cmd.issuedAt, popT);
     // Send DMA setup, then the payload gather and injection.
     sim.schedule_after(us_to_ticks(cfg.timings.dmaSetUs),
-                       [this, cmd = std::move(cmd)]() mutable {
-                           process(std::move(cmd));
+                       [this, cmd = std::move(cmd), popT]() mutable {
+                           process(std::move(cmd), popT);
                        });
 }
 
 void
-Msc::process(Command cmd)
+Msc::process(Command cmd, Tick start)
 {
     // Gather the payload this command sends, if any.
     std::vector<std::uint8_t> payload;
@@ -238,20 +249,25 @@ Msc::process(Command cmd)
                               static_cast<double>(payload.size()));
     sim.schedule_after(stream, [this, cmd = std::move(cmd),
                                 payload = std::move(payload),
-                                dmaStart]() mutable {
+                                dmaStart, start]() mutable {
         if (tracer && !payload.empty())
             tracer->span(traceTrack, "dma", "dma_send", dmaStart);
-        finish_send(std::move(cmd), std::move(payload));
+        finish_send(std::move(cmd), std::move(payload), start);
     });
 }
 
 void
-Msc::finish_send(Command cmd, std::vector<std::uint8_t> payload)
+Msc::finish_send(Command cmd, std::vector<std::uint8_t> payload,
+                 Tick start)
 {
     net::Message msg;
     msg.src = cell.id();
     msg.dst = cmd.dst;
+    msg.traceId = cmd.traceId;
     mscStats.payloadBytesSent += payload.size();
+    if (spans && cmd.traceId != 0)
+        spans->record(cell.id(), cmd.traceId,
+                      obs::SpanStage::dma_send, start, sim.now());
 
     switch (cmd.kind) {
       case CommandKind::put:
@@ -330,7 +346,12 @@ Msc::finish_send(Command cmd, std::vector<std::uint8_t> payload)
         if (cmd.sendFlag != no_flag) {
             sim.schedule_after(
                 us_to_ticks(cfg.timings.flagUpdateUs),
-                [this, flag = cmd.sendFlag]() {
+                [this, flag = cmd.sendFlag, tid = cmd.traceId,
+                 fbegin = sim.now()]() {
+                    if (spans && tid != 0)
+                        spans->record(cell.id(), tid,
+                                      obs::SpanStage::flag, fbegin,
+                                      sim.now());
                     cell.mc().increment_flag(flag);
                 });
         }
@@ -391,6 +412,9 @@ Msc::deliver(net::Message msg)
             static_cast<double>(msg.payload.size()));
     Tick finish = start + dma;
     recvBusyUntil = finish;
+    if (spans && msg.traceId != 0)
+        spans->record(cell.id(), msg.traceId,
+                      obs::SpanStage::dma_recv, sim.now(), finish);
     if (tracer && !msg.payload.empty())
         tracer->span_at(traceTrack, "dma", "dma_recv", start, finish);
     AP_DPRINTF(DMA, "cell %d: recv DMA of %s from cell %d (%llu "
@@ -412,8 +436,10 @@ Msc::receive_body(net::Message msg)
       case net::MsgKind::put_data: {
         if (msg.toRingBuffer) {
             ++mscStats.sendsReceived;
-            cell.ring().deposit(SendRecord{msg.src, msg.tag,
-                                           std::move(msg.payload)});
+            SendRecord rec{msg.src, msg.tag,
+                           std::move(msg.payload)};
+            rec.traceId = msg.traceId;
+            cell.ring().deposit(std::move(rec));
         } else {
             ++mscStats.putsReceived;
             if (injected_fault()) {
@@ -428,6 +454,10 @@ Msc::receive_body(net::Message msg)
                 return;
             }
         }
+        if (spans && msg.traceId != 0 && msg.destFlag != no_flag)
+            spans->record(cell.id(), msg.traceId,
+                          obs::SpanStage::flag, sim.now(),
+                          sim.now());
         cell.mc().increment_flag(msg.destFlag);
         break;
       }
@@ -435,6 +465,7 @@ Msc::receive_body(net::Message msg)
         ++mscStats.getRequestsReceived;
         Command reply;
         reply.kind = CommandKind::get_reply;
+        reply.traceId = msg.traceId;
         reply.dst = msg.src;
         reply.raddr = msg.raddr;
         reply.laddr = msg.laddr;
@@ -466,6 +497,11 @@ Msc::receive_body(net::Message msg)
             ++mscStats.acksReceived;
             ackCond.notify_all();
         }
+        if (spans && msg.traceId != 0 &&
+            (msg.originFlag != no_flag || msg.isAckProbe))
+            spans->record(cell.id(), msg.traceId,
+                          obs::SpanStage::flag, sim.now(),
+                          sim.now());
         cell.mc().increment_flag(msg.originFlag);
         break;
       }
@@ -490,6 +526,7 @@ Msc::receive_body(net::Message msg)
         // Automatic acknowledgement (Section 4.2).
         net::Message ack;
         ack.kind = net::MsgKind::remote_store_ack;
+        ack.traceId = msg.traceId;
         ack.src = cell.id();
         ack.dst = msg.src;
         tnet.send(std::move(ack));
@@ -498,6 +535,10 @@ Msc::receive_body(net::Message msg)
       case net::MsgKind::remote_store_ack:
         ++ackFlag;
         ++mscStats.acksReceived;
+        if (spans && msg.traceId != 0)
+            spans->record(cell.id(), msg.traceId,
+                          obs::SpanStage::flag, sim.now(),
+                          sim.now());
         ackCond.notify_all();
         break;
       case net::MsgKind::remote_load: {
@@ -512,6 +553,7 @@ Msc::receive_body(net::Message msg)
         }
         Command reply;
         reply.kind = CommandKind::remote_load_reply;
+        reply.traceId = msg.traceId;
         reply.dst = msg.src;
         reply.token = msg.token;
         reply.inlineData = std::move(data);
@@ -520,6 +562,10 @@ Msc::receive_body(net::Message msg)
       }
       case net::MsgKind::remote_load_reply:
         loadReplies[msg.token] = std::move(msg.payload);
+        if (spans && msg.traceId != 0)
+            spans->record(cell.id(), msg.traceId,
+                          obs::SpanStage::flag, sim.now(),
+                          sim.now());
         loadCond.notify_all();
         break;
       case net::MsgKind::broadcast: {
@@ -537,6 +583,10 @@ Msc::receive_body(net::Message msg)
             remote_fault(r.faultAddr);
             return;
         }
+        if (spans && msg.traceId != 0 && msg.destFlag != no_flag)
+            spans->record(cell.id(), msg.traceId,
+                          obs::SpanStage::flag, sim.now(),
+                          sim.now());
         cell.mc().increment_flag(msg.destFlag);
         break;
       }

@@ -167,6 +167,9 @@ class Msc
         traceTrack = track;
     }
 
+    /** Attach the machine's span layer (nullptr detaches). */
+    void set_spans(obs::SpanLayer *s) { spans = s; }
+
   private:
     void kick();
     void maybe_refill(CommandQueue &q);
@@ -174,8 +177,10 @@ class Msc
     CommandQueue *pick_queue();
     void enqueue(CommandQueue &q, Command cmd);
     bool injected_fault();
-    void process(Command cmd);
-    void finish_send(Command cmd, std::vector<std::uint8_t> payload);
+    /** @p start is when the send engine picked the command up. */
+    void process(Command cmd, Tick start);
+    void finish_send(Command cmd, std::vector<std::uint8_t> payload,
+                     Tick start);
     void receive_body(net::Message msg);
     void local_fault(Addr addr);
     void remote_fault(Addr addr);
@@ -207,6 +212,7 @@ class Msc
     sim::FaultInjector *faults = nullptr;
     obs::Tracer *tracer = nullptr;
     int traceTrack = 0;
+    obs::SpanLayer *spans = nullptr;
 };
 
 } // namespace ap::hw

@@ -31,6 +31,12 @@ RingBuffer::deposit(SendRecord rec)
     AP_DPRINTF(Ring, "deposit from cell %d tag %d (%zu bytes, depth "
                "%zu)", rec.src, rec.tag, rec.payload.size(),
                records.size() + 1);
+    if (simPtr)
+        rec.depositedAt = simPtr->now();
+    if (spans && rec.traceId != 0 && simPtr)
+        spans->record(spanCell, rec.traceId,
+                      obs::SpanStage::ring_deposit, rec.depositedAt,
+                      rec.depositedAt);
     records.push_back(std::move(rec));
     ++rbStats.deposits;
     rbStats.maxDepth =
@@ -59,6 +65,11 @@ RingBuffer::take(std::size_t index)
     records.erase(records.begin() +
                   static_cast<std::ptrdiff_t>(index));
     usedBytes -= r.payload.size();
+    // The buffered wait: deposit to the matching RECEIVE/consume.
+    if (spans && r.traceId != 0 && simPtr)
+        spans->record(spanCell, r.traceId,
+                      obs::SpanStage::ring_receive, r.depositedAt,
+                      simPtr->now());
     return r;
 }
 

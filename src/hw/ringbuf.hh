@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/span.hh"
 #include "obs/tracer.hh"
+#include "sim/eventq.hh"
 #include "sim/process.hh"
 
 namespace ap::hw
@@ -35,6 +37,10 @@ struct SendRecord
     CellId src = invalid_cell;
     std::int32_t tag = 0;
     std::vector<std::uint8_t> payload;
+    /** Causal span trace id of the SEND (obs/span.hh). */
+    std::uint64_t traceId = 0;
+    /** When the record landed in the ring (set by deposit()). */
+    Tick depositedAt = 0;
 };
 
 /** Ring buffer statistics. */
@@ -117,6 +123,19 @@ class RingBuffer
         traceTrack = track;
     }
 
+    /**
+     * Attach the machine's span layer (nullptr detaches). @p cell is
+     * the owning cell; @p s_im timestamps deposits and matches.
+     */
+    void
+    set_spans(obs::SpanLayer *s, std::int32_t cell,
+              sim::Simulator *s_im)
+    {
+        spans = s;
+        spanCell = cell;
+        simPtr = s_im;
+    }
+
   private:
     std::optional<std::size_t> find(CellId src, std::int32_t tag) const;
     SendRecord take(std::size_t index);
@@ -128,6 +147,9 @@ class RingBuffer
     RingBufferStats rbStats;
     obs::Tracer *tracer = nullptr;
     int traceTrack = 0;
+    obs::SpanLayer *spans = nullptr;
+    std::int32_t spanCell = -1;
+    sim::Simulator *simPtr = nullptr;
 };
 
 } // namespace ap::hw

@@ -35,6 +35,9 @@ Bnet::broadcast(Message msg)
     netStats.wireBytes += msg.wire_bytes();
     netStats.occupancyUs.sample(
         static_cast<std::uint64_t>(ticks_to_us(occupy)));
+    if (spans && msg.traceId != 0)
+        spans->record(-1, msg.traceId, obs::SpanStage::net, start,
+                      arrive);
     if (tracer)
         tracer->span_at(obs::machine_track, "bnet", "broadcast",
                         start, arrive);

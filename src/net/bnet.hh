@@ -16,6 +16,7 @@
 #include "base/stats.hh"
 #include "base/types.hh"
 #include "net/message.hh"
+#include "obs/span.hh"
 #include "obs/tracer.hh"
 #include "sim/eventq.hh"
 
@@ -71,6 +72,9 @@ class Bnet
     /** Attach a cycle-timeline tracer (nullptr detaches). */
     void set_tracer(obs::Tracer *t) { tracer = t; }
 
+    /** Attach the machine's span layer (nullptr detaches). */
+    void set_spans(obs::SpanLayer *s) { spans = s; }
+
   private:
     sim::Simulator &sim;
     BnetParams prm;
@@ -78,6 +82,7 @@ class Bnet
     Tick busyUntil = 0;
     BnetStats netStats;
     obs::Tracer *tracer = nullptr;
+    obs::SpanLayer *spans = nullptr;
 };
 
 } // namespace ap::net

@@ -27,6 +27,11 @@ class Link
      * Accept @p msg for delivery to its destination's handler.
      * @return the scheduled arrival tick of the initial transmission
      * (informational; reliable links may deliver later).
+     *
+     * Implementations must preserve @ref Message::traceId end to end
+     * (including on retransmitted copies) so the causal span layer
+     * (obs/span.hh) can stitch one operation's lifecycle across the
+     * link boundary.
      */
     virtual Tick send(Message msg) = 0;
 };

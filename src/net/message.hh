@@ -116,6 +116,14 @@ struct Message
     std::uint64_t token = 0;
 
     /**
+     * Causal span trace id (obs/span.hh); 0 = untraced. Pure
+     * simulator metadata: it occupies no wire bytes, is excluded
+     * from the checksum, and replies/acks inherit it so one trace
+     * id follows an operation across cells.
+     */
+    std::uint64_t traceId = 0;
+
+    /**
      * Reliable-layer envelope (net/reliable.hh). When @ref reliable
      * is set the message carries a per-(src,dst)-channel sequence
      * number, a piggybacked cumulative ack for the reverse channel,

@@ -182,7 +182,13 @@ ReliableNet::on_timer(CellId src, CellId dst, std::uint64_t expect)
                    to_string(copy.kind), src, dst,
                    static_cast<unsigned long long>(copy.seq),
                    p.sends);
-        tnet.send(std::move(copy));
+        std::uint64_t tid = copy.traceId;
+        Tick resent = sim.now();
+        Tick arr = tnet.send(std::move(copy));
+        if (spans && tid != 0)
+            spans->record(dst, tid, obs::SpanStage::retransmit,
+                          resent, arr, obs::SpanOp::none,
+                          static_cast<std::uint32_t>(p.sends));
     }
     if (tracer)
         tracer->instant(obs::machine_track, "rnet",

@@ -42,6 +42,7 @@
 #include "base/types.hh"
 #include "net/link.hh"
 #include "net/tnet.hh"
+#include "obs/span.hh"
 #include "obs/tracer.hh"
 #include "sim/eventq.hh"
 
@@ -112,6 +113,11 @@ class ReliableNet : public Link
 
     /** Attach a cycle-timeline tracer (nullptr detaches). */
     void set_tracer(obs::Tracer *t) { tracer = t; }
+
+    /** Attach the machine's span layer (nullptr detaches). Each
+     *  go-back-N resend records a retransmit child span under the
+     *  message's original trace id (aux = try count). */
+    void set_spans(obs::SpanLayer *s) { spans = s; }
 
     /** Install a cell-liveness predicate (fail-stop support). */
     void set_liveness(std::function<bool(CellId)> aliveFn)
@@ -205,6 +211,7 @@ class ReliableNet : public Link
     std::vector<RnetStats> cellStats;
     std::function<bool(CellId)> alive;
     obs::Tracer *tracer = nullptr;
+    obs::SpanLayer *spans = nullptr;
 };
 
 } // namespace ap::net

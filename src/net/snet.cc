@@ -51,6 +51,8 @@ Snet::arrive(ContextId id, CellId cell, std::function<void()> on_release)
 
     ctx.arrived[static_cast<std::size_t>(cell)] = true;
     ctx.callbacks.push_back(std::move(on_release));
+    if (ctx.count == 0)
+        ctx.episodeBegin = sim.now();
     ctx.count++;
 
     maybe_release(ctx);
@@ -69,6 +71,11 @@ Snet::maybe_release(Context &ctx)
             return;
 
     Tick release = sim.now() + us_to_ticks(prm.releaseUs);
+    if (spans)
+        if (std::uint64_t tid = spans->new_trace())
+            spans->record(-1, tid, obs::SpanStage::barrier,
+                          ctx.episodeBegin, release,
+                          obs::SpanOp::barrier);
     std::vector<std::function<void()>> cbs;
     cbs.swap(ctx.callbacks);
     ctx.count = 0;

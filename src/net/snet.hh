@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "base/types.hh"
+#include "obs/span.hh"
 #include "sim/eventq.hh"
 
 namespace ap::net
@@ -70,6 +71,11 @@ class Snet
      */
     void fail_cell(CellId cell);
 
+    /** Attach the machine's span layer (nullptr detaches). Each
+     *  barrier episode records one machine-wide span from the first
+     *  arrival to the release tick under a fresh trace id. */
+    void set_spans(obs::SpanLayer *s) { spans = s; }
+
   private:
     struct Context
     {
@@ -78,6 +84,7 @@ class Snet
         std::vector<std::function<void()>> callbacks;
         int count = 0;
         std::uint64_t completed = 0;
+        Tick episodeBegin = 0; ///< first arrival of this episode
     };
 
     /** Release @p ctx when every live member has arrived. */
@@ -88,6 +95,7 @@ class Snet
     SnetParams prm;
     std::vector<Context> contexts;
     std::vector<bool> failedCells;
+    obs::SpanLayer *spans = nullptr;
 };
 
 } // namespace ap::net

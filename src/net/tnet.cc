@@ -131,7 +131,12 @@ Tnet::send(Message msg)
     if (inject_faults) {
         if (faults->drop_message()) {
             // The wire was used (stats above) but nothing arrives.
+            // aux=1 marks the flight as lost for the span layer.
             ++netStats.dropped;
+            if (spans && msg.traceId != 0)
+                spans->record(msg.dst, msg.traceId,
+                              obs::SpanStage::net, inject, arrive,
+                              obs::SpanOp::none, 1);
             if (tracer)
                 tracer->instant(obs::machine_track, "fault",
                                 std::string("drop:") +
@@ -164,6 +169,10 @@ Tnet::send(Message msg)
                                     to_string(msg.kind));
             AP_DPRINTF(Fault, "reordered %s %d -> %d",
                        to_string(msg.kind), msg.src, msg.dst);
+            if (spans && msg.traceId != 0)
+                spans->record(msg.dst, msg.traceId,
+                              obs::SpanStage::net, inject,
+                              arrive + faults->reorder_delay());
             if (tracer && msg.src != msg.dst)
                 tracer->span_at(static_cast<int>(msg.dst), "tnet",
                                 std::string("flight:") +
@@ -190,6 +199,9 @@ Tnet::send(Message msg)
         }
     }
 
+    if (spans && msg.traceId != 0)
+        spans->record(msg.dst, msg.traceId, obs::SpanStage::net,
+                      inject, arrive);
     if (tracer && msg.src != msg.dst)
         tracer->span_at(static_cast<int>(msg.dst), "tnet",
                         std::string("flight:") + to_string(msg.kind),

@@ -30,6 +30,7 @@
 #include "net/link.hh"
 #include "net/message.hh"
 #include "net/topology.hh"
+#include "obs/span.hh"
 #include "obs/tracer.hh"
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
@@ -118,6 +119,9 @@ class Tnet : public Link
      */
     void set_tracer(obs::Tracer *t) { tracer = t; }
 
+    /** Attach the machine's span layer (nullptr detaches). */
+    void set_spans(obs::SpanLayer *s) { spans = s; }
+
     /**
      * Install a cell-liveness predicate. When set, traffic to or
      * from a cell the predicate declares dead is silently discarded
@@ -150,6 +154,7 @@ class Tnet : public Link
     std::unordered_map<std::uint64_t, Tick> linkBusy;
     TnetStats netStats;
     obs::Tracer *tracer = nullptr;
+    obs::SpanLayer *spans = nullptr;
 };
 
 } // namespace ap::net

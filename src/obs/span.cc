@@ -1,0 +1,210 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace ap::obs
+{
+
+const char *
+to_string(SpanMode mode)
+{
+    switch (mode) {
+      case SpanMode::off:
+        return "off";
+      case SpanMode::flight:
+        return "flight";
+      case SpanMode::full:
+        return "full";
+    }
+    return "?";
+}
+
+const char *
+to_string(SpanStage stage)
+{
+    switch (stage) {
+      case SpanStage::issue:
+        return "issue";
+      case SpanStage::queue:
+        return "queue";
+      case SpanStage::dma_send:
+        return "dma_send";
+      case SpanStage::net:
+        return "net";
+      case SpanStage::dma_recv:
+        return "dma_recv";
+      case SpanStage::flag:
+        return "flag";
+      case SpanStage::ring_deposit:
+        return "ring_deposit";
+      case SpanStage::ring_receive:
+        return "ring_receive";
+      case SpanStage::retransmit:
+        return "retransmit";
+      case SpanStage::barrier:
+        return "barrier";
+    }
+    return "?";
+}
+
+const char *
+to_string(SpanOp op)
+{
+    switch (op) {
+      case SpanOp::none:
+        return "none";
+      case SpanOp::put:
+        return "put";
+      case SpanOp::get:
+        return "get";
+      case SpanOp::send:
+        return "send";
+      case SpanOp::ack:
+        return "ack";
+      case SpanOp::remote_store:
+        return "remote_store";
+      case SpanOp::remote_load:
+        return "remote_load";
+      case SpanOp::bcast:
+        return "bcast";
+      case SpanOp::barrier:
+        return "barrier";
+    }
+    return "?";
+}
+
+SpanLayer::SpanLayer(int cells, std::size_t flightCapacity)
+{
+    rings.reserve(static_cast<std::size_t>(cells) + 1);
+    for (int i = 0; i < cells + 1; ++i)
+        rings.emplace_back(flightCapacity);
+}
+
+void
+SpanLayer::record(std::int32_t cell, std::uint64_t traceId,
+                  SpanStage stage, Tick begin, Tick end, SpanOp op,
+                  std::uint32_t aux)
+{
+    if (mode_ == SpanMode::off || traceId == 0)
+        return;
+    SpanEvent ev;
+    ev.traceId = traceId;
+    ev.begin = begin;
+    ev.end = end;
+    ev.cell = cell;
+    ev.stage = stage;
+    ev.op = op;
+    ev.aux = aux;
+    ++recordedCount;
+
+    std::size_t idx = static_cast<std::size_t>(cell + 1);
+    if (idx >= rings.size())
+        idx = 0; // out-of-range track lands on the machine ring
+    rings[idx].push(ev);
+
+    if (mode_ == SpanMode::full) {
+        if (fullLog.size() < fullCapacity)
+            fullLog.push_back(ev);
+        else
+            ++fullDropped;
+    }
+}
+
+void
+SpanLayer::clear()
+{
+    fullLog.clear();
+    fullDropped = 0;
+    for (FlightRecorder &r : rings)
+        r.clear();
+}
+
+const FlightRecorder &
+SpanLayer::flight(std::int32_t cell) const
+{
+    std::size_t idx = static_cast<std::size_t>(cell + 1);
+    if (idx >= rings.size())
+        panic("flight ring for cell %d outside machine of %zu cells",
+              cell, rings.size() - 1);
+    return rings[idx];
+}
+
+std::vector<SpanEvent>
+SpanLayer::flight_events(std::size_t maxPerCell) const
+{
+    std::vector<SpanEvent> out;
+    for (const FlightRecorder &r : rings) {
+        std::vector<SpanEvent> part = r.snapshot(maxPerCell);
+        out.insert(out.end(), part.begin(), part.end());
+    }
+    std::stable_sort(out.begin(), out.end(),
+                     [](const SpanEvent &a, const SpanEvent &b) {
+                         if (a.begin != b.begin)
+                             return a.begin < b.begin;
+                         return a.traceId < b.traceId;
+                     });
+    return out;
+}
+
+std::string
+span_chrome_json(const std::vector<SpanEvent> &events)
+{
+    // Same trace_event dialect as obs::Tracer::chrome_json(): one
+    // thread per cell, complete events, microsecond timestamps.
+    std::string out = "{\"traceEvents\": [\n";
+    bool first = true;
+
+    std::vector<std::int32_t> cells;
+    for (const SpanEvent &ev : events)
+        if (std::find(cells.begin(), cells.end(), ev.cell) ==
+            cells.end())
+            cells.push_back(ev.cell);
+    std::sort(cells.begin(), cells.end());
+    for (std::int32_t c : cells) {
+        std::string name =
+            c < 0 ? "machine" : strprintf("cell %d", c);
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += strprintf(
+            "  {\"name\": \"thread_name\", \"ph\": \"M\", "
+            "\"pid\": 1, \"tid\": %d, \"args\": {\"name\": "
+            "\"%s\"}}",
+            c + 1, json_escape(name).c_str());
+    }
+
+    for (const SpanEvent &ev : events) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        std::string args = strprintf(
+            "{\"trace\": %llu",
+            static_cast<unsigned long long>(ev.traceId));
+        if (ev.op != SpanOp::none)
+            args += strprintf(", \"op\": \"%s\"", to_string(ev.op));
+        if (ev.aux != 0)
+            args += strprintf(", \"aux\": %u", ev.aux);
+        args += "}";
+        out += strprintf(
+            "  {\"name\": \"%s\", \"cat\": \"span\", \"ph\": \"X\", "
+            "\"ts\": %s, \"dur\": %s, \"pid\": 1, \"tid\": %d, "
+            "\"args\": %s}",
+            to_string(ev.stage),
+            json_number(ticks_to_us(ev.begin)).c_str(),
+            json_number(ticks_to_us(ev.end - ev.begin)).c_str(),
+            ev.cell + 1, args.c_str());
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::string
+span_text(const std::vector<SpanEvent> &events)
+{
+    return flight_text(events);
+}
+
+} // namespace ap::obs

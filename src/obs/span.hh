@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Causal message-lifecycle spans.
+ *
+ * The paper's central claim is a latency breakdown (Figs. 7-8): a PUT
+ * is 8 user-level stores, then MSC+ queueing, DMA send, T-net
+ * transit, receive DMA and the flag update. The stats registry and
+ * tracer (obs/stats_registry.hh, obs/tracer.hh) aggregate those
+ * stages machine-wide but cannot say which stage dominated *one*
+ * transfer. This layer can: every PUT/GET/SEND/broadcast gets a
+ * machine-unique trace id stamped at command issue and propagated
+ * through the MSC+ queues, the DMA engines, the network envelopes
+ * (retransmits become child spans) and the GET reply, producing a
+ * span set per operation with begin/end ticks per stage.
+ *
+ * Three modes:
+ *  - off:    no ids, no events, probes cost one predictable branch;
+ *  - flight: the default. Events land only in per-cell bounded rings
+ *            (the flight recorder, obs/flight.hh) — a POD store into
+ *            a preallocated array, cheap enough to leave on always;
+ *  - full:   events are additionally appended to an in-order log the
+ *            critical-path profiler (obs/critpath.hh) consumes.
+ *
+ * SpanEvent is deliberately POD (no strings, no allocation) so the
+ * always-on flight path stays near-zero overhead; bench_trace_overhead
+ * guards that budget in CI.
+ */
+
+#ifndef AP_OBS_SPAN_HH
+#define AP_OBS_SPAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.hh"
+#include "obs/flight.hh"
+
+namespace ap::obs
+{
+
+/** Recording mode of the span layer. */
+enum class SpanMode : std::uint8_t
+{
+    off,    ///< no ids allocated, no events recorded
+    flight, ///< per-cell flight-recorder rings only (default)
+    full,   ///< rings plus the full in-order event log
+};
+
+const char *to_string(SpanMode mode);
+
+/** Pipeline stage one span event describes. */
+enum class SpanStage : std::uint8_t
+{
+    issue,        ///< processor stores the 8 command words
+    queue,        ///< command parked in an MSC+ queue
+    dma_send,     ///< send DMA setup + payload gather/stream
+    net,          ///< T-net/B-net flight (inject to arrive)
+    dma_recv,     ///< receive DMA (incl. waiting for the engine)
+    flag,         ///< MC flag update completing the transfer
+    ring_deposit, ///< SEND landed in the receive ring buffer
+    ring_receive, ///< buffered SEND waited for its RECEIVE
+    retransmit,   ///< reliable-layer go-back-N resend (child span)
+    barrier,      ///< S-net episode: first arrival to release
+};
+
+constexpr int span_stage_count = 10;
+
+const char *to_string(SpanStage stage);
+
+/** Operation kind, stamped on the issue-stage event of a trace. */
+enum class SpanOp : std::uint8_t
+{
+    none, ///< interior event; the trace's op comes from its issue
+    put,
+    get,
+    send,
+    ack, ///< PUT-acknowledge probe (GET to address 0)
+    remote_store,
+    remote_load,
+    bcast,
+    barrier,
+};
+
+constexpr int span_op_count = 9;
+
+const char *to_string(SpanOp op);
+
+/**
+ * One recorded lifecycle event. POD on purpose: the flight recorder
+ * stores these by value in a preallocated ring and the record path
+ * must not allocate.
+ */
+struct SpanEvent
+{
+    std::uint64_t traceId = 0; ///< machine-unique operation id
+    Tick begin = 0;
+    Tick end = 0;
+    std::int32_t cell = -1; ///< owning cell; -1 = machine-wide
+    SpanStage stage = SpanStage::issue;
+    SpanOp op = SpanOp::none; ///< set on issue-stage events only
+    /** Stage-specific detail: retransmit try count, 1 for a net
+     *  span whose message was dropped in flight. */
+    std::uint32_t aux = 0;
+};
+
+/** Render @p events as Chrome trace_event JSON (one thread per
+ *  cell, complete "X" events, trace id and stage in args). */
+std::string span_chrome_json(const std::vector<SpanEvent> &events);
+
+/** Render @p events as a flat text table, one line per event. */
+std::string span_text(const std::vector<SpanEvent> &events);
+
+/**
+ * The machine-wide span recorder. Owned by hw::Machine; hardware
+ * components hold a pointer and guard every probe with a null check
+ * plus on(). Trace ids come from one central counter so an id is
+ * unique machine-wide and an event stream from any cell can be
+ * grouped by operation.
+ */
+class SpanLayer
+{
+  public:
+    /** Bound on the full-mode event log (events beyond it drop). */
+    static constexpr std::size_t default_full_capacity = 1 << 20;
+
+    /**
+     * @param cells machine size (rings are per cell plus one
+     *              machine-wide ring for cell id -1)
+     * @param flightCapacity per-cell flight-recorder bound, events
+     */
+    SpanLayer(int cells, std::size_t flightCapacity);
+
+    SpanMode mode() const { return mode_; }
+    void set_mode(SpanMode mode) { mode_ = mode; }
+
+    /** @return true when events are being recorded at all. */
+    bool on() const { return mode_ != SpanMode::off; }
+
+    /** Allocate a machine-unique trace id; 0 while off. */
+    std::uint64_t
+    new_trace()
+    {
+        return on() ? ++lastTrace : 0;
+    }
+
+    /**
+     * Record one lifecycle event. No-op while off or for traceId 0
+     * (an id allocated while the layer was off). Flight mode stores
+     * into the owning cell's ring only; full mode also appends to
+     * the in-order log.
+     */
+    void record(std::int32_t cell, std::uint64_t traceId,
+                SpanStage stage, Tick begin, Tick end,
+                SpanOp op = SpanOp::none, std::uint32_t aux = 0);
+
+    /** Events recorded since construction (all modes). */
+    std::uint64_t recorded() const { return recordedCount; }
+
+    /** The full-mode in-order log (empty unless mode was full). */
+    const std::vector<SpanEvent> &events() const { return fullLog; }
+
+    /** Full-log events dropped at the capacity bound. */
+    std::uint64_t full_dropped() const { return fullDropped; }
+
+    /** Drop all recorded events (rings and full log). */
+    void clear();
+
+    /** The flight ring of @p cell (-1 = the machine-wide ring). */
+    const FlightRecorder &flight(std::int32_t cell) const;
+
+    /**
+     * Merged snapshot of every flight ring, ordered by begin tick —
+     * the postmortem view: the last N events each cell saw.
+     * @p maxPerCell 0 keeps whole rings.
+     */
+    std::vector<SpanEvent>
+    flight_events(std::size_t maxPerCell = 0) const;
+
+  private:
+    SpanMode mode_ = SpanMode::flight;
+    std::uint64_t lastTrace = 0;
+    std::uint64_t recordedCount = 0;
+    std::uint64_t fullDropped = 0;
+    std::size_t fullCapacity = default_full_capacity;
+    std::vector<SpanEvent> fullLog;
+    /** index 0 = machine-wide (-1), index i+1 = cell i. */
+    std::vector<FlightRecorder> rings;
+};
+
+} // namespace ap::obs
+
+#endif // AP_OBS_SPAN_HH

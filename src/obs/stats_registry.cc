@@ -1,5 +1,9 @@
 #include "obs/stats_registry.hh"
 
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
 #include "base/logging.hh"
 #include "obs/json.hh"
 
@@ -123,6 +127,58 @@ StatsRegistry::max_over(const std::string &pattern,
         any = true;
     }
     return best;
+}
+
+StatsRegistry::Snapshot
+StatsRegistry::snapshot() const
+{
+    Snapshot snap;
+    for (const auto &[path, entry] : entries)
+        snap[path] = entry.value();
+    return snap;
+}
+
+std::map<std::string, std::int64_t>
+StatsRegistry::delta_since(const Snapshot &before) const
+{
+    std::map<std::string, std::int64_t> d;
+    for (const auto &[path, entry] : entries) {
+        auto it = before.find(path);
+        std::uint64_t was = it == before.end() ? 0 : it->second;
+        d[path] = static_cast<std::int64_t>(entry.value()) -
+                  static_cast<std::int64_t>(was);
+    }
+    return d;
+}
+
+std::string
+StatsRegistry::delta_text(
+    const std::map<std::string, std::int64_t> &d,
+    std::size_t maxRows)
+{
+    std::vector<std::pair<std::string, std::int64_t>> rows;
+    for (const auto &[path, delta] : d)
+        if (delta != 0)
+            rows.emplace_back(path, delta);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto &a, const auto &b) {
+                         return std::llabs(a.second) >
+                                std::llabs(b.second);
+                     });
+    std::string out;
+    std::size_t shown = 0;
+    for (const auto &[path, delta] : rows) {
+        if (maxRows != 0 && shown == maxRows)
+            break;
+        out += strprintf("%-48s %+lld\n", path.c_str(),
+                         static_cast<long long>(delta));
+        ++shown;
+    }
+    if (shown < rows.size())
+        out += strprintf("... (%zu more)\n", rows.size() - shown);
+    if (rows.empty())
+        out += "(no change)\n";
+    return out;
 }
 
 namespace

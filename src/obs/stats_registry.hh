@@ -105,6 +105,32 @@ class StatsRegistry
     static bool matches(const std::string &pattern,
                         const std::string &path);
 
+    // -- snapshots / phase deltas --------------------------------------
+
+    /** A point-in-time copy of every scalar (histograms contribute
+     *  their sample count). */
+    using Snapshot = std::map<std::string, std::uint64_t>;
+
+    /** Capture the current value of every registered path. */
+    Snapshot snapshot() const;
+
+    /**
+     * Per-path change since @p before. Paths registered after the
+     * snapshot count from zero; paths removed since are omitted.
+     * Deltas are signed so a gauge that shrank reads negative.
+     */
+    std::map<std::string, std::int64_t>
+    delta_since(const Snapshot &before) const;
+
+    /**
+     * Render a delta map as a "path  +N" table, largest magnitude
+     * first, zero rows skipped. @p maxRows 0 means unlimited; when
+     * rows are cut, a trailing "... (K more)" line says so.
+     */
+    static std::string
+    delta_text(const std::map<std::string, std::int64_t> &d,
+               std::size_t maxRows = 0);
+
     /**
      * Render every entry as nested JSON. Histograms become objects
      * with count/sum/min/max/mean and a bucket map ("b<k>" covers

@@ -172,9 +172,10 @@ Runtime::movewait_hardened()
         throw core::CommError(
             core::CommError::Kind::timeout, ctx.id(), -1,
             strprintf("cell %d: movewait could not complete %zu "
-                      "collective transfers after %d attempts",
+                      "collective transfers after %d attempts\n%s",
                       ctx.id(), pendingPuts.size(),
-                      retry.maxRetries + 1));
+                      retry.maxRetries + 1,
+                      ctx.owner().postmortem().c_str()));
     pendingPuts.clear();
     ctx.barrier();
     // Retries and duplicates drift the receive-count flag past its

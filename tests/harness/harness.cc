@@ -199,6 +199,8 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
         static_cast<std::size_t>(prog.cells), 0);
 
     RunOutcome out;
+    obs::StatsRegistry::Snapshot statsBefore =
+        m.stats_registry().snapshot();
     core::SpmdResult result = core::run_spmd(m, [&](core::Context
                                                         &ctx) {
         CellId me = ctx.id();
@@ -346,6 +348,7 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     out.deadlock = result.deadlock;
     out.finish = result.finishTick;
     out.faults = m.faults().stats();
+    out.statsDelta = m.stats_registry().delta_since(statsBefore);
     if (m.reliable())
         out.rnetRetransmits =
             m.stats_registry().sum("*.rnet.retransmits");

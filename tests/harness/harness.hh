@@ -36,6 +36,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,12 @@ struct RunOutcome
     sim::FaultStats faults;
     /** Total reliable-layer retransmissions (0 with the layer off). */
     std::uint64_t rnetRetransmits = 0;
+    /**
+     * Stats-registry change over the run (construction snapshot vs
+     * drained machine), so stress iterations can report what the
+     * fault plan actually exercised.
+     */
+    std::map<std::string, std::int64_t> statsDelta;
 
     bool
     clean() const

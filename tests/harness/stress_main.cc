@@ -19,6 +19,7 @@
 #include <string>
 
 #include "harness.hh"
+#include "obs/stats_registry.hh"
 
 using namespace ap;
 using namespace ap::harness;
@@ -36,6 +37,8 @@ struct Options
     long iters = -1; // unlimited within the duration budget
     /** Stack the reliable-delivery layer under the MSC+. */
     bool reliable = false;
+    /** Print each iteration's stats-registry delta (top rows). */
+    bool iterStats = false;
     /** Telemetry of the faulty run of each iteration (last wins). */
     obs::ObsOptions obs;
 };
@@ -109,6 +112,8 @@ parse(int argc, char **argv)
             opt.iters = std::atol(a + 8);
         else if (std::strcmp(a, "--reliable") == 0)
             opt.reliable = true;
+        else if (std::strcmp(a, "--iter-stats") == 0)
+            opt.iterStats = true;
         else if (obs::consume_obs_arg(a, opt.obs))
             ;
         else {
@@ -117,7 +122,8 @@ parse(int argc, char **argv)
                 stderr,
                 "usage: stress_put_get [--seed=N] [--plan=NAME] "
                 "[--cells=N] [--ops=N] [--duration-s=S] "
-                "[--iters=N] [--reliable] [--stats-out=F] "
+                "[--iters=N] [--reliable] [--iter-stats] "
+                "[--stats-out=F] "
                 "[--trace-out=F] [--debug-flags=A,B]\n");
             std::exit(2);
         }
@@ -185,6 +191,12 @@ main(int argc, char **argv)
             run_program(prog, plan, retry, opt.obs, opt.reliable);
         injected += o.faults.total() + o.faults.jitteredEvents;
         retransmits += o.rnetRetransmits;
+        if (opt.iterStats)
+            std::printf(
+                "-- iteration %ld (seed %llu) stats delta --\n%s",
+                done, static_cast<unsigned long long>(seed),
+                obs::StatsRegistry::delta_text(o.statsDelta, 12)
+                    .c_str());
         ++done;
     }
 

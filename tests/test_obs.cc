@@ -87,6 +87,37 @@ TEST(StatsRegistry, PatternQueriesAndRemoval)
     EXPECT_NE(r.find("cell0.msc.puts_sent"), nullptr);
 }
 
+TEST(StatsRegistry, SnapshotDiffReportsOnlyChange)
+{
+    StatsRegistry r;
+    std::uint64_t puts = 3, gets = 5;
+    r.add_counter("cell0.msc.puts_sent", &puts);
+    r.add_counter("cell0.msc.gets_sent", &gets);
+
+    StatsRegistry::Snapshot before = r.snapshot();
+    EXPECT_EQ(before.at("cell0.msc.puts_sent"), 3u);
+
+    puts = 10; // +7
+    std::uint64_t late = 2;
+    r.add_counter("cell0.msc.late", &late); // born after the snapshot
+
+    std::map<std::string, std::int64_t> d = r.delta_since(before);
+    EXPECT_EQ(d.at("cell0.msc.puts_sent"), 7);
+    EXPECT_EQ(d.at("cell0.msc.gets_sent"), 0);
+    EXPECT_EQ(d.at("cell0.msc.late"), 2); // counts from zero
+
+    std::string text = StatsRegistry::delta_text(d);
+    EXPECT_NE(text.find("puts_sent"), std::string::npos);
+    EXPECT_NE(text.find("+7"), std::string::npos);
+    // Zero rows are dropped from the table.
+    EXPECT_EQ(text.find("gets_sent"), std::string::npos);
+    // Largest magnitude first, and maxRows cuts with a marker.
+    std::string one = StatsRegistry::delta_text(d, 1);
+    EXPECT_NE(one.find("puts_sent"), std::string::npos);
+    EXPECT_NE(one.find("more)"), std::string::npos);
+    EXPECT_EQ(StatsRegistry::delta_text({}).find("(no change)"), 0u);
+}
+
 TEST(StatsRegistry, DumpsAreWellFormed)
 {
     StatsRegistry r;

@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Schema checks for the span-profiler JSON artifacts (CI gate).
+
+Two document kinds:
+
+  profile  critical-path breakdown written by `ap_run --profile-json=F`
+           and `bench_micro_putget --profile-out=F`
+           (obs/critpath.hh: coverage, stages.<name>, ops.<name>)
+  chrome   Chrome trace_event JSON written by the flight recorder
+           (`--flight-dump=F`, `--span-trace-out=F`)
+
+Usage:
+  check_profile_schema.py profile [--min-coverage=0.95] FILE...
+  check_profile_schema.py chrome FILE...
+
+Exit status 0 when every file conforms; 1 with a diagnostic per
+violation otherwise. Standard library only.
+"""
+
+import json
+import sys
+
+STAGES = [
+    "issue", "queue", "dma_send", "net", "dma_recv", "flag",
+    "ring_deposit", "ring_receive", "retransmit", "barrier",
+]
+
+
+def fail(path, msg):
+    print(f"{path}: {msg}", file=sys.stderr)
+    return 1
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_profile(path, doc, min_coverage):
+    rc = 0
+    for key in ("traces", "events", "end_to_end_us",
+                "attributed_us", "coverage"):
+        if not is_num(doc.get(key)):
+            rc |= fail(path, f"missing numeric field '{key}'")
+    cov = doc.get("coverage")
+    if is_num(cov) and not -1e-9 <= cov <= 1.0 + 1e-9:
+        rc |= fail(path, f"coverage {cov} outside [0, 1]")
+    if is_num(cov) and cov < min_coverage:
+        rc |= fail(
+            path,
+            f"coverage {cov:.3f} below required {min_coverage}")
+
+    stages = doc.get("stages")
+    if not isinstance(stages, dict):
+        return rc | fail(path, "missing 'stages' object")
+    for name in STAGES:
+        st = stages.get(name)
+        if not isinstance(st, dict):
+            rc |= fail(path, f"stages.{name} missing")
+            continue
+        for key in ("us", "share", "events"):
+            if not is_num(st.get(key)):
+                rc |= fail(
+                    path,
+                    f"stages.{name}.{key} missing or non-numeric")
+
+    ops = doc.get("ops")
+    if not isinstance(ops, dict) or not ops:
+        return rc | fail(path, "missing or empty 'ops' object")
+    for name, op in ops.items():
+        if not isinstance(op, dict):
+            rc |= fail(path, f"ops.{name} is not an object")
+            continue
+        for key in ("traces", "end_to_end_us", "attributed_us",
+                    "coverage"):
+            if not is_num(op.get(key)):
+                rc |= fail(
+                    path, f"ops.{name}.{key} missing or non-numeric")
+    return rc
+
+
+def check_chrome(path, doc):
+    rc = 0
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return rc | fail(path, "missing 'traceEvents' list")
+    if not events:
+        return rc | fail(path, "'traceEvents' is empty")
+    seen_x = False
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            rc |= fail(path, f"traceEvents[{i}] is not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                rc |= fail(path, f"traceEvents[{i}] missing '{key}'")
+        if ev.get("ph") == "X":
+            seen_x = True
+            for key in ("ts", "dur"):
+                if not is_num(ev.get(key)):
+                    rc |= fail(
+                        path,
+                        f"traceEvents[{i}] ('X') missing "
+                        f"numeric '{key}'")
+    if not seen_x:
+        rc |= fail(path, "no complete ('X') span events")
+    return rc
+
+
+def main(argv):
+    if len(argv) < 3 or argv[1] not in ("profile", "chrome"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    kind = argv[1]
+    min_coverage = 0.0
+    files = []
+    for arg in argv[2:]:
+        if arg.startswith("--min-coverage="):
+            min_coverage = float(arg.split("=", 1)[1])
+        else:
+            files.append(arg)
+    if not files:
+        print("no files given", file=sys.stderr)
+        return 2
+
+    rc = 0
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            rc |= fail(path, f"unreadable or invalid JSON: {e}")
+            continue
+        if not isinstance(doc, dict):
+            rc |= fail(path, "top level is not an object")
+            continue
+        if kind == "profile":
+            rc |= check_profile(path, doc, min_coverage)
+        else:
+            rc |= check_chrome(path, doc)
+        if rc == 0:
+            print(f"{path}: ok ({kind})")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
