@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Parallel-kernel scaling sweep: events/second of the sharded event
+ * kernel on a PHOLD-style torus workload, over machine sizes
+ * {8x8, 16x16, 32x32, 64x64} cells and {1, 2, 4, 8} worker threads.
+ *
+ * The workload drives the kernel directly (no functional machine):
+ * every cell carries one logical event in flight; executing it mixes
+ * the cell's state and schedules a successor either on the cell
+ * itself (short delay, same shard) or on a torus neighbour (delay >=
+ * the lookahead, usually a cross-shard handoff). That is the
+ * communication shape of the functional machine — mostly-local
+ * traffic with conservative-window handoffs — reduced to pure kernel
+ * overhead, so the sweep isolates what sharding buys.
+ *
+ * threads=1 runs the sequential kernel (the same degenerate path the
+ * machine uses); rows report events/sec and the speedup over the
+ * sequential row of the same size.
+ *
+ *   bench_scale [--quick] [--json-out[=FILE]]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "obs/cli.hh"
+#include "sim/shardq.hh"
+
+using namespace ap;
+using namespace ap::sim;
+
+namespace
+{
+
+/** Cross-shard lower bound, in the T-net one-hop ballpark. */
+constexpr Tick lookahead = 320;
+
+struct CaseResult
+{
+    std::uint64_t events = 0;
+    double seconds = 0.0;
+    std::uint64_t windows = 0;
+};
+
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    return x;
+}
+
+/**
+ * One sweep point: @p side x @p side cells, @p threads workers,
+ * events until @p horizon model ticks.
+ */
+CaseResult
+run_case(int side, int threads, Tick horizon)
+{
+    const int cells = side * side;
+
+    std::unique_ptr<Simulator> owner;
+    if (threads <= 1) {
+        owner = std::make_unique<Simulator>();
+    } else {
+        ShardConfig sc;
+        sc.shards = threads;
+        sc.lookahead = lookahead;
+        sc.affinityMap = [cells, threads](int a) {
+            if (a < 0)
+                return 0;
+            if (a >= cells)
+                return threads - 1;
+            return static_cast<int>(static_cast<long long>(a) *
+                                    threads / cells);
+        };
+        owner = std::make_unique<ShardedSimulator>(sc);
+    }
+    Simulator &sim = *owner;
+
+    std::vector<std::uint64_t> state(
+        static_cast<std::size_t>(cells));
+    for (int c = 0; c < cells; ++c)
+        state[static_cast<std::size_t>(c)] =
+            0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(c);
+
+    // One event in flight per cell (classic PHOLD population).
+    std::function<void(int, Tick)> fire = [&](int cell, Tick when) {
+        sim.schedule_for(cell, when, [&, cell]() {
+            std::uint64_t &s =
+                state[static_cast<std::size_t>(cell)];
+            s = mix(s);
+            // 3 of 4 successors stay local; the rest hop to a torus
+            // neighbour and pay at least the lookahead.
+            int next = cell;
+            Tick delay = 40 + static_cast<Tick>(s % 64);
+            if ((s & 3) == 0) {
+                int x = cell % side;
+                int y = cell / side;
+                switch ((s >> 2) & 3) {
+                  case 0: x = (x + 1) % side; break;
+                  case 1: x = (x + side - 1) % side; break;
+                  case 2: y = (y + 1) % side; break;
+                  default: y = (y + side - 1) % side; break;
+                }
+                next = y * side + x;
+                delay = lookahead + static_cast<Tick>(s % 256);
+            }
+            Tick when2 = sim.now() + delay;
+            if (when2 < horizon)
+                fire(next, when2);
+        });
+    };
+    for (int c = 0; c < cells; ++c)
+        fire(c, static_cast<Tick>(
+                    state[static_cast<std::size_t>(c)] % 128));
+
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run();
+    auto t1 = std::chrono::steady_clock::now();
+
+    CaseResult r;
+    r.events = sim.executed();
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (auto *sh = dynamic_cast<ShardedSimulator *>(&sim))
+        r.windows = sh->windows();
+    return r;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    obs::BenchReport report("bench_scale");
+    bool quick = false;
+    for (int i = 1; i < argc; ++i) {
+        if (report.consume_arg(argv[i]))
+            continue;
+        if (std::string(argv[i]) == "--quick")
+            quick = true;
+        else
+            fatal("unknown argument '%s' (only --quick, "
+                  "--json-out[=FILE])",
+                  argv[i]);
+    }
+
+    const std::vector<int> sides =
+        quick ? std::vector<int>{8, 16}
+              : std::vector<int>{8, 16, 32, 64};
+    const std::vector<int> threadCounts =
+        quick ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    const Tick horizon = quick ? 20000 : 200000;
+
+    std::printf("Parallel-kernel scaling: PHOLD torus, lookahead "
+                "%llu ticks, horizon %llu ticks\n\n",
+                static_cast<unsigned long long>(lookahead),
+                static_cast<unsigned long long>(horizon));
+
+    Table t({"Cells", "Threads", "Events", "Wall s", "Events/s",
+             "Speedup", "Windows"});
+
+    for (int side : sides) {
+        double baseEps = 0.0;
+        for (int threads : threadCounts) {
+            CaseResult r = run_case(side, threads, horizon);
+            double eps =
+                r.seconds > 0.0
+                    ? static_cast<double>(r.events) / r.seconds
+                    : 0.0;
+            if (threads == 1)
+                baseEps = eps;
+            double speedup = baseEps > 0.0 ? eps / baseEps : 0.0;
+            t.add_row({strprintf("%dx%d", side, side),
+                       strprintf("%d", threads),
+                       strprintf("%llu",
+                                 static_cast<unsigned long long>(
+                                     r.events)),
+                       strprintf("%.3f", r.seconds),
+                       strprintf("%.0f", eps),
+                       strprintf("%.2f", speedup),
+                       strprintf("%llu",
+                                 static_cast<unsigned long long>(
+                                     r.windows))});
+
+            std::string k = strprintf("s%dx%d.t%d", side, side,
+                                      threads);
+            report.set(k + ".events", r.events);
+            report.set(k + ".wall_s", r.seconds);
+            report.set(k + ".events_per_sec", eps);
+            report.set(k + ".speedup_vs_t1", speedup);
+        }
+    }
+
+    t.print();
+    if (!report.write())
+        fatal("cannot write %s", report.path().c_str());
+    return 0;
+}

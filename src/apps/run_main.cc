@@ -28,6 +28,7 @@
 #include "obs/json.hh"
 #include "obs/span.hh"
 #include "sim/fault.hh"
+#include "sim/shardq.hh"
 
 using namespace ap;
 using namespace ap::core;
@@ -71,6 +72,12 @@ usage(const char *prog)
         "                     overflows|pagefaults|jitter|lossy|chaos\n"
         "  --seed=N           fault-plan seed (default 1)\n"
         "  --reliable         reliable-delivery protocol layer on\n"
+        "  --threads=N        event-kernel worker threads (default 1\n"
+        "                     = sequential kernel; N>1 shards the\n"
+        "                     event queue per cell region)\n"
+        "  --deterministic    with --threads>1: canonical-order merge\n"
+        "                     of same-tick cross-shard deliveries, so\n"
+        "                     the run is byte-identical to --threads=1\n"
         "  --kill=CELL@US     fail-stop CELL at US microseconds\n"
         "                     (survivors reconfigure; repeatable)\n"
         "  --stats-out=FILE   write the stats registry as JSON\n"
@@ -221,6 +228,8 @@ main(int argc, char **argv)
     std::uint64_t seed = 1;
     bool statsText = false;
     bool reliable = false;
+    int threads = 1;
+    bool deterministic = false;
     bool profile = false;
     bool phaseStats = false;
     std::string profileJson;
@@ -241,6 +250,10 @@ main(int argc, char **argv)
             seed = std::strtoull(a + 7, nullptr, 10);
         } else if (std::strcmp(a, "--reliable") == 0) {
             reliable = true;
+        } else if (std::strncmp(a, "--threads=", 10) == 0) {
+            threads = std::atoi(a + 10);
+        } else if (std::strcmp(a, "--deterministic") == 0) {
+            deterministic = true;
         } else if (std::strncmp(a, "--kill=", 7) == 0) {
             sim::FaultPlan::CellKill k{};
             char *at = nullptr;
@@ -273,12 +286,16 @@ main(int argc, char **argv)
     }
     if (cells < 2)
         fatal("need at least 2 cells, got %d", cells);
+    if (threads < 1)
+        fatal("need at least 1 thread, got %d", threads);
 
     hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(cells);
     cfg.memBytesPerCell = 1 << 20;
     cfg.faults = plan_by_name(faults, seed);
     cfg.faults.kills = kills;
     cfg.reliableNet = reliable;
+    cfg.threads = threads;
+    cfg.deterministic = deterministic;
     // A kill parks peers in waits that can never complete; the
     // watchdog converts those into typed errors with a wait graph.
     if (!kills.empty() && !cfg.retry.watchdog_enabled())
@@ -299,6 +316,8 @@ main(int argc, char **argv)
     });
 
     std::printf("%s", machine.report().c_str());
+    if (sim::ShardedSimulator *sh = machine.sharded())
+        std::printf("%s", sh->report().c_str());
     if (result.deadlock)
         std::printf("DEADLOCK: %zu cells stuck\n",
                     result.stuck.size());

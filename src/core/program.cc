@@ -1,6 +1,7 @@
 #include "core/program.hh"
 
 #include <memory>
+#include <mutex>
 
 #include "base/logging.hh"
 
@@ -24,6 +25,8 @@ run_spmd(hw::Machine &machine, const SpmdBody &body, Trace *trace)
         static_cast<std::size_t>(n));
     std::vector<std::unique_ptr<Context>> contexts(
         static_cast<std::size_t>(n));
+    // Cell fibers on different shards may fail concurrently.
+    std::mutex errMutex;
 
     for (int i = 0; i < n; ++i) {
         auto idx = static_cast<std::size_t>(i);
@@ -37,14 +40,19 @@ run_spmd(hw::Machine &machine, const SpmdBody &body, Trace *trace)
                 } catch (const CommError &e) {
                     // A fail-stop cell's own demise is not a program
                     // error; its fate is reported via failedCells.
-                    if (!machine.cell_failed(i))
+                    if (!machine.cell_failed(i)) {
+                        std::lock_guard<std::mutex> lock(errMutex);
                         result.errors.push_back(e.what());
+                    }
                 }
                 result.cellFinish[static_cast<std::size_t>(i)] =
                     p.simulator().now();
             });
         contexts[idx] = std::make_unique<Context>(
             machine, i, *procs[idx], all_barrier, trace);
+        // Pin the cell's fiber to its own shard under the sharded
+        // kernel (resumes, delays and watchdogs all follow).
+        procs[idx]->set_affinity(i);
         procs[idx]->start(machine.sim().now());
     }
 

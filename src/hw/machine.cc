@@ -1,20 +1,78 @@
 #include "hw/machine.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
 #include "base/logging.hh"
 #include "obs/json.hh"
+#include "sim/shardq.hh"
 
 namespace ap::hw
 {
 
+namespace
+{
+
+/**
+ * The conservative lookahead of this configuration: the minimum
+ * model-time distance of any cross-cell effect. A T-net message pays
+ * at least prolog + one hop + epilog before touching another cell, a
+ * B-net broadcast pays the bus prolog, an S-net release pays the
+ * combine latency. cfg.lookaheadUs overrides the derivation.
+ */
+Tick
+derive_lookahead(const MachineConfig &cfg)
+{
+    double us = cfg.lookaheadUs;
+    if (us <= 0.0) {
+        us = cfg.tnet.prologUs + cfg.tnet.delayPerHopUs +
+             cfg.tnet.epilogUs;
+        us = std::min(us, cfg.bnet.prologUs);
+        us = std::min(us, cfg.snet.releaseUs);
+    }
+    Tick l = us_to_ticks(us);
+    return l < 1 ? 1 : l;
+}
+
+std::unique_ptr<sim::Simulator>
+make_kernel(const MachineConfig &cfg)
+{
+    if (cfg.threads <= 1)
+        return std::make_unique<sim::Simulator>();
+    sim::ShardConfig sc;
+    sc.shards = std::min(cfg.threads, cfg.cells);
+    sc.lookahead = derive_lookahead(cfg);
+    sc.deterministic = cfg.deterministic;
+    // Contiguous cell blocks per shard: squarest() numbers cells
+    // row-major, so a block is a band of torus rows and most
+    // single-hop neighbours stay shard-local.
+    sc.affinityMap = [cells = cfg.cells, shards = sc.shards](int a) {
+        if (a < 0)
+            return 0; // machine-wide work runs on the coordinator
+        if (a >= cells)
+            return shards - 1;
+        return static_cast<int>(static_cast<long long>(a) * shards /
+                                cells);
+    };
+    return std::make_unique<sim::ShardedSimulator>(sc);
+}
+
+} // namespace
+
+sim::ShardedSimulator *
+Machine::sharded()
+{
+    return dynamic_cast<sim::ShardedSimulator *>(&simulator);
+}
+
 Machine::Machine(MachineConfig config)
-    : cfg(config), faultInj(cfg.faults),
+    : cfg(config), faultInj(cfg.faults), simOwner(make_kernel(cfg)),
+      simulator(*simOwner),
       tnetNet(simulator, net::Torus::squarest(cfg.cells), cfg.tnet),
       bnetNet(simulator, cfg.cells, cfg.bnet),
       snetNet(simulator, cfg.cells, cfg.snet),
       dsmMap(cfg.cells, cfg.memBytesPerCell / 2),
-      cellFailed(static_cast<std::size_t>(cfg.cells), 0),
+      cellFailed(static_cast<std::size_t>(cfg.cells)),
       waitInfos(static_cast<std::size_t>(cfg.cells)),
       spanLayer(cfg.cells, cfg.flightEvents)
 {
@@ -77,8 +135,9 @@ Machine::Machine(MachineConfig config)
         if (k.cell < 0 || k.cell >= cfg.cells)
             panic("kill plan names cell %d outside machine of %d",
                   k.cell, cfg.cells);
-        simulator.schedule(us_to_ticks(k.atUs),
-                           [this, id = k.cell]() { fail_cell(id); });
+        simulator.schedule_for(
+            k.cell, us_to_ticks(k.atUs),
+            [this, id = k.cell]() { fail_cell(id); });
     }
     register_stats();
 }
@@ -176,7 +235,8 @@ Machine::register_stats()
     statsReg.add_counter("faults.jittered_events", &f.jitteredEvents);
     statsReg.add_gauge("faults.jitter_ticks", &f.jitterTicks);
     statsReg.add_counter("faults.corruptions", &f.corruptions);
-    statsReg.add_gauge("faults.cell_kills", &cellKills);
+    statsReg.add_gauge("faults.cell_kills",
+                       [this]() { return cellKills.load(); });
 
     // Per-cell subtrees.
     for (auto &cp : cells) {

@@ -6,6 +6,7 @@
 #ifndef AP_HW_MACHINE_HH
 #define AP_HW_MACHINE_HH
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,6 +26,11 @@
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 
+namespace ap::sim
+{
+class ShardedSimulator;
+}
+
 namespace ap::hw
 {
 
@@ -38,8 +44,12 @@ class Machine
     Machine(const Machine &) = delete;
     Machine &operator=(const Machine &) = delete;
 
-    /** The event kernel driving this machine. */
+    /** The event kernel driving this machine (sequential with
+     *  cfg.threads == 1, sharded otherwise). */
     sim::Simulator &sim() { return simulator; }
+
+    /** The sharded kernel, or nullptr with cfg.threads == 1. */
+    sim::ShardedSimulator *sharded();
 
     /** Number of cells. */
     int size() const { return static_cast<int>(cells.size()); }
@@ -78,7 +88,7 @@ class Machine
     }
 
     /** @return true when any cell has been declared failed. */
-    bool any_failed() const { return cellKills > 0; }
+    bool any_failed() const { return cellKills.load() > 0; }
 
     /**
      * Declare @p id failed (fail-stop, idempotent): its traffic is
@@ -211,16 +221,21 @@ class Machine
 
     MachineConfig cfg;
     sim::FaultInjector faultInj;
-    sim::Simulator simulator;
+    /** The kernel chosen by cfg.threads; everything below holds the
+     *  `simulator` reference only. */
+    std::unique_ptr<sim::Simulator> simOwner;
+    sim::Simulator &simulator;
     net::Tnet tnetNet;
     net::Bnet bnetNet;
     net::Snet snetNet;
     std::unique_ptr<net::ReliableNet> rnetNet;
     DsmMap dsmMap;
     std::vector<std::unique_ptr<Cell>> cells;
-    std::vector<char> cellFailed;
+    /** Atomic: written by fail_cell() on the dying cell's shard,
+     *  read by liveness checks on every sending cell's shard. */
+    std::vector<std::atomic<char>> cellFailed;
     std::vector<WaitInfo> waitInfos;
-    std::uint64_t cellKills = 0;
+    std::atomic<std::uint64_t> cellKills{0};
     obs::StatsRegistry statsReg;
     std::unique_ptr<obs::Tracer> tracerPtr;
     obs::SpanLayer spanLayer;

@@ -24,6 +24,9 @@ Bnet::attach(CellId id, Deliver deliver)
 Tick
 Bnet::broadcast(Message msg)
 {
+    // The bus-occupancy clamp and the aggregate stats are shared by
+    // every broadcasting cell's shard.
+    std::lock_guard<std::mutex> lock(busMutex);
     Tick start = std::max(sim.now(), busyUntil);
     Tick occupy = us_to_ticks(
         prm.prologUs +
@@ -50,7 +53,9 @@ Bnet::broadcast(Message msg)
             continue;
         Message copy = msg;
         copy.dst = static_cast<CellId>(id);
-        sim.schedule(arrive, [this, copy = std::move(copy)]() mutable {
+        // Each receiving cell's copy lands on that cell's shard.
+        sim.schedule_for(static_cast<int>(id), arrive,
+                         [this, copy = std::move(copy)]() mutable {
             handlers[static_cast<std::size_t>(copy.dst)](
                 std::move(copy));
         });

@@ -11,6 +11,7 @@
 #define AP_NET_BNET_HH
 
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "base/stats.hh"
@@ -79,6 +80,9 @@ class Bnet
     sim::Simulator &sim;
     BnetParams prm;
     std::vector<Deliver> handlers;
+    /** Serializes broadcast(): the bus clamp and stats are shared
+     *  by every broadcasting cell's shard. */
+    std::mutex busMutex;
     Tick busyUntil = 0;
     BnetStats netStats;
     obs::Tracer *tracer = nullptr;

@@ -65,6 +65,7 @@ ReliableNet::stamp_ack(Message &msg)
 Tick
 ReliableNet::send(Message msg)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     CellId src = msg.src, dst = msg.dst;
     if (is_dead(src) || is_dead(dst)) {
         ++stats_of(src).abortedMsgs;
@@ -129,6 +130,7 @@ ReliableNet::arm_timer(SendChannel &ch, CellId src, CellId dst,
 void
 ReliableNet::on_timer(CellId src, CellId dst, std::uint64_t expect)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     SendChannel &ch = send_channel(src, dst);
     if (ch.timerSeq != expect)
         return; // stale timer (superseded or flushed)
@@ -200,6 +202,7 @@ ReliableNet::on_timer(CellId src, CellId dst, std::uint64_t expect)
 void
 ReliableNet::on_deliver(Message msg)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     CellId src = msg.src, dst = msg.dst;
 
     if (msg.kind == MsgKind::rnet_ack) {
@@ -304,6 +307,7 @@ ReliableNet::schedule_ack(CellId src, CellId dst)
     rc.ackPending = true;
     sim.schedule(sim.now() + us_to_ticks(prm.ackDelayUs),
                  [this, src, dst]() {
+                     std::lock_guard<std::recursive_mutex> lock(mu);
                      RecvChannel &c = recv_channel(src, dst);
                      if (!c.ackPending)
                          return; // piggybacked meanwhile
@@ -331,6 +335,7 @@ ReliableNet::deliver_up(Message msg)
 void
 ReliableNet::flush_cell(CellId dead)
 {
+    std::lock_guard<std::recursive_mutex> lock(mu);
     for (auto &[key, ch] : sendChans) {
         CellId src = static_cast<CellId>(
             key / static_cast<std::uint64_t>(cells));

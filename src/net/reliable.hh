@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <functional>
 #include <map>
 #include <unordered_map>
@@ -204,6 +205,12 @@ class ReliableNet : public Link
     sim::Simulator &sim;
     Tnet &tnet;
     ReliableParams prm;
+    /** Serializes the protocol state: a (src, dst) channel pair is
+     *  driven from the sender's shard (send, retransmit timers, ack
+     *  processing) and the receiver's shard (delivery, delayed
+     *  acks), and the channel maps rehash on insert. Recursive
+     *  because deliver_up() may re-enter send() (GET replies). */
+    std::recursive_mutex mu;
     int cells = 0;
     std::vector<Deliver> handlers;
     std::unordered_map<std::uint64_t, SendChannel> sendChans;

@@ -39,6 +39,7 @@ Snet::arrive(ContextId id, CellId cell, std::function<void()> on_release)
 {
     if (id < 0 || static_cast<std::size_t>(id) >= contexts.size())
         panic("unknown barrier context %d", id);
+    std::lock_guard<std::mutex> lock(ctxMutex);
     Context &ctx = contexts[static_cast<std::size_t>(id)];
 
     bool member = std::find(ctx.members.begin(), ctx.members.end(),
@@ -50,7 +51,7 @@ Snet::arrive(ContextId id, CellId cell, std::function<void()> on_release)
         panic("cell %d arrived twice at barrier context %d", cell, id);
 
     ctx.arrived[static_cast<std::size_t>(cell)] = true;
-    ctx.callbacks.push_back(std::move(on_release));
+    ctx.callbacks.emplace_back(cell, std::move(on_release));
     if (ctx.count == 0)
         ctx.episodeBegin = sim.now();
     ctx.count++;
@@ -76,14 +77,16 @@ Snet::maybe_release(Context &ctx)
             spans->record(-1, tid, obs::SpanStage::barrier,
                           ctx.episodeBegin, release,
                           obs::SpanOp::barrier);
-    std::vector<std::function<void()>> cbs;
+    std::vector<std::pair<CellId, std::function<void()>>> cbs;
     cbs.swap(ctx.callbacks);
     ctx.count = 0;
     ctx.completed++;
     for (CellId m : ctx.members)
         ctx.arrived[static_cast<std::size_t>(m)] = false;
+    // Each release callback resumes its own cell: route it to that
+    // cell's shard, not the shard of whichever arrival released us.
     for (auto &cb : cbs)
-        sim.schedule(release, std::move(cb));
+        sim.schedule_for(cb.first, release, std::move(cb.second));
 }
 
 void
@@ -92,6 +95,7 @@ Snet::fail_cell(CellId cell)
     if (cell < 0 || cell >= numCells)
         panic("fail_cell %d outside machine of %d cells", cell,
               numCells);
+    std::lock_guard<std::mutex> lock(ctxMutex);
     failedCells[static_cast<std::size_t>(cell)] = true;
     // Contexts already blocked only on the dead cell release now.
     for (Context &ctx : contexts)

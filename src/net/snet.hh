@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -81,7 +83,10 @@ class Snet
     {
         std::vector<CellId> members;
         std::vector<bool> arrived;
-        std::vector<std::function<void()>> callbacks;
+        /** (arriving cell, its release callback): the callback is
+         *  scheduled on the arriver's own shard at release time. */
+        std::vector<std::pair<CellId, std::function<void()>>>
+            callbacks;
         int count = 0;
         std::uint64_t completed = 0;
         Tick episodeBegin = 0; ///< first arrival of this episode
@@ -93,6 +98,9 @@ class Snet
     sim::Simulator &sim;
     int numCells;
     SnetParams prm;
+    /** Serializes arrive()/fail_cell(): barrier contexts are shared
+     *  by every member cell's shard. */
+    std::mutex ctxMutex;
     std::vector<Context> contexts;
     std::vector<bool> failedCells;
     obs::SpanLayer *spans = nullptr;

@@ -58,7 +58,12 @@ Tnet::contention_arrival(const Message &msg, Tick inject)
 void
 Tnet::schedule_delivery(Message msg, Tick arrive)
 {
-    sim.schedule(arrive, [this, msg = std::move(msg)]() mutable {
+    // Delivery executes on the destination cell's timeline: under the
+    // sharded kernel the explicit affinity routes the event to the
+    // destination's shard (the cross-shard handoff of the model).
+    CellId dst = msg.dst;
+    sim.schedule_for(dst, arrive,
+                     [this, msg = std::move(msg)]() mutable {
         handlers[static_cast<std::size_t>(msg.dst)](std::move(msg));
     });
 }
@@ -66,7 +71,9 @@ Tnet::schedule_delivery(Message msg, Tick arrive)
 void
 Tnet::schedule_held_delivery(Message msg, Tick arrive)
 {
-    sim.schedule(arrive, [this, msg = std::move(msg)]() mutable {
+    CellId dst = msg.dst;
+    sim.schedule_for(dst, arrive,
+                     [this, msg = std::move(msg)]() mutable {
         faults->release_hold(msg.dst);
         handlers[static_cast<std::size_t>(msg.dst)](std::move(msg));
     });
@@ -77,6 +84,11 @@ Tnet::send(Message msg)
 {
     if (!topo.valid(msg.src) || !topo.valid(msg.dst))
         panic("send between invalid cells %d -> %d", msg.src, msg.dst);
+
+    // One lock covers the whole injection: FIFO clamp, contention
+    // table, stats and fault draws are machine-global, and senders on
+    // different shards may inject concurrently.
+    std::lock_guard<std::mutex> lock(sendMutex);
 
     // Fail-stop cells neither send nor receive: discard silently so
     // retransmission logic above (or a watchdog) surfaces the loss.

@@ -22,6 +22,7 @@
 #define AP_NET_TNET_HH
 
 #include <functional>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -148,6 +149,11 @@ class Tnet : public Link
     sim::FaultInjector *faults = nullptr;
     std::function<bool(CellId)> alive;
     std::vector<Deliver> handlers;
+    /** Serializes send(): the FIFO clamp, the link-contention table
+     *  and the aggregate stats are machine-global state touched by
+     *  every sending cell's shard. Delivery itself needs no lock —
+     *  the handler runs as an event on the destination's shard. */
+    std::mutex sendMutex;
     /** last arrival tick per (src * size + dst) pair, for FIFO. */
     std::unordered_map<std::uint64_t, Tick> lastArrival;
     /** per directed link (from * size + to) busy-until (contention). */

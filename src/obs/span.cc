@@ -81,6 +81,8 @@ SpanLayer::SpanLayer(int cells, std::size_t flightCapacity)
     rings.reserve(static_cast<std::size_t>(cells) + 1);
     for (int i = 0; i < cells + 1; ++i)
         rings.emplace_back(flightCapacity);
+    ringLocks =
+        std::make_unique<std::mutex[]>(rings.size());
 }
 
 void
@@ -98,14 +100,18 @@ SpanLayer::record(std::int32_t cell, std::uint64_t traceId,
     ev.stage = stage;
     ev.op = op;
     ev.aux = aux;
-    ++recordedCount;
+    recordedCount.fetch_add(1, std::memory_order_relaxed);
 
     std::size_t idx = static_cast<std::size_t>(cell + 1);
     if (idx >= rings.size())
         idx = 0; // out-of-range track lands on the machine ring
-    rings[idx].push(ev);
+    {
+        std::lock_guard<std::mutex> lock(ringLocks[idx]);
+        rings[idx].push(ev);
+    }
 
     if (mode_ == SpanMode::full) {
+        std::lock_guard<std::mutex> lock(fullMutex);
         if (fullLog.size() < fullCapacity)
             fullLog.push_back(ev);
         else
@@ -116,10 +122,15 @@ SpanLayer::record(std::int32_t cell, std::uint64_t traceId,
 void
 SpanLayer::clear()
 {
-    fullLog.clear();
-    fullDropped = 0;
-    for (FlightRecorder &r : rings)
-        r.clear();
+    {
+        std::lock_guard<std::mutex> lock(fullMutex);
+        fullLog.clear();
+        fullDropped = 0;
+    }
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+        std::lock_guard<std::mutex> lock(ringLocks[i]);
+        rings[i].clear();
+    }
 }
 
 const FlightRecorder &
@@ -136,8 +147,9 @@ std::vector<SpanEvent>
 SpanLayer::flight_events(std::size_t maxPerCell) const
 {
     std::vector<SpanEvent> out;
-    for (const FlightRecorder &r : rings) {
-        std::vector<SpanEvent> part = r.snapshot(maxPerCell);
+    for (std::size_t i = 0; i < rings.size(); ++i) {
+        std::lock_guard<std::mutex> lock(ringLocks[i]);
+        std::vector<SpanEvent> part = rings[i].snapshot(maxPerCell);
         out.insert(out.end(), part.begin(), part.end());
     }
     std::stable_sort(out.begin(), out.end(),

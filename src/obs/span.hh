@@ -29,7 +29,10 @@
 #ifndef AP_OBS_SPAN_HH
 #define AP_OBS_SPAN_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -137,11 +140,15 @@ class SpanLayer
     /** @return true when events are being recorded at all. */
     bool on() const { return mode_ != SpanMode::off; }
 
-    /** Allocate a machine-unique trace id; 0 while off. */
+    /** Allocate a machine-unique trace id; 0 while off. Atomic:
+     *  cells on different shards mint ids concurrently. */
     std::uint64_t
     new_trace()
     {
-        return on() ? ++lastTrace : 0;
+        return on() ? lastTrace.fetch_add(
+                          1, std::memory_order_relaxed) +
+                          1
+                    : 0;
     }
 
     /**
@@ -155,7 +162,11 @@ class SpanLayer
                 SpanOp op = SpanOp::none, std::uint32_t aux = 0);
 
     /** Events recorded since construction (all modes). */
-    std::uint64_t recorded() const { return recordedCount; }
+    std::uint64_t
+    recorded() const
+    {
+        return recordedCount.load(std::memory_order_relaxed);
+    }
 
     /** The full-mode in-order log (empty unless mode was full). */
     const std::vector<SpanEvent> &events() const { return fullLog; }
@@ -179,13 +190,18 @@ class SpanLayer
 
   private:
     SpanMode mode_ = SpanMode::flight;
-    std::uint64_t lastTrace = 0;
-    std::uint64_t recordedCount = 0;
+    std::atomic<std::uint64_t> lastTrace{0};
+    std::atomic<std::uint64_t> recordedCount{0};
     std::uint64_t fullDropped = 0;
     std::size_t fullCapacity = default_full_capacity;
+    /** Guards the full-mode log (appended from every shard). */
+    mutable std::mutex fullMutex;
     std::vector<SpanEvent> fullLog;
     /** index 0 = machine-wide (-1), index i+1 = cell i. */
     std::vector<FlightRecorder> rings;
+    /** One lock per ring: a cell's ring is fed by its own shard AND
+     *  by remote senders recording net spans at the destination. */
+    std::unique_ptr<std::mutex[]> ringLocks;
 };
 
 } // namespace ap::obs

@@ -17,6 +17,15 @@
  * simulation fast path. Entries must outlive the registry walk; a
  * shorter-lived component (the language runtime) removes its subtree
  * in its destructor via remove_prefix().
+ *
+ * Thread-safety (parallel kernel audit): the registry map is only
+ * mutated while the machine is quiescent — registration at Machine
+ * construction, removal in the runtime destructor — and walked after
+ * the simulator drains, so it carries no lock of its own. The *backing
+ * state* is where the shards meet: per-cell component counters are
+ * shard-local by construction (a cell's events run on one shard),
+ * and the machine-global counters (T-net/B-net stats, fault stats)
+ * are updated under their owning component's mutex.
  */
 
 #ifndef AP_OBS_STATS_REGISTRY_HH

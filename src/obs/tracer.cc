@@ -19,6 +19,7 @@ Tracer::Tracer(const sim::Simulator &sim, std::size_t capacity)
 void
 Tracer::push(TraceRecord rec)
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (ring.size() < cap) {
         ring.push_back(std::move(rec));
     } else {
@@ -62,18 +63,21 @@ Tracer::span_at(int track, const char *cat, std::string name,
 std::size_t
 Tracer::size() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     return ring.size();
 }
 
 std::uint64_t
 Tracer::dropped() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     return total - ring.size();
 }
 
 std::vector<TraceRecord>
 Tracer::snapshot() const
 {
+    std::lock_guard<std::mutex> lock(mu);
     std::vector<TraceRecord> out;
     out.reserve(ring.size());
     for (std::size_t i = 0; i < ring.size(); ++i)

@@ -23,6 +23,7 @@
 #define AP_OBS_TRACER_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,8 @@ class Tracer
 
     const sim::Simulator &sim;
     std::size_t cap;
+    /** One shared ring fed by every component on every shard. */
+    mutable std::mutex mu;
     /** ring storage; grows to cap then wraps at `head`. */
     std::vector<TraceRecord> ring;
     std::size_t head = 0;

@@ -7,14 +7,29 @@
 namespace ap::sim
 {
 
+std::string
+TickHistory::digest() const
+{
+    return strprintf("events=%llu hash=%#llx",
+                     static_cast<unsigned long long>(numEvents),
+                     static_cast<unsigned long long>(state));
+}
+
 void
 Simulator::schedule(Tick when, std::function<void()> fn)
+{
+    schedule_for(currentAffinity, when, std::move(fn));
+}
+
+void
+Simulator::schedule_for(int affinity, Tick when,
+                        std::function<void()> fn)
 {
     if (when < currentTick)
         panic("scheduling event in the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(currentTick));
-    queue.push(Entry{when, nextSeq++, std::move(fn)});
+    queue.push(Entry{when, nextSeq++, affinity, std::move(fn)});
 }
 
 bool
@@ -27,8 +42,12 @@ Simulator::step()
     Entry e = std::move(const_cast<Entry &>(queue.top()));
     queue.pop();
     currentTick = e.when;
+    currentAffinity = e.affinity;
     ++numExecuted;
+    if (history)
+        history->record(e.when, e.affinity);
     e.fn();
+    currentAffinity = 0;
     return true;
 }
 

@@ -7,6 +7,15 @@
  * service) and MLSim's trace replay. Determinism is load-bearing:
  * events at the same tick fire in insertion order, so a given
  * workload always produces the same timeline and the same trace.
+ *
+ * The base Simulator is the sequential kernel. Its scheduling entry
+ * points are virtual so the sharded parallel kernel (sim/shardq.hh)
+ * can stand in behind the same reference; every event additionally
+ * carries an *affinity* — an opaque small integer (the functional
+ * machine uses the destination cell id) that names which logical
+ * timeline the event belongs to. The sequential kernel only records
+ * affinity (for tick histories); the sharded kernel uses it to route
+ * events to shards.
  */
 
 #ifndef AP_SIM_EVENTQ_HH
@@ -15,6 +24,8 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "base/types.hh"
@@ -23,24 +34,117 @@ namespace ap::sim
 {
 
 /**
+ * An order-sensitive digest of an executed event sequence.
+ *
+ * Differential determinism tests attach one of these to two kernels
+ * (sequential and sharded-deterministic) running the same workload
+ * and compare digests: every executed event folds its (tick,
+ * affinity) pair into an FNV-1a hash *in execution order*, so any
+ * reordering, loss, duplication or retiming of events changes the
+ * digest. Optionally the raw (tick, affinity) log is kept (bounded)
+ * so a divergence can be localized instead of just detected.
+ */
+class TickHistory
+{
+  public:
+    /** Fold one executed event into the digest. */
+    void
+    record(Tick when, int affinity)
+    {
+        ++numEvents;
+        fold(when);
+        fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(affinity)));
+        if (logCap > 0 && logBuf.size() < logCap)
+            logBuf.emplace_back(when, affinity);
+    }
+
+    /** Order-sensitive digest over every recorded event. */
+    std::uint64_t hash() const { return state; }
+
+    /** Number of events recorded. */
+    std::uint64_t events() const { return numEvents; }
+
+    /** Keep the first @p cap raw (tick, affinity) pairs. */
+    void set_keep_log(std::size_t cap) { logCap = cap; }
+
+    /** The retained raw log (first set_keep_log() entries). */
+    const std::vector<std::pair<Tick, int>> &log() const
+    {
+        return logBuf;
+    }
+
+    /** "events=N hash=0x..." — the one-line comparable digest. */
+    std::string digest() const;
+
+    /** Reset to the empty history (keeps the log capacity). */
+    void
+    reset()
+    {
+        state = fnv_offset;
+        numEvents = 0;
+        logBuf.clear();
+    }
+
+    bool
+    operator==(const TickHistory &o) const
+    {
+        return state == o.state && numEvents == o.numEvents;
+    }
+
+  private:
+    static constexpr std::uint64_t fnv_offset =
+        0xcbf29ce484222325ull;
+    static constexpr std::uint64_t fnv_prime = 0x100000001b3ull;
+
+    void
+    fold(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            state ^= (v >> (8 * i)) & 0xff;
+            state *= fnv_prime;
+        }
+    }
+
+    std::uint64_t state = fnv_offset;
+    std::uint64_t numEvents = 0;
+    std::size_t logCap = 0;
+    std::vector<std::pair<Tick, int>> logBuf;
+};
+
+/**
  * The event-driven simulator. One instance per simulated machine.
  */
 class Simulator
 {
   public:
     Simulator() = default;
+    virtual ~Simulator() = default;
 
     Simulator(const Simulator &) = delete;
     Simulator &operator=(const Simulator &) = delete;
 
     /** @return the current simulated time. */
-    Tick now() const { return currentTick; }
+    virtual Tick now() const { return currentTick; }
 
     /**
-     * Schedule @p fn to run at absolute time @p when.
+     * Schedule @p fn to run at absolute time @p when, inheriting the
+     * affinity of the event currently executing (machine components
+     * scheduling follow-ups for their own cell need no annotation).
      * @param when must not be in the past.
      */
-    void schedule(Tick when, std::function<void()> fn);
+    virtual void schedule(Tick when, std::function<void()> fn);
+
+    /**
+     * Schedule @p fn at @p when on behalf of timeline @p affinity —
+     * the cross-timeline entry point (message deliveries name the
+     * destination cell, barrier releases the released cell). The
+     * sequential kernel records the affinity; the sharded kernel
+     * additionally routes the event to that timeline's shard.
+     * Negative affinities mean "no particular timeline".
+     */
+    virtual void schedule_for(int affinity, Tick when,
+                              std::function<void()> fn);
 
     /**
      * Schedule @p fn to run @p delta ticks from now. Relative delays
@@ -53,7 +157,17 @@ class Simulator
     {
         if (jitterHook)
             delta += jitterHook(delta);
-        schedule(currentTick + delta, std::move(fn));
+        schedule(now() + delta, std::move(fn));
+    }
+
+    /** schedule_after with an explicit timeline (see schedule_for). */
+    void
+    schedule_after_for(int affinity, Tick delta,
+                       std::function<void()> fn)
+    {
+        if (jitterHook)
+            delta += jitterHook(delta);
+        schedule_for(affinity, now() + delta, std::move(fn));
     }
 
     /**
@@ -70,33 +184,48 @@ class Simulator
         jitterHook = std::move(hook);
     }
 
+    /**
+     * Attach a tick-history recorder (nullptr detaches). Every
+     * executed event folds (tick, affinity) into it in execution
+     * order; the recorder must outlive the run.
+     */
+    virtual void set_history(TickHistory *h) { history = h; }
+
     /** Run events until the queue drains. @return final time. */
-    Tick run();
+    virtual Tick run();
 
     /**
      * Run events with timestamps <= @p limit; the clock stops at the
      * last executed event (or stays put if none qualify).
      * @return the simulated time afterwards.
      */
-    Tick run_until(Tick limit);
+    virtual Tick run_until(Tick limit);
 
     /** Execute a single event. @return false when the queue is empty. */
-    bool step();
+    virtual bool step();
 
     /** @return true when no events are pending. */
-    bool empty() const { return queue.empty(); }
+    virtual bool empty() const { return queue.empty(); }
 
     /** @return number of pending events. */
-    std::size_t pending() const { return queue.size(); }
+    virtual std::size_t pending() const { return queue.size(); }
 
     /** @return total number of events executed so far. */
-    std::uint64_t executed() const { return numExecuted; }
+    virtual std::uint64_t executed() const { return numExecuted; }
+
+    /** Affinity of the event currently executing (0 at rest). */
+    int current_affinity() const { return currentAffinity; }
+
+  protected:
+    std::function<Tick(Tick)> jitterHook;
+    TickHistory *history = nullptr;
 
   private:
     struct Entry
     {
         Tick when;
         std::uint64_t seq;
+        int affinity;
         std::function<void()> fn;
     };
 
@@ -112,10 +241,10 @@ class Simulator
     };
 
     std::priority_queue<Entry, std::vector<Entry>, Later> queue;
-    std::function<Tick(Tick)> jitterHook;
     Tick currentTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;
+    int currentAffinity = 0;
 };
 
 } // namespace ap::sim

@@ -148,6 +148,7 @@ FaultInjector::roll(double prob)
 bool
 FaultInjector::drop_message()
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!roll(fp.dropProb))
         return false;
     ++faultStats.drops;
@@ -157,6 +158,7 @@ FaultInjector::drop_message()
 bool
 FaultInjector::duplicate_message()
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!roll(fp.dupProb))
         return false;
     ++faultStats.duplicates;
@@ -166,6 +168,7 @@ FaultInjector::duplicate_message()
 bool
 FaultInjector::reorder_message()
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!roll(fp.reorderProb))
         return false;
     ++faultStats.reorders;
@@ -181,6 +184,7 @@ FaultInjector::reorder_delay() const
 bool
 FaultInjector::force_overflow()
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!roll(fp.overflowProb))
         return false;
     ++faultStats.forcedSpills;
@@ -190,6 +194,7 @@ FaultInjector::force_overflow()
 bool
 FaultInjector::inject_page_fault()
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!roll(fp.pageFaultProb))
         return false;
     ++faultStats.injectedPageFaults;
@@ -199,6 +204,7 @@ FaultInjector::inject_page_fault()
 bool
 FaultInjector::corrupt_message()
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (!roll(fp.corruptProb))
         return false;
     ++faultStats.corruptions;
@@ -208,6 +214,7 @@ FaultInjector::corrupt_message()
 std::size_t
 FaultInjector::corrupt_index(std::size_t size)
 {
+    std::lock_guard<std::mutex> lock(mu);
     return static_cast<std::size_t>(rng.below(size));
 }
 
@@ -221,6 +228,7 @@ FaultInjector::set_cells(int cells)
 bool
 FaultInjector::try_hold(CellId dst, HoldKind kind)
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (static_cast<std::size_t>(dst) >= holdStats.size())
         holdStats.resize(static_cast<std::size_t>(dst) + 1);
     HoldStats &h = holdStats[static_cast<std::size_t>(dst)];
@@ -240,6 +248,7 @@ FaultInjector::try_hold(CellId dst, HoldKind kind)
 void
 FaultInjector::release_hold(CellId dst)
 {
+    std::lock_guard<std::mutex> lock(mu);
     if (static_cast<std::size_t>(dst) >= holdStats.size())
         return;
     HoldStats &h = holdStats[static_cast<std::size_t>(dst)];
@@ -261,6 +270,7 @@ FaultInjector::jitter()
 {
     if (fp.jitterMaxUs <= 0)
         return 0;
+    std::lock_guard<std::mutex> lock(mu);
     Tick extra = us_to_ticks(fp.jitterMaxUs * rng.uniform());
     if (extra > 0) {
         ++faultStats.jitteredEvents;

@@ -34,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -232,6 +233,11 @@ class FaultInjector
     bool roll(double prob);
 
     FaultPlan fp;
+    /** One machine-wide RNG stream drawn from every shard: decision
+     *  points lock so concurrent draws stay well-defined (draw
+     *  *order* across shards is scheduler-dependent — the reason the
+     *  deterministic kernel mode serializes execution). */
+    mutable std::mutex mu;
     Random rng;
     bool armed = false;
     FaultStats faultStats;

@@ -2,6 +2,28 @@
 
 #include "base/logging.hh"
 
+// ThreadSanitizer must be told about ucontext switches: without the
+// fiber annotations it sees one OS thread's shadow stack jumping
+// between unrelated stacks and reports phantom races. Worker threads
+// of the sharded kernel resume cell fibers, so the TSan CI job runs
+// fiber-based workloads through these hooks.
+#if defined(__SANITIZE_THREAD__)
+#define AP_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AP_TSAN_FIBERS 1
+#endif
+#endif
+
+#ifdef AP_TSAN_FIBERS
+extern "C" {
+void *__tsan_get_current_fiber(void);
+void *__tsan_create_fiber(unsigned flags);
+void __tsan_destroy_fiber(void *fiber);
+void __tsan_switch_to_fiber(void *fiber, unsigned flags);
+}
+#endif
+
 namespace ap::sim
 {
 
@@ -21,6 +43,10 @@ Fiber::~Fiber()
 {
     if (started && !done)
         warn("destroying unfinished fiber; its stack is abandoned");
+#ifdef AP_TSAN_FIBERS
+    if (tsanFiber)
+        __tsan_destroy_fiber(tsanFiber);
+#endif
 }
 
 Fiber *
@@ -35,7 +61,16 @@ Fiber::trampoline()
     Fiber *self = current_fiber;
     self->body();
     self->done = true;
-    // Return to whoever resumed us; uc_link handles the final switch.
+    // Final switch back to the resumer. Done explicitly rather than
+    // by returning through uc_link: under TSan, nothing instrumented
+    // may run between __tsan_switch_to_fiber and the actual stack
+    // switch, and a return would execute this function's own
+    // instrumented epilogue after the annotation — corrupting the
+    // caller's shadow stack. (uc_link stays set as a backstop.)
+#ifdef AP_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->tsanCaller, 0);
+#endif
+    swapcontext(&self->context, &self->schedulerContext);
 }
 
 void
@@ -56,7 +91,14 @@ Fiber::resume()
         context.uc_link = &schedulerContext;
         makecontext(&context, reinterpret_cast<void (*)()>(&trampoline),
                     0);
+#ifdef AP_TSAN_FIBERS
+        tsanFiber = __tsan_create_fiber(0);
+#endif
     }
+#ifdef AP_TSAN_FIBERS
+    tsanCaller = __tsan_get_current_fiber();
+    __tsan_switch_to_fiber(tsanFiber, 0);
+#endif
     if (swapcontext(&schedulerContext, &context) != 0)
         panic("swapcontext into fiber failed");
     current_fiber = nullptr;
@@ -68,6 +110,9 @@ Fiber::yield()
     Fiber *self = current_fiber;
     if (!self)
         panic("Fiber::yield called outside a fiber");
+#ifdef AP_TSAN_FIBERS
+    __tsan_switch_to_fiber(self->tsanCaller, 0);
+#endif
     if (swapcontext(&self->context, &self->schedulerContext) != 0)
         panic("swapcontext out of fiber failed");
 }

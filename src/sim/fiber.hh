@@ -70,6 +70,10 @@ class Fiber
     ucontext_t schedulerContext;
     bool started = false;
     bool done = false;
+    /** ThreadSanitizer fiber-context handles; null outside TSan
+     *  builds (see the annotation block in fiber.cc). */
+    void *tsanFiber = nullptr;
+    void *tsanCaller = nullptr;
 };
 
 } // namespace ap::sim

@@ -18,7 +18,7 @@ Process::Process(Simulator &sim, std::string name,
 void
 Process::start(Tick at)
 {
-    sim.schedule(at, [this]() { resume_from_event(); });
+    sim.schedule_for(aff, at, [this]() { resume_from_event(); });
 }
 
 void
@@ -37,7 +37,7 @@ Process::delay(Tick dt)
         return;
     Tick wake = sim.now() + dt;
     delayedTicks += dt;
-    sim.schedule(wake, [this]() { resume_from_event(); });
+    sim.schedule_for(aff, wake, [this]() { resume_from_event(); });
     Fiber::yield();
 }
 
@@ -71,7 +71,7 @@ Process::wait_until(Condition &cond, Tick deadline)
 
     // The watchdog resumes us at the deadline unless a notification
     // already did (detected via the wait sequence number).
-    sim.schedule(deadline, [this, &cond, seq]() {
+    sim.schedule_for(aff, deadline, [this, &cond, seq]() {
         if (parkedOn != &cond || waitSeq != seq)
             return; // already woken (possibly parked elsewhere)
         auto it = std::find(cond.parked.begin(), cond.parked.end(),
@@ -99,8 +99,10 @@ Condition::notify_all()
     for (Process *p : woken) {
         p->parkedOn = nullptr;
         p->blockedTicks += p->sim.now() - p->parkStart;
-        p->sim.schedule(p->sim.now(),
-                        [p]() { p->resume_from_event(); });
+        // Resume on the parked process's own shard: the notifier may
+        // be an event of a different cell (e.g. a barrier release).
+        p->sim.schedule_for(p->aff, p->sim.now(),
+                            [p]() { p->resume_from_event(); });
     }
 }
 

@@ -102,6 +102,14 @@ class Process
     /** Diagnostic label. */
     const std::string &name() const { return label; }
 
+    /**
+     * Pin every resume event of this process to @p affinity (the
+     * owning cell id under the sharded kernel, so a cell's fiber
+     * always runs on its cell's shard). Default 0.
+     */
+    void set_affinity(int affinity) { aff = affinity; }
+    int affinity() const { return aff; }
+
     /** Owning simulator. */
     Simulator &simulator() { return sim; }
 
@@ -118,6 +126,7 @@ class Process
 
     Simulator &sim;
     std::string label;
+    int aff = 0;
     Fiber fiber;
     Condition *parkedOn = nullptr;
     Tick parkStart = 0;

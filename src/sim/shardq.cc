@@ -1,0 +1,536 @@
+#include "sim/shardq.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.hh"
+
+namespace ap::sim
+{
+
+thread_local ShardedSimulator::TlsFrame ShardedSimulator::tls;
+
+namespace
+{
+
+/** T + L without wrapping past the tick horizon. */
+Tick
+saturating_add(Tick t, Tick d)
+{
+    return t > max_tick - d ? max_tick : t + d;
+}
+
+} // namespace
+
+ShardedSimulator::ShardedSimulator(ShardConfig config)
+    : cfg(std::move(config)), numShards(cfg.shards)
+{
+    if (numShards < 1)
+        fatal("sharded kernel needs at least 1 shard, got %d",
+              numShards);
+    if (cfg.lookahead < 1)
+        fatal("sharded kernel needs lookahead >= 1 tick");
+    if (!cfg.affinityMap) {
+        int n = numShards;
+        cfg.affinityMap = [n](int affinity) {
+            return affinity <= 0 ? 0 : affinity % n;
+        };
+    }
+    shardsVec.resize(static_cast<std::size_t>(numShards));
+    for (Shard &s : shardsVec)
+        s.outbox.resize(static_cast<std::size_t>(numShards));
+}
+
+ShardedSimulator::~ShardedSimulator()
+{
+    stop_workers();
+}
+
+int
+ShardedSimulator::shard_of(int affinity) const
+{
+    int s = cfg.affinityMap(affinity);
+    if (s < 0 || s >= numShards)
+        panic("affinity map sent %d to shard %d of %d", affinity, s,
+              numShards);
+    return s;
+}
+
+Tick
+ShardedSimulator::now() const
+{
+    if (tls.owner == this)
+        return tls.now;
+    return globalTime;
+}
+
+void
+ShardedSimulator::set_history(TickHistory *h)
+{
+    history = h;
+}
+
+void
+ShardedSimulator::enqueue_direct(int shard, int affinity, Tick when,
+                                 std::function<void()> fn)
+{
+    std::lock_guard<std::mutex> lock(qMutex);
+    Shard &sh = shardsVec[static_cast<std::size_t>(shard)];
+    std::uint64_t seq =
+        cfg.deterministic ? globalSeq++ : sh.nextSeq++;
+    sh.queue.push(Entry{when, seq, affinity, std::move(fn)});
+    sh.stats.maxPending =
+        std::max<std::uint64_t>(sh.stats.maxPending,
+                                sh.queue.size());
+}
+
+void
+ShardedSimulator::schedule(Tick when, std::function<void()> fn)
+{
+    int affinity = tls.owner == this ? tls.affinity : 0;
+    schedule_for(affinity, when, std::move(fn));
+}
+
+void
+ShardedSimulator::schedule_for(int affinity, Tick when,
+                               std::function<void()> fn)
+{
+    int target = shard_of(affinity);
+
+    // Calls from outside any execution context (machine construction,
+    // test setup, the space between run() calls) go straight into the
+    // target queue; no worker is live, the queue mutex suffices.
+    if (tls.owner != this) {
+        if (when < globalTime)
+            panic("scheduling event in the past (%llu < %llu)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(globalTime));
+        enqueue_direct(target, affinity, when, std::move(fn));
+        return;
+    }
+
+    if (when < tls.now)
+        panic("scheduling event in the past (%llu < %llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(tls.now));
+
+    Shard &self = shardsVec[static_cast<std::size_t>(tls.shard)];
+
+    if (!tls.inRound) {
+        // Deterministic (serialized) execution: every shard queue is
+        // this thread's to touch, and the global sequence number
+        // replays the sequential kernel's same-tick insertion order.
+        Shard &dst = shardsVec[static_cast<std::size_t>(target)];
+        if (target != tls.shard) {
+            ++self.stats.handoffsOut;
+            ++dst.stats.handoffsIn;
+            if (when < saturating_add(tls.now, cfg.lookahead))
+                numViolations.fetch_add(1,
+                                        std::memory_order_relaxed);
+        }
+        dst.queue.push(Entry{when,
+                             cfg.deterministic ? globalSeq++
+                                               : dst.nextSeq++,
+                             affinity, std::move(fn)});
+        dst.stats.maxPending =
+            std::max<std::uint64_t>(dst.stats.maxPending,
+                                    dst.queue.size());
+        return;
+    }
+
+    // Parallel round on a worker thread.
+    if (target == tls.shard) {
+        self.queue.push(Entry{when, self.nextSeq++, affinity,
+                              std::move(fn)});
+        self.stats.maxPending =
+            std::max<std::uint64_t>(self.stats.maxPending,
+                                    self.queue.size());
+        return;
+    }
+
+    if (when < tls.windowEnd) {
+        // The conservative contract is broken: this event should
+        // already be visible to its target shard, but the target may
+        // have advanced past it. Strict mode refuses to continue;
+        // relaxed mode clamps the event to the window boundary (a
+        // timing perturbation, never a causality break) and counts.
+        numViolations.fetch_add(1, std::memory_order_relaxed);
+        if (strictLookahead)
+            panic("lookahead violation: cross-shard event at %llu "
+                  "inside window ending %llu (lookahead %llu, "
+                  "affinity %d -> shard %d)",
+                  static_cast<unsigned long long>(when),
+                  static_cast<unsigned long long>(tls.windowEnd),
+                  static_cast<unsigned long long>(cfg.lookahead),
+                  affinity, target);
+        when = tls.windowEnd;
+    }
+    ++self.stats.handoffsOut;
+    self.outbox[static_cast<std::size_t>(target)].push_back(
+        Handoff{when, affinity, tls.shard, self.outSeq++,
+                std::move(fn)});
+}
+
+void
+ShardedSimulator::merge_outboxes()
+{
+    for (int t = 0; t < numShards; ++t) {
+        std::vector<Handoff> incoming;
+        for (Shard &src : shardsVec) {
+            auto &box = src.outbox[static_cast<std::size_t>(t)];
+            for (Handoff &h : box)
+                incoming.push_back(std::move(h));
+            box.clear();
+        }
+        if (incoming.empty())
+            continue;
+        // Canonical merge: (tick, affinity, source shard, source
+        // sequence). Total (srcSeq is unique per source shard) and
+        // independent of worker finishing order, so a parallel run
+        // reproduces itself bit-for-bit.
+        std::sort(incoming.begin(), incoming.end(),
+                  [](const Handoff &a, const Handoff &b) {
+                      if (a.when != b.when)
+                          return a.when < b.when;
+                      if (a.affinity != b.affinity)
+                          return a.affinity < b.affinity;
+                      if (a.srcShard != b.srcShard)
+                          return a.srcShard < b.srcShard;
+                      return a.srcSeq < b.srcSeq;
+                  });
+        Shard &dst = shardsVec[static_cast<std::size_t>(t)];
+        for (Handoff &h : incoming) {
+            dst.queue.push(Entry{h.when, dst.nextSeq++, h.affinity,
+                                 std::move(h.fn)});
+            ++dst.stats.handoffsIn;
+        }
+        dst.stats.maxPending =
+            std::max<std::uint64_t>(dst.stats.maxPending,
+                                    dst.queue.size());
+    }
+}
+
+void
+ShardedSimulator::drain_shard(int s, Tick windowEnd)
+{
+    Shard &sh = shardsVec[static_cast<std::size_t>(s)];
+    TlsFrame saved = tls;
+    tls.owner = this;
+    tls.shard = s;
+    tls.windowEnd = windowEnd;
+    tls.inRound = true;
+    while (!sh.queue.empty() && sh.queue.top().when < windowEnd) {
+        Entry e = std::move(const_cast<Entry &>(sh.queue.top()));
+        sh.queue.pop();
+        tls.now = e.when;
+        tls.affinity = e.affinity;
+        sh.lastExecuted = e.when;
+        ++sh.stats.executed;
+        if (history)
+            sh.localHistory.record(e.when, e.affinity);
+        e.fn();
+    }
+    tls = saved;
+}
+
+Tick
+ShardedSimulator::next_pending_locked() const
+{
+    Tick t = max_tick;
+    for (const Shard &s : shardsVec)
+        if (!s.queue.empty())
+            t = std::min(t, s.queue.top().when);
+    return t;
+}
+
+Tick
+ShardedSimulator::shard_next(int s) const
+{
+    const Shard &sh = shardsVec[static_cast<std::size_t>(s)];
+    return sh.queue.empty() ? max_tick : sh.queue.top().when;
+}
+
+Tick
+ShardedSimulator::safe_horizon(int s) const
+{
+    (void)s; // every shard shares the global conservative horizon
+    Tick t = next_pending_locked();
+    return t == max_tick ? max_tick : saturating_add(t, cfg.lookahead);
+}
+
+const ShardStats &
+ShardedSimulator::shard_stats(int s) const
+{
+    return shardsVec[static_cast<std::size_t>(s)].stats;
+}
+
+bool
+ShardedSimulator::empty() const
+{
+    for (const Shard &s : shardsVec)
+        if (!s.queue.empty())
+            return false;
+    return true;
+}
+
+std::size_t
+ShardedSimulator::pending() const
+{
+    std::size_t n = 0;
+    for (const Shard &s : shardsVec)
+        n += s.queue.size();
+    return n;
+}
+
+std::uint64_t
+ShardedSimulator::executed() const
+{
+    return numExecutedTotal;
+}
+
+bool
+ShardedSimulator::step_deterministic()
+{
+    // Pick the globally earliest entry; ties break on sequence, then
+    // shard index (sequences are globally unique in deterministic
+    // mode, shard-local otherwise).
+    int best = -1;
+    for (int s = 0; s < numShards; ++s) {
+        const Shard &sh = shardsVec[static_cast<std::size_t>(s)];
+        if (sh.queue.empty())
+            continue;
+        if (best < 0) {
+            best = s;
+            continue;
+        }
+        const Entry &a = sh.queue.top();
+        const Entry &b =
+            shardsVec[static_cast<std::size_t>(best)].queue.top();
+        if (a.when < b.when ||
+            (a.when == b.when && a.seq < b.seq))
+            best = s;
+    }
+    if (best < 0)
+        return false;
+
+    Shard &sh = shardsVec[static_cast<std::size_t>(best)];
+    Entry e = std::move(const_cast<Entry &>(sh.queue.top()));
+    sh.queue.pop();
+
+    TlsFrame saved = tls;
+    tls.owner = this;
+    tls.shard = best;
+    tls.affinity = e.affinity;
+    tls.now = e.when;
+    tls.windowEnd = 0;
+    tls.inRound = false;
+
+    globalTime = e.when;
+    sh.lastExecuted = e.when;
+    ++sh.stats.executed;
+    ++numExecutedTotal;
+    if (history)
+        history->record(e.when, e.affinity);
+    e.fn();
+
+    tls = saved;
+    return true;
+}
+
+bool
+ShardedSimulator::step()
+{
+    if (running)
+        panic("step() during run()");
+    return step_deterministic();
+}
+
+Tick
+ShardedSimulator::run_sequential(Tick limit)
+{
+    // One shard: the exact sequential loop, no windows, no barriers.
+    while (!shardsVec[0].queue.empty() &&
+           shardsVec[0].queue.top().when <= limit)
+        step_deterministic();
+    return globalTime;
+}
+
+Tick
+ShardedSimulator::run_deterministic(Tick limit)
+{
+    for (;;) {
+        Tick t = next_pending_locked();
+        if (t == max_tick || t > limit)
+            break;
+        step_deterministic();
+    }
+    return globalTime;
+}
+
+Tick
+ShardedSimulator::run_parallel(Tick limit)
+{
+    start_workers();
+    for (;;) {
+        Tick t = next_pending_locked();
+        if (t == max_tick || t > limit)
+            break;
+        Tick windowEnd = saturating_add(t, cfg.lookahead);
+        if (limit != max_tick)
+            windowEnd = std::min(windowEnd,
+                                 saturating_add(limit, 1));
+        currentWindowEnd = windowEnd;
+        ++numWindows;
+
+        {
+            std::lock_guard<std::mutex> lock(poolMutex);
+            roundWindowEnd = windowEnd;
+            roundDone = 0;
+            ++roundGen;
+        }
+        poolCv.notify_all();
+
+        drain_shard(0, windowEnd);
+
+        {
+            std::unique_lock<std::mutex> lock(poolMutex);
+            doneCv.wait(lock, [this] {
+                return roundDone == numShards - 1;
+            });
+        }
+
+        merge_outboxes();
+        Tick maxDone = 0;
+        std::uint64_t total = 0;
+        for (const Shard &s : shardsVec) {
+            maxDone = std::max(maxDone, s.lastExecuted);
+            total += s.stats.executed;
+        }
+        if (maxDone > globalTime)
+            globalTime = maxDone;
+        numExecutedTotal = total;
+    }
+    // Fold the per-shard digests into the attached history in shard
+    // order: cross-shard execution order is intentionally undefined
+    // inside a window, so the parallel digest is the ordered tuple of
+    // per-shard digests (reproducible run-to-run thanks to the
+    // canonical merge). Compare against deterministic mode only.
+    if (history) {
+        for (int s = 0; s < numShards; ++s) {
+            Shard &sh = shardsVec[static_cast<std::size_t>(s)];
+            if (sh.localHistory.events() == 0)
+                continue;
+            history->record(
+                static_cast<Tick>(sh.localHistory.hash()), s);
+            sh.localHistory.reset();
+        }
+    }
+    return globalTime;
+}
+
+Tick
+ShardedSimulator::run_loop(Tick limit)
+{
+    if (running)
+        panic("re-entrant run()");
+    running = true;
+    Tick t;
+    if (numShards == 1)
+        t = run_sequential(limit);
+    else if (cfg.deterministic)
+        t = run_deterministic(limit);
+    else
+        t = run_parallel(limit);
+    running = false;
+    return t;
+}
+
+Tick
+ShardedSimulator::run()
+{
+    return run_loop(max_tick);
+}
+
+Tick
+ShardedSimulator::run_until(Tick limit)
+{
+    return run_loop(limit);
+}
+
+void
+ShardedSimulator::start_workers()
+{
+    if (!workers.empty())
+        return;
+    workers.reserve(static_cast<std::size_t>(numShards - 1));
+    for (int s = 1; s < numShards; ++s)
+        workers.emplace_back([this, s] { worker_main(s); });
+}
+
+void
+ShardedSimulator::stop_workers()
+{
+    if (workers.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(poolMutex);
+        shuttingDown = true;
+    }
+    poolCv.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+    workers.clear();
+    shuttingDown = false;
+}
+
+void
+ShardedSimulator::worker_main(int s)
+{
+    std::uint64_t seenGen = 0;
+    for (;;) {
+        Tick windowEnd;
+        {
+            std::unique_lock<std::mutex> lock(poolMutex);
+            poolCv.wait(lock, [this, seenGen] {
+                return shuttingDown || roundGen != seenGen;
+            });
+            if (shuttingDown)
+                return;
+            seenGen = roundGen;
+            windowEnd = roundWindowEnd;
+        }
+        drain_shard(s, windowEnd);
+        {
+            std::lock_guard<std::mutex> lock(poolMutex);
+            ++roundDone;
+        }
+        doneCv.notify_one();
+    }
+}
+
+std::string
+ShardedSimulator::report() const
+{
+    std::string out = strprintf(
+        "sharded kernel: %d shard%s, lookahead %llu ticks, %s; "
+        "%llu windows, %llu events, %llu violations\n",
+        numShards, numShards == 1 ? "" : "s",
+        static_cast<unsigned long long>(cfg.lookahead),
+        cfg.deterministic ? "deterministic" : "parallel",
+        static_cast<unsigned long long>(numWindows),
+        static_cast<unsigned long long>(numExecutedTotal),
+        static_cast<unsigned long long>(lookahead_violations()));
+    for (int s = 0; s < numShards; ++s) {
+        const ShardStats &st = shard_stats(s);
+        out += strprintf(
+            "  shard %d: %llu executed, %llu in / %llu out "
+            "handoffs, max queue %llu\n",
+            s, static_cast<unsigned long long>(st.executed),
+            static_cast<unsigned long long>(st.handoffsIn),
+            static_cast<unsigned long long>(st.handoffsOut),
+            static_cast<unsigned long long>(st.maxPending));
+    }
+    return out;
+}
+
+} // namespace ap::sim

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Sharded parallel discrete-event kernel.
+ *
+ * The sequential Simulator executes every cell's events on one host
+ * thread through one binary heap — the scalability ceiling for big
+ * machines (ROADMAP item 1). This kernel shards the event queue by
+ * *affinity* (the functional machine passes cell ids; shards are
+ * contiguous cell blocks) and runs shards on a pool of host worker
+ * threads with conservative synchronization:
+ *
+ *   Conservative windows. Physics gives a lower bound L (the
+ *   *lookahead*) on the model-time distance of any cross-shard
+ *   effect: a T-net message pays at least prolog + one hop before it
+ *   can touch another cell, a B-net broadcast pays the bus prolog,
+ *   an S-net release pays the combine latency. Therefore, if T is
+ *   the globally earliest pending event, every event strictly before
+ *   T + L is already in its shard's queue — no in-flight cross-shard
+ *   event can land below that horizon. Each round, every shard
+ *   drains its events with when < T + L in parallel, workers
+ *   barrier, cross-shard events produced during the round are
+ *   exchanged, and the next window starts.
+ *
+ *   Handoff. A cross-shard schedule_for() lands in the target
+ *   shard's inbox (per source-shard outboxes during a parallel
+ *   round, so the hot path takes no lock). At the window barrier,
+ *   inboxes merge into the target queue in a canonical
+ *   (tick, affinity, source shard, source sequence) order — the
+ *   merge rule that makes a parallel run reproducible run-to-run
+ *   regardless of which worker finished first.
+ *
+ *   Determinism mode. Canonical merge makes parallel runs
+ *   *self*-consistent; matching the sequential kernel byte-for-byte
+ *   additionally requires replaying its global same-tick insertion
+ *   order, because machine components share order-sensitive state
+ *   (the fault injector's RNG draw sequence, the T-net FIFO clamp).
+ *   In deterministic mode events carry a global sequence number and
+ *   the calling thread executes them in exactly the sequential
+ *   (tick, sequence) order — same window accounting, same shard
+ *   routing, same handoff bookkeeping, serialized execution. The
+ *   differential harness (tests/harness) runs threads=1 against
+ *   threads=N deterministic and asserts identical tick histories,
+ *   memory images and stats dumps, which pins the sharding plumbing
+ *   (routing, merge, horizons) to the sequential semantics.
+ *
+ * With shards == 1 the kernel degenerates to the sequential loop:
+ * one queue, one sequence counter, no windows, no locks on the
+ * scheduling path — bit-identical to Simulator by construction.
+ */
+
+#ifndef AP_SIM_SHARDQ_HH
+#define AP_SIM_SHARDQ_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/types.hh"
+#include "sim/eventq.hh"
+
+namespace ap::sim
+{
+
+/** Construction knobs of the sharded kernel. */
+struct ShardConfig
+{
+    /** Worker threads == shards. */
+    int shards = 1;
+    /**
+     * Conservative lookahead in ticks: a strict lower bound on the
+     * model-time delay of any cross-shard event. Must be >= 1 (a
+     * zero lookahead admits no parallel window at all).
+     */
+    Tick lookahead = 1;
+    /**
+     * Execute events in the sequential kernel's global (tick,
+     * sequence) order on the calling thread (see file comment).
+     */
+    bool deterministic = false;
+    /**
+     * Map an affinity value to a shard index. Defaults to
+     * affinity % shards (negative affinities map to shard 0). The
+     * machine installs a contiguous cell-block map instead so torus
+     * neighbours tend to share a shard.
+     */
+    std::function<int(int)> affinityMap;
+};
+
+/** Per-shard execution statistics. */
+struct ShardStats
+{
+    std::uint64_t executed = 0;     ///< events run on this shard
+    std::uint64_t handoffsIn = 0;   ///< events merged from other shards
+    std::uint64_t handoffsOut = 0;  ///< events sent to other shards
+    std::uint64_t maxPending = 0;   ///< queue depth high-water mark
+};
+
+/**
+ * The sharded simulator. Drop-in for sim::Simulator behind the
+ * virtual interface; see the file comment for the execution model.
+ */
+class ShardedSimulator : public Simulator
+{
+  public:
+    explicit ShardedSimulator(ShardConfig cfg);
+    ~ShardedSimulator() override;
+
+    // -- Simulator interface -------------------------------------------
+
+    Tick now() const override;
+    void schedule(Tick when, std::function<void()> fn) override;
+    void schedule_for(int affinity, Tick when,
+                      std::function<void()> fn) override;
+    void set_history(TickHistory *h) override;
+    Tick run() override;
+    Tick run_until(Tick limit) override;
+    bool step() override;
+    bool empty() const override;
+    std::size_t pending() const override;
+    std::uint64_t executed() const override;
+
+    // -- introspection (tests, ap_run report) --------------------------
+
+    int shards() const { return numShards; }
+    Tick lookahead() const { return cfg.lookahead; }
+    bool deterministic() const { return cfg.deterministic; }
+
+    /** Shard that affinity @p affinity routes to. */
+    int shard_of(int affinity) const;
+
+    /**
+     * The horizon below which shard @p s may freely execute given
+     * the globally earliest pending event: min pending tick across
+     * all shards + lookahead. max_tick when nothing is pending.
+     */
+    Tick safe_horizon(int s) const;
+
+    /** Next pending tick of shard @p s (max_tick when idle). */
+    Tick shard_next(int s) const;
+
+    const ShardStats &shard_stats(int s) const;
+
+    /** Number of parallel windows (rounds) executed so far. */
+    std::uint64_t windows() const { return numWindows; }
+
+    /**
+     * Cross-shard events scheduled closer than the lookahead — a
+     * violation of the conservative contract. Strict mode (the
+     * default in parallel runs) panics instead of counting.
+     */
+    std::uint64_t lookahead_violations() const
+    {
+        return numViolations.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Demote lookahead violations from panic to counter. Only
+     * meaningful for experiments; the machine keeps strict mode.
+     */
+    void set_strict_lookahead(bool strict) { strictLookahead = strict; }
+
+    /** One-line kernel report ("2 shards, 13 windows, ..."). */
+    std::string report() const;
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq;   ///< shard-local (global in det. mode)
+        int affinity;
+        std::function<void()> fn;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** A cross-shard event in flight between window barriers. */
+    struct Handoff
+    {
+        Tick when;
+        int affinity;
+        int srcShard;
+        std::uint64_t srcSeq;
+        std::function<void()> fn;
+    };
+
+    struct Shard
+    {
+        std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+        std::uint64_t nextSeq = 0;
+        /** Outboxes, one per destination shard; worker-exclusive
+         *  during a round, drained at the barrier. */
+        std::vector<std::vector<Handoff>> outbox;
+        std::uint64_t outSeq = 0;
+        Tick lastExecuted = 0;
+        ShardStats stats;
+        /** Per-shard history digest (parallel mode). */
+        TickHistory localHistory;
+    };
+
+    /** What the calling thread / a worker is currently executing. */
+    struct TlsFrame
+    {
+        ShardedSimulator *owner = nullptr;
+        int shard = 0;
+        int affinity = 0;
+        Tick now = 0;
+        /** End of the current parallel window; 0 outside rounds. */
+        Tick windowEnd = 0;
+        bool inRound = false;
+    };
+
+    static thread_local TlsFrame tls;
+
+    void enqueue_direct(int shard, int affinity, Tick when,
+                        std::function<void()> fn);
+    void merge_outboxes();
+    void drain_shard(int s, Tick windowEnd);
+    Tick next_pending_locked() const;
+    Tick run_loop(Tick limit);
+    Tick run_sequential(Tick limit);
+    Tick run_deterministic(Tick limit);
+    Tick run_parallel(Tick limit);
+    bool step_deterministic();
+    void start_workers();
+    void stop_workers();
+    void worker_main(int s);
+
+    ShardConfig cfg;
+    int numShards;
+    std::vector<Shard> shardsVec;
+    /** Guards every shard queue while no run is in progress and the
+     *  coordinator-side bookkeeping during parallel rounds. */
+    mutable std::mutex qMutex;
+
+    // -- worker pool ----------------------------------------------------
+    std::vector<std::thread> workers;
+    std::mutex poolMutex;
+    std::condition_variable poolCv;   ///< coordinator -> workers
+    std::condition_variable doneCv;   ///< workers -> coordinator
+    std::uint64_t roundGen = 0;
+    int roundDone = 0;
+    Tick roundWindowEnd = 0;
+    bool shuttingDown = false;
+
+    // -- run state ------------------------------------------------------
+    bool running = false;
+    Tick globalTime = 0;
+    Tick currentWindowEnd = 0;
+    std::uint64_t globalSeq = 0;   ///< deterministic-mode sequence
+    std::uint64_t numExecutedTotal = 0;
+    std::uint64_t numWindows = 0;
+    std::atomic<std::uint64_t> numViolations{0};
+    bool strictLookahead = true;
+};
+
+} // namespace ap::sim
+
+#endif // AP_SIM_SHARDQ_HH

@@ -1,12 +1,14 @@
 #include "harness.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <span>
 
 #include "base/logging.hh"
 #include "base/random.hh"
 #include "core/program.hh"
+#include "sim/eventq.hh"
 
 namespace ap::harness
 {
@@ -180,7 +182,7 @@ harness_retry()
 RunOutcome
 run_program(const OpProgram &prog, const sim::FaultPlan &plan,
             const hw::RetryPolicy &retry, const obs::ObsOptions &obs,
-            bool reliable)
+            bool reliable, int threads, bool deterministic)
 {
     hw::MachineConfig cfg =
         hw::MachineConfig::ap1000_plus(prog.cells);
@@ -188,7 +190,11 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     cfg.faults = plan;
     cfg.retry = retry;
     cfg.reliableNet = reliable;
+    cfg.threads = threads;
+    cfg.deterministic = deterministic;
     hw::Machine m(cfg);
+    sim::TickHistory hist;
+    m.sim().set_history(&hist);
     if (!obs.traceOut.empty())
         m.enable_tracing();
 
@@ -199,6 +205,8 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
         static_cast<std::size_t>(prog.cells), 0);
 
     RunOutcome out;
+    // Cell bodies on different shards may flag errors concurrently.
+    std::atomic<int> dataErrs{0};
     obs::StatsRegistry::Snapshot statsBefore =
         m.stats_registry().snapshot();
     core::SpmdResult result = core::run_spmd(m, [&](core::Context
@@ -309,7 +317,7 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
                 if (ctx.peek_u32(exchBuf + slot_bytes) !=
                     static_cast<std::uint32_t>(op.stamp) +
                         static_cast<std::uint32_t>(from))
-                    ++out.dataErrors;
+                    ++dataErrs;
                 break;
               }
               case OpKind::allreduce: {
@@ -317,7 +325,7 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
                     static_cast<double>(me + 1), core::ReduceOp::sum);
                 if (s != static_cast<double>(p) *
                              static_cast<double>(p + 1) / 2.0)
-                    ++out.dataErrors;
+                    ++dataErrs;
                 break;
               }
               case OpKind::bcast: {
@@ -336,7 +344,7 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
                 }
                 if (ctx.peek_u32(bbuf) !=
                     static_cast<std::uint32_t>(op.stamp * 3))
-                    ++out.dataErrors;
+                    ++dataErrs;
                 break;
               }
             }
@@ -346,8 +354,11 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
 
     out.errors = result.errors;
     out.deadlock = result.deadlock;
+    out.dataErrors = dataErrs.load();
     out.finish = result.finishTick;
     out.faults = m.faults().stats();
+    out.tickDigest = hist.digest();
+    out.statsJson = m.stats_json(false);
     out.statsDelta = m.stats_registry().delta_since(statsBefore);
     if (m.reliable())
         out.rnetRetransmits =
@@ -407,6 +418,57 @@ check_against_golden(const OpProgram &prog,
             plan.describe().c_str(), c,
             at / (slots_per_writer * slot_bytes),
             (at / slot_bytes) % slots_per_writer, at);
+    }
+    return "";
+}
+
+std::string
+check_threads_differential(const OpProgram &prog,
+                           const sim::FaultPlan &plan,
+                           const hw::RetryPolicy &retry,
+                           bool reliable, int threads)
+{
+    RunOutcome seq =
+        run_program(prog, plan, retry, {}, reliable, 1, false);
+    RunOutcome par = run_program(prog, plan, retry, {}, reliable,
+                                 threads, true);
+
+    if (seq.deadlock != par.deadlock)
+        return strprintf("deadlock divergence: threads=1 %d vs "
+                         "threads=%d %d",
+                         seq.deadlock, threads, par.deadlock);
+    if (seq.errors.size() != par.errors.size())
+        return strprintf("error-count divergence: threads=1 %zu vs "
+                         "threads=%d %zu",
+                         seq.errors.size(), threads,
+                         par.errors.size());
+    if (seq.tickDigest != par.tickDigest)
+        return strprintf("tick-history divergence: threads=1 [%s] vs "
+                         "threads=%d [%s]",
+                         seq.tickDigest.c_str(), threads,
+                         par.tickDigest.c_str());
+    for (std::size_t c = 0; c < seq.regions.size(); ++c) {
+        if (seq.regions[c] == par.regions[c])
+            continue;
+        std::size_t at = 0;
+        while (seq.regions[c][at] == par.regions[c][at])
+            ++at;
+        return strprintf("memory-image divergence at cell %zu byte "
+                         "%zu (threads=1 vs threads=%d)",
+                         c, at, threads);
+    }
+    if (seq.statsJson != par.statsJson) {
+        std::size_t at = 0;
+        std::size_t n =
+            std::min(seq.statsJson.size(), par.statsJson.size());
+        while (at < n && seq.statsJson[at] == par.statsJson[at])
+            ++at;
+        return strprintf("stats-registry divergence at JSON byte %zu "
+                         "(threads=1 vs threads=%d): ...%.40s vs "
+                         "...%.40s",
+                         at, threads,
+                         seq.statsJson.c_str() + at,
+                         par.statsJson.c_str() + at);
     }
     return "";
 }

@@ -124,6 +124,14 @@ struct RunOutcome
      * fault plan actually exercised.
      */
     std::map<std::string, std::int64_t> statsDelta;
+    /**
+     * Order-sensitive digest of the executed event sequence
+     * ("events=N hash=0x...") — the comparable fingerprint the
+     * threads-differential check matches between kernels.
+     */
+    std::string tickDigest;
+    /** Full stats-registry JSON of the drained machine (compact). */
+    std::string statsJson;
 
     bool
     clean() const
@@ -137,12 +145,18 @@ struct RunOutcome
  * When @p obs carries output paths, the run is traced and the
  * machine's stats-registry JSON / Chrome trace are written after the
  * simulator drains (a replayed failure seed becomes a timeline).
+ *
+ * @p threads > 1 runs the sharded parallel kernel; @p deterministic
+ * then selects its canonical-order merge so the run is byte-identical
+ * to the sequential kernel (the mode the differential check relies
+ * on).
  */
 RunOutcome run_program(const OpProgram &prog,
                        const sim::FaultPlan &plan,
                        const hw::RetryPolicy &retry,
                        const obs::ObsOptions &obs = {},
-                       bool reliable = false);
+                       bool reliable = false, int threads = 1,
+                       bool deterministic = false);
 
 /** The default retry policy harness runs use under lossy plans. */
 hw::RetryPolicy harness_retry();
@@ -156,6 +170,21 @@ std::string check_against_golden(const OpProgram &prog,
                                  const sim::FaultPlan &plan,
                                  const hw::RetryPolicy &retry,
                                  bool reliable = false);
+
+/**
+ * Differential determinism check: run @p prog twice under the same
+ * @p plan — once on the sequential kernel (threads=1) and once on the
+ * sharded kernel with @p threads workers in deterministic mode — and
+ * require the two runs to be indistinguishable: identical tick-history
+ * digests, identical final memory images of every cell, and identical
+ * stats-registry JSON. @return empty string on success, a diagnostic
+ * naming the first divergence otherwise.
+ */
+std::string check_threads_differential(const OpProgram &prog,
+                                       const sim::FaultPlan &plan,
+                                       const hw::RetryPolicy &retry,
+                                       bool reliable = false,
+                                       int threads = 4);
 
 /**
  * Shrink @p prog to a minimal op sequence for which @p fails still

@@ -37,6 +37,12 @@ struct Options
     long iters = -1; // unlimited within the duration budget
     /** Stack the reliable-delivery layer under the MSC+. */
     bool reliable = false;
+    /** Worker threads of the sharded kernel (1 = sequential). */
+    int threads = 1;
+    /** Differential mode: each iteration runs threads=1 vs
+     *  --threads deterministic and requires identical tick history,
+     *  memory images and stats JSON (instead of the golden check). */
+    bool differential = false;
     /** Print each iteration's stats-registry delta (top rows). */
     bool iterStats = false;
     /** Telemetry of the faulty run of each iteration (last wins). */
@@ -112,6 +118,10 @@ parse(int argc, char **argv)
             opt.iters = std::atol(a + 8);
         else if (std::strcmp(a, "--reliable") == 0)
             opt.reliable = true;
+        else if (std::strncmp(a, "--threads=", 10) == 0)
+            opt.threads = std::atoi(a + 10);
+        else if (std::strcmp(a, "--differential") == 0)
+            opt.differential = true;
         else if (std::strcmp(a, "--iter-stats") == 0)
             opt.iterStats = true;
         else if (obs::consume_obs_arg(a, opt.obs))
@@ -122,8 +132,8 @@ parse(int argc, char **argv)
                 stderr,
                 "usage: stress_put_get [--seed=N] [--plan=NAME] "
                 "[--cells=N] [--ops=N] [--duration-s=S] "
-                "[--iters=N] [--reliable] [--iter-stats] "
-                "[--stats-out=F] "
+                "[--iters=N] [--reliable] [--threads=N] "
+                "[--differential] [--iter-stats] [--stats-out=F] "
                 "[--trace-out=F] [--debug-flags=A,B]\n");
             std::exit(2);
         }
@@ -162,33 +172,41 @@ main(int argc, char **argv)
         sim::FaultPlan plan = plan_by_name(opt.plan, seed);
         OpProgram prog = make_program(seed, opt.cells, opt.ops,
                                       full_vocabulary(opt));
-        std::string diag =
-            check_against_golden(prog, plan, retry, opt.reliable);
+        auto check = [&](const OpProgram &p) {
+            if (opt.differential)
+                return check_threads_differential(
+                    p, plan, retry, opt.reliable,
+                    opt.threads > 1 ? opt.threads : 4);
+            return check_against_golden(p, plan, retry,
+                                        opt.reliable);
+        };
+        std::string diag = check(prog);
         if (!diag.empty()) {
             std::fprintf(stderr,
                          "FAILURE at seed %llu (plan %s): %s\n",
                          static_cast<unsigned long long>(seed),
                          opt.plan.c_str(), diag.c_str());
-            auto pred = [&](const OpProgram &p) {
-                return check_against_golden(p, plan, retry,
-                                            opt.reliable);
-            };
-            OpProgram minimal = shrink(prog, pred);
+            OpProgram minimal = shrink(prog, check);
             std::fprintf(stderr, "minimal reproducer:\n%s",
                          describe(minimal).c_str());
             std::fprintf(stderr,
                          "replay: stress_put_get --seed=%llu "
-                         "--plan=%s --cells=%d --ops=%d --iters=1%s\n",
+                         "--plan=%s --cells=%d --ops=%d --iters=1%s"
+                         "%s\n",
                          static_cast<unsigned long long>(seed),
                          opt.plan.c_str(), opt.cells, opt.ops,
-                         opt.reliable ? " --reliable" : "");
+                         opt.reliable ? " --reliable" : "",
+                         opt.differential ? " --differential" : "");
             return 1;
         }
         // Count injected faults of the faulty run for the summary;
         // this replay also carries the telemetry outputs, so a
         // pinned --seed --iters=1 invocation yields its timeline.
+        // With --threads the replay exercises the sharded kernel in
+        // deterministic mode.
         RunOutcome o =
-            run_program(prog, plan, retry, opt.obs, opt.reliable);
+            run_program(prog, plan, retry, opt.obs, opt.reliable,
+                        opt.threads, opt.threads > 1);
         injected += o.faults.total() + o.faults.jitteredEvents;
         retransmits += o.rnetRetransmits;
         if (opt.iterStats)
@@ -200,11 +218,12 @@ main(int argc, char **argv)
         ++done;
     }
 
-    std::printf("stress ok: %ld iterations (plan %s%s, first seed "
+    std::printf("stress ok: %ld iterations (plan %s%s%s, first seed "
                 "%llu, %.1f s, %llu faults/jitters injected, "
                 "%llu retransmits)\n",
                 done, opt.plan.c_str(),
                 opt.reliable ? " +reliable" : "",
+                opt.differential ? " +differential" : "",
                 static_cast<unsigned long long>(opt.seed),
                 elapsed_s(),
                 static_cast<unsigned long long>(injected),
