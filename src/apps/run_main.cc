@@ -83,6 +83,10 @@ usage(const char *prog)
         "  --stats-out=FILE   write the stats registry as JSON\n"
         "  --stats-text       print the flat stats table to stdout\n"
         "  --trace-out=FILE   write a Chrome trace_event timeline\n"
+        "  --timeline-out=FILE  sample the stats registry on a\n"
+        "                     model-time period, write the perf\n"
+        "                     timeline JSON\n"
+        "  --timeline-period-us=US  sampling period (default 20)\n"
         "  --profile          record full spans, print the\n"
         "                     critical-path latency breakdown\n"
         "  --profile-json=FILE  write the breakdown as JSON\n"
@@ -306,6 +310,8 @@ main(int argc, char **argv)
     hw::Machine machine(cfg);
     if (!obsOpts.traceOut.empty())
         machine.enable_tracing();
+    if (!obsOpts.timelineOut.empty())
+        machine.enable_timeline(obsOpts.timelinePeriodUs);
 
     PhaseRecorder phases{machine, {}};
     obs::StatsRegistry::Snapshot startSnap =
@@ -343,6 +349,17 @@ main(int argc, char **argv)
         std::printf("Chrome trace written to %s (open in "
                     "chrome://tracing or ui.perfetto.dev)\n",
                     obsOpts.traceOut.c_str());
+    }
+    if (!obsOpts.timelineOut.empty()) {
+        if (!machine.write_timeline(obsOpts.timelineOut))
+            fatal("cannot write timeline to %s",
+                  obsOpts.timelineOut.c_str());
+        obs::TimelineSampler *tl = machine.timeline();
+        std::printf("perf timeline written to %s (%llu samples, "
+                    "%llu aged out)\n",
+                    obsOpts.timelineOut.c_str(),
+                    static_cast<unsigned long long>(tl->taken()),
+                    static_cast<unsigned long long>(tl->dropped()));
     }
 
     if (phaseStats) {

@@ -56,7 +56,7 @@ run_spmd(hw::Machine &machine, const SpmdBody &body, Trace *trace)
         procs[idx]->start(machine.sim().now());
     }
 
-    machine.sim().run();
+    machine.run_to_completion();
 
     for (int i = 0; i < n; ++i) {
         auto idx = static_cast<std::size_t>(i);

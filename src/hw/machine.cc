@@ -1,6 +1,7 @@
 #include "hw/machine.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 
 #include "base/logging.hh"
@@ -63,6 +64,12 @@ sim::ShardedSimulator *
 Machine::sharded()
 {
     return dynamic_cast<sim::ShardedSimulator *>(&simulator);
+}
+
+const sim::ShardedSimulator *
+Machine::sharded() const
+{
+    return dynamic_cast<const sim::ShardedSimulator *>(&simulator);
 }
 
 Machine::Machine(MachineConfig config)
@@ -139,7 +146,63 @@ Machine::Machine(MachineConfig config)
             k.cell, us_to_ticks(k.atUs),
             [this, id = k.cell]() { fail_cell(id); });
     }
+    // Kernel telemetry taps: the sharded kernel reports each parallel
+    // window through this hook (fired on the coordinator while every
+    // worker is parked) and the machine forwards it to the tracer's
+    // worker tracks and the barrier_wait critical-path stage.
+    if (sim::ShardedSimulator *sh = sharded())
+        sh->set_window_hook(
+            [this](const sim::WindowRecord &w) { on_window(w); });
     register_stats();
+    register_kernel_stats();
+}
+
+void
+Machine::on_window(const sim::WindowRecord &w)
+{
+    int shards = static_cast<int>(w.shards.size());
+    // Idle (barrier_wait) attribution in model time: the window ends
+    // when its busiest shard executes its last event; every other
+    // shard waited from its own last event (or the window start if it
+    // had none) until then. The straggler gets no span.
+    Tick windowDone = 0;
+    for (const sim::WindowShard &ws : w.shards)
+        windowDone = std::max(windowDone, ws.last);
+    if (spanLayer.on() && shards > 1 && windowDone > 0) {
+        std::uint64_t tid = spanLayer.new_trace();
+        for (int s = 0; s < shards; ++s) {
+            const sim::WindowShard &ws =
+                w.shards[static_cast<std::size_t>(s)];
+            Tick from = ws.events > 0 ? ws.last : w.start;
+            if (from >= windowDone)
+                continue;
+            spanLayer.record(
+                -1, tid, obs::SpanStage::barrier_wait, from,
+                windowDone, obs::SpanOp::none,
+                static_cast<std::uint32_t>(
+                    std::min<std::uint64_t>(ws.events, UINT32_MAX)));
+        }
+    }
+    if (tracerPtr) {
+        for (int s = 0; s < shards; ++s) {
+            const sim::WindowShard &ws =
+                w.shards[static_cast<std::size_t>(s)];
+            if (ws.events == 0)
+                continue;
+            tracerPtr->span_at(
+                obs::worker_track(s), "kernel",
+                strprintf("w%llu:%llu ev",
+                          static_cast<unsigned long long>(w.index),
+                          static_cast<unsigned long long>(ws.events)),
+                w.start, ws.last);
+        }
+        tracerPtr->counter_at(
+            obs::machine_track, "kernel", "imbalance_x1000", w.start,
+            static_cast<double>(w.imbalanceX1000));
+        tracerPtr->counter_at(
+            obs::machine_track, "kernel", "barrier_wait_ns", w.start,
+            static_cast<double>(w.barrierWaitNs));
+    }
 }
 
 void
@@ -365,6 +428,90 @@ Machine::register_stats()
     }
 }
 
+void
+Machine::register_kernel_stats()
+{
+    // Kernel self-telemetry under "sim.": how the run executed
+    // (kernel shape, windows, host wall-clock waits) as opposed to
+    // what the machine did. Determinism byte-compares exclude this
+    // prefix — per-shard counts and wall-clock can never match
+    // across kernels (see DESIGN.md, Kernel telemetry).
+    statsReg.add_gauge("sim.executed_events",
+                       [this]() { return simulator.executed(); });
+    statsReg.add_gauge("sim.pending_events", [this]() {
+        return static_cast<std::uint64_t>(simulator.pending());
+    });
+
+    const sim::ShardedSimulator *sh = sharded();
+    if (!sh)
+        return;
+    statsReg.add_gauge("sim.kernel.shards", [sh]() {
+        return static_cast<std::uint64_t>(sh->shards());
+    });
+    statsReg.add_gauge("sim.kernel.lookahead_ticks",
+                       [sh]() { return sh->lookahead(); });
+    statsReg.add_gauge("sim.kernel.deterministic", [sh]() {
+        return static_cast<std::uint64_t>(sh->deterministic());
+    });
+    statsReg.add_gauge("sim.kernel.lookahead_violations",
+                       [sh]() { return sh->lookahead_violations(); });
+
+    const sim::WindowAgg &w = sh->window_stats();
+    statsReg.add_gauge("sim.window.count", &w.windows);
+    statsReg.add_gauge("sim.window.events", &w.events);
+    statsReg.add_gauge("sim.window.horizon_advance_ticks",
+                       &w.horizonAdvance);
+    statsReg.add_gauge("sim.window.barrier_wait_ns", [sh]() {
+        std::uint64_t ns = 0;
+        for (int s = 0; s < sh->shards(); ++s)
+            ns += sh->shard_stats(s).barrierWaitNs;
+        return ns;
+    });
+    statsReg.add_gauge("sim.window.merge_ns", &w.mergeNs);
+    statsReg.add_gauge("sim.window.imbalance_max_x1000",
+                       &w.imbalanceMaxX1000);
+    statsReg.add_gauge("sim.window.imbalance_avg_x1000", [&w]() {
+        return w.windows ? w.imbalanceSumX1000 / w.windows : 0;
+    });
+
+    for (int s = 0; s < sh->shards(); ++s) {
+        const sim::ShardStats &st = sh->shard_stats(s);
+        std::string p = strprintf("sim.shard.%d.", s);
+        statsReg.add_gauge(p + "executed", &st.executed);
+        statsReg.add_gauge(p + "handoffs_in", &st.handoffsIn);
+        statsReg.add_gauge(p + "handoffs_out", &st.handoffsOut);
+        statsReg.add_gauge(p + "max_pending", &st.maxPending);
+        statsReg.add_gauge(p + "barrier_wait_ns", &st.barrierWaitNs);
+    }
+}
+
+void
+Machine::run_to_completion()
+{
+    if (samplerPtr)
+        samplerPtr->run(simulator);
+    else
+        simulator.run();
+}
+
+obs::TimelineSampler &
+Machine::enable_timeline(double periodUs, std::size_t capacity)
+{
+    if (!samplerPtr)
+        samplerPtr = std::make_unique<obs::TimelineSampler>(
+            statsReg, std::max<Tick>(us_to_ticks(periodUs), 1),
+            obs::TimelineSampler::default_series(), capacity);
+    return *samplerPtr;
+}
+
+bool
+Machine::write_timeline(const std::string &path) const
+{
+    if (!samplerPtr)
+        return false;
+    return samplerPtr->write(path);
+}
+
 std::string
 Machine::stats_json(bool pretty) const
 {
@@ -546,6 +693,23 @@ Machine::report() const
                      llu(r.sum("*.ring.copies")),
                      llu(r.sum("*.ring.in_place_reads")),
                      llu(r.sum("*.ring.grow_interrupts")));
+    if (r.find("sim.kernel.shards"))
+        out += strprintf(
+            "kernel: %llu shards, %llu events, %llu windows, "
+            "%llu handoffs, barrier wait %.2f ms, merge %.2f ms, "
+            "imbalance max %.2fx\n",
+            llu(r.value("sim.kernel.shards")),
+            llu(r.value("sim.executed_events")),
+            llu(r.value("sim.window.count")),
+            llu(r.sum("sim.shard.*.handoffs_out")),
+            static_cast<double>(
+                r.value("sim.window.barrier_wait_ns")) /
+                1e6,
+            static_cast<double>(r.value("sim.window.merge_ns")) /
+                1e6,
+            static_cast<double>(
+                r.value("sim.window.imbalance_max_x1000")) /
+                1000.0);
 
     std::string who;
     std::uint64_t busiest_sent =

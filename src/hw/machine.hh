@@ -20,6 +20,7 @@
 #include "net/snet.hh"
 #include "net/tnet.hh"
 #include "net/topology.hh"
+#include "obs/sampler.hh"
 #include "obs/span.hh"
 #include "obs/stats_registry.hh"
 #include "obs/tracer.hh"
@@ -29,6 +30,7 @@
 namespace ap::sim
 {
 class ShardedSimulator;
+struct WindowRecord;
 }
 
 namespace ap::hw
@@ -50,6 +52,16 @@ class Machine
 
     /** The sharded kernel, or nullptr with cfg.threads == 1. */
     sim::ShardedSimulator *sharded();
+    const sim::ShardedSimulator *sharded() const;
+
+    /**
+     * Drain the event queue. Equivalent to sim().run(), except that
+     * an enabled timeline sampler drives the run in period slices
+     * (same event order — the sampler only observes). Drivers that
+     * run the machine to completion should call this instead of
+     * sim().run() so --timeline-out works everywhere.
+     */
+    void run_to_completion();
 
     /** Number of cells. */
     int size() const { return static_cast<int>(cells.size()); }
@@ -183,6 +195,31 @@ class Machine
      */
     bool write_trace(const std::string &path) const;
 
+    // -- continuous perf timeline --------------------------------------
+
+    /**
+     * Turn on the timeline sampler: run_to_completion() then samples
+     * the stats registry every @p periodUs of model time into a
+     * bounded ring (obs/sampler.hh). Idempotent; the first call
+     * fixes period and capacity.
+     */
+    obs::TimelineSampler &enable_timeline(
+        double periodUs,
+        std::size_t capacity = obs::TimelineSampler::default_capacity);
+
+    /** The sampler, or nullptr while the timeline is off. */
+    obs::TimelineSampler *timeline() { return samplerPtr.get(); }
+    const obs::TimelineSampler *timeline() const
+    {
+        return samplerPtr.get();
+    }
+
+    /**
+     * Write the sampler's timeline JSON to @p path. @return false
+     * when the timeline is off or on I/O error.
+     */
+    bool write_timeline(const std::string &path) const;
+
     // -- causal spans / flight recorder --------------------------------
 
     /** The causal span layer, wired into every component at
@@ -218,6 +255,8 @@ class Machine
 
   private:
     void register_stats();
+    void register_kernel_stats();
+    void on_window(const sim::WindowRecord &w);
 
     MachineConfig cfg;
     sim::FaultInjector faultInj;
@@ -238,6 +277,7 @@ class Machine
     std::atomic<std::uint64_t> cellKills{0};
     obs::StatsRegistry statsReg;
     std::unique_ptr<obs::Tracer> tracerPtr;
+    std::unique_ptr<obs::TimelineSampler> samplerPtr;
     obs::SpanLayer spanLayer;
 };
 

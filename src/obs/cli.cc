@@ -1,5 +1,6 @@
 #include "obs/cli.hh"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "base/logging.hh"
@@ -17,6 +18,16 @@ consume_obs_arg(const char *arg, ObsOptions &opt)
     }
     if (std::strncmp(arg, "--trace-out=", 12) == 0) {
         opt.traceOut = arg + 12;
+        return true;
+    }
+    if (std::strncmp(arg, "--timeline-out=", 15) == 0) {
+        opt.timelineOut = arg + 15;
+        return true;
+    }
+    if (std::strncmp(arg, "--timeline-period-us=", 21) == 0) {
+        opt.timelinePeriodUs = std::atof(arg + 21);
+        if (opt.timelinePeriodUs <= 0.0)
+            fatal("--timeline-period-us needs a positive period");
         return true;
     }
     if (std::strncmp(arg, "--debug-flags=", 14) == 0) {

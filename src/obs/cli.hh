@@ -5,9 +5,11 @@
  * Every binary that drives the simulated machine — the app runner,
  * the benches, the stress harness — accepts the same three flags:
  *
- *   --stats-out=FILE     write the stats-registry JSON dump
- *   --trace-out=FILE     enable the tracer, write Chrome trace JSON
- *   --debug-flags=A,B    turn on debug-log categories (obs/debug)
+ *   --stats-out=FILE          write the stats-registry JSON dump
+ *   --trace-out=FILE          enable the tracer, write Chrome trace
+ *   --timeline-out=FILE       enable the perf-timeline sampler
+ *   --timeline-period-us=US   sampling period (model time)
+ *   --debug-flags=A,B         turn on debug-log categories
  *
  * consume_obs_arg() recognizes and applies them so each main() needs
  * one line per argv entry. BenchReport is the bench half of the
@@ -30,10 +32,17 @@ namespace ap::obs
 /** Telemetry options shared by machine-driving binaries. */
 struct ObsOptions
 {
-    std::string statsOut; ///< --stats-out=FILE (empty = off)
-    std::string traceOut; ///< --trace-out=FILE (empty = off)
+    std::string statsOut;    ///< --stats-out=FILE (empty = off)
+    std::string traceOut;    ///< --trace-out=FILE (empty = off)
+    std::string timelineOut; ///< --timeline-out=FILE (empty = off)
+    /** --timeline-period-us=US: model-time sampling period. */
+    double timelinePeriodUs = 20.0;
 
-    bool any() const { return !statsOut.empty() || !traceOut.empty(); }
+    bool any() const
+    {
+        return !statsOut.empty() || !traceOut.empty() ||
+               !timelineOut.empty();
+    }
 };
 
 /**

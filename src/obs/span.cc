@@ -46,6 +46,8 @@ to_string(SpanStage stage)
         return "retransmit";
       case SpanStage::barrier:
         return "barrier";
+      case SpanStage::barrier_wait:
+        return "barrier_wait";
     }
     return "?";
 }

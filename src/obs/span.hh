@@ -65,9 +65,10 @@ enum class SpanStage : std::uint8_t
     ring_receive, ///< buffered SEND waited for its RECEIVE
     retransmit,   ///< reliable-layer go-back-N resend (child span)
     barrier,      ///< S-net episode: first arrival to release
+    barrier_wait, ///< parallel-kernel shard idle at a window barrier
 };
 
-constexpr int span_stage_count = 10;
+constexpr int span_stage_count = 11;
 
 const char *to_string(SpanStage stage);
 

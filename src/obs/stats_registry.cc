@@ -208,11 +208,26 @@ histogram_json(const Histogram &h)
 
 } // namespace
 
+namespace
+{
+
+bool
+has_prefix(const std::string &s, const std::string &prefix)
+{
+    return !prefix.empty() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
 std::string
-StatsRegistry::dump_json(bool pretty) const
+StatsRegistry::dump_json(bool pretty,
+                         const std::string &skipPrefix) const
 {
     JsonTree tree;
     for (const auto &[path, entry] : entries) {
+        if (has_prefix(path, skipPrefix))
+            continue;
         if (entry.kind == StatKind::histogram)
             tree.set_raw(path, histogram_json(*entry.hist));
         else
@@ -222,10 +237,12 @@ StatsRegistry::dump_json(bool pretty) const
 }
 
 std::string
-StatsRegistry::dump_text() const
+StatsRegistry::dump_text(const std::string &skipPrefix) const
 {
     std::string out;
     for (const auto &[path, entry] : entries) {
+        if (has_prefix(path, skipPrefix))
+            continue;
         if (entry.kind == StatKind::histogram) {
             const Accumulator &a = entry.hist->scalar();
             out += strprintf(

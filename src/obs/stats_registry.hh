@@ -143,13 +143,18 @@ class StatsRegistry
     /**
      * Render every entry as nested JSON. Histograms become objects
      * with count/sum/min/max/mean and a bucket map ("b<k>" covers
-     * [2^(k-1), 2^k)).
+     * [2^(k-1), 2^k)). Paths starting with @p skipPrefix are
+     * omitted — determinism byte-compares use it to drop the
+     * kernel's "sim." self-telemetry (host wall-clock, shard shape),
+     * which describes how a run executed rather than what the
+     * machine did.
      */
-    std::string dump_json(bool pretty = true) const;
+    std::string dump_json(bool pretty = true,
+                          const std::string &skipPrefix = {}) const;
 
     /** Render a flat "path = value" text table (histograms show
-     *  count/mean/max). */
-    std::string dump_text() const;
+     *  count/mean/max). Honors @p skipPrefix like dump_json(). */
+    std::string dump_text(const std::string &skipPrefix = {}) const;
 
   private:
     std::map<std::string, StatEntry> entries;

@@ -60,6 +60,20 @@ Tracer::span_at(int track, const char *cat, std::string name,
     push(std::move(rec));
 }
 
+void
+Tracer::counter_at(int track, const char *cat, std::string name,
+                   Tick ts, double value)
+{
+    TraceRecord rec;
+    rec.ts = ts;
+    rec.track = track;
+    rec.counter = true;
+    rec.value = value;
+    rec.cat = cat;
+    rec.name = std::move(name);
+    push(std::move(rec));
+}
+
 std::size_t
 Tracer::size() const
 {
@@ -88,9 +102,15 @@ Tracer::snapshot() const
 std::string
 Tracer::chrome_json() const
 {
-    // tid 0 is the machine-wide track; cells map to tid = cell + 1.
+    // tid 0 is the machine-wide track; cells map to tid = cell + 1;
+    // kernel worker tracks (negative below machine_track) land in a
+    // high tid band so they sort after the cells.
     auto tid_of = [](std::int32_t track) {
-        return track == machine_track ? 0 : track + 1;
+        if (track == machine_track)
+            return 0;
+        if (track < machine_track)
+            return 1000000 + (-2 - track);
+        return track + 1;
     };
 
     std::vector<TraceRecord> recs = snapshot();
@@ -104,9 +124,13 @@ Tracer::chrome_json() const
         if (!first)
             out += ",";
         first = false;
-        std::string name =
-            track == machine_track ? std::string("machine")
-                                   : strprintf("cell %d", track);
+        std::string name;
+        if (track == machine_track)
+            name = "machine";
+        else if (track < machine_track)
+            name = strprintf("worker %d", -2 - track);
+        else
+            name = strprintf("cell %d", track);
         out += strprintf("\n{\"ph\": \"M\", \"pid\": 0, \"tid\": %d, "
                          "\"name\": \"thread_name\", "
                          "\"args\": {\"name\": \"%s\"}}",
@@ -117,7 +141,15 @@ Tracer::chrome_json() const
             out += ",";
         first = false;
         double ts = ticks_to_us(r.ts);
-        if (r.instant) {
+        if (r.counter) {
+            out += strprintf(
+                "\n{\"ph\": \"C\", \"pid\": 0, \"tid\": %d, "
+                "\"ts\": %s, \"cat\": \"%s\", \"name\": \"%s\", "
+                "\"args\": {\"value\": %s}}",
+                tid_of(r.track), json_number(ts).c_str(), r.cat,
+                json_escape(r.name).c_str(),
+                json_number(r.value).c_str());
+        } else if (r.instant) {
             out += strprintf(
                 "\n{\"ph\": \"i\", \"pid\": 0, \"tid\": %d, "
                 "\"ts\": %s, \"s\": \"t\", \"cat\": \"%s\", "

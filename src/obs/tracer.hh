@@ -40,6 +40,17 @@ namespace ap::obs
 /** The machine-wide track for events not owned by one cell. */
 constexpr int machine_track = -1;
 
+/**
+ * Track of host worker (shard) @p w of the parallel kernel. Worker
+ * tracks live below machine_track so the cell id space stays
+ * untouched; chrome_json() names them "worker N".
+ */
+constexpr int
+worker_track(int w)
+{
+    return -2 - w;
+}
+
 /** One recorded event. */
 struct TraceRecord
 {
@@ -47,6 +58,8 @@ struct TraceRecord
     Tick dur = 0;       ///< span length; 0 for instants
     std::int32_t track = machine_track; ///< cell id or machine_track
     bool instant = false;
+    bool counter = false; ///< Chrome "C" counter sample
+    double value = 0.0;   ///< counter sample value
     const char *cat = "";///< static category string ("msc", "fault")
     std::string name;    ///< event name ("put", "spill:user", ...)
 };
@@ -74,6 +87,14 @@ class Tracer
     /** Record a span with explicit endpoints. */
     void span_at(int track, const char *cat, std::string name,
                  Tick begin, Tick end);
+
+    /**
+     * Record a Chrome counter ("C") sample at @p ts — rendered as a
+     * stacked area chart per name. The kernel emits per-window
+     * imbalance and barrier-wait curves through this.
+     */
+    void counter_at(int track, const char *cat, std::string name,
+                    Tick ts, double value);
 
     /** Records currently retained. */
     std::size_t size() const;

@@ -1,6 +1,7 @@
 #include "sim/shardq.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "base/logging.hh"
@@ -18,6 +19,17 @@ Tick
 saturating_add(Tick t, Tick d)
 {
     return t > max_tick - d ? max_tick : t + d;
+}
+
+/** Host wall-clock nanoseconds between two steady_clock points. */
+std::uint64_t
+elapsed_ns(std::chrono::steady_clock::time_point from,
+           std::chrono::steady_clock::time_point to)
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            to - from)
+            .count());
 }
 
 } // namespace
@@ -39,6 +51,7 @@ ShardedSimulator::ShardedSimulator(ShardConfig config)
     shardsVec.resize(static_cast<std::size_t>(numShards));
     for (Shard &s : shardsVec)
         s.outbox.resize(static_cast<std::size_t>(numShards));
+    execAtWindowStart.resize(static_cast<std::size_t>(numShards));
 }
 
 ShardedSimulator::~ShardedSimulator()
@@ -370,6 +383,7 @@ ShardedSimulator::run_deterministic(Tick limit)
 Tick
 ShardedSimulator::run_parallel(Tick limit)
 {
+    using clock = std::chrono::steady_clock;
     start_workers();
     for (;;) {
         Tick t = next_pending_locked();
@@ -380,7 +394,19 @@ ShardedSimulator::run_parallel(Tick limit)
             windowEnd = std::min(windowEnd,
                                  saturating_add(limit, 1));
         currentWindowEnd = windowEnd;
+
+        WindowRecord rec;
+        rec.index = numWindows;
+        rec.start = t;
+        rec.end = windowEnd;
+        rec.advance = haveWindowStart ? t - prevWindowStart : 0;
+        prevWindowStart = t;
+        haveWindowStart = true;
         ++numWindows;
+        for (int s = 0; s < numShards; ++s)
+            execAtWindowStart[static_cast<std::size_t>(s)] =
+                shardsVec[static_cast<std::size_t>(s)]
+                    .stats.executed;
 
         {
             std::lock_guard<std::mutex> lock(poolMutex);
@@ -393,22 +419,48 @@ ShardedSimulator::run_parallel(Tick limit)
         drain_shard(0, windowEnd);
 
         {
+            clock::time_point waitBegin = clock::now();
             std::unique_lock<std::mutex> lock(poolMutex);
             doneCv.wait(lock, [this] {
                 return roundDone == numShards - 1;
             });
+            rec.barrierWaitNs =
+                elapsed_ns(waitBegin, clock::now());
+            shardsVec[0].stats.barrierWaitNs += rec.barrierWaitNs;
         }
 
+        clock::time_point mergeBegin = clock::now();
         merge_outboxes();
+        rec.mergeNs = elapsed_ns(mergeBegin, clock::now());
+
         Tick maxDone = 0;
         std::uint64_t total = 0;
-        for (const Shard &s : shardsVec) {
-            maxDone = std::max(maxDone, s.lastExecuted);
-            total += s.stats.executed;
+        rec.shards.resize(static_cast<std::size_t>(numShards));
+        for (int s = 0; s < numShards; ++s) {
+            const Shard &sh = shardsVec[static_cast<std::size_t>(s)];
+            maxDone = std::max(maxDone, sh.lastExecuted);
+            total += sh.stats.executed;
+            std::uint64_t e =
+                sh.stats.executed -
+                execAtWindowStart[static_cast<std::size_t>(s)];
+            WindowShard &ws =
+                rec.shards[static_cast<std::size_t>(s)];
+            ws.events = e;
+            ws.last = e > 0 ? sh.lastExecuted : 0;
+            rec.events += e;
+            rec.maxShardEvents = std::max(rec.maxShardEvents, e);
         }
         if (maxDone > globalTime)
             globalTime = maxDone;
         numExecutedTotal = total;
+        // max/mean events per shard, x1000: 1000 means every shard
+        // did equal work, N*1000 means one shard did everything.
+        if (rec.events > 0)
+            rec.imbalanceX1000 =
+                rec.maxShardEvents *
+                static_cast<std::uint64_t>(numShards) * 1000 /
+                rec.events;
+        note_window(rec);
     }
     // Fold the per-shard digests into the attached history in shard
     // order: cross-shard execution order is intentionally undefined
@@ -426,6 +478,41 @@ ShardedSimulator::run_parallel(Tick limit)
         }
     }
     return globalTime;
+}
+
+void
+ShardedSimulator::note_window(WindowRecord rec)
+{
+    windowAgg.windows = numWindows;
+    windowAgg.events += rec.events;
+    windowAgg.horizonAdvance += rec.advance;
+    windowAgg.barrierWaitNs += rec.barrierWaitNs;
+    windowAgg.mergeNs += rec.mergeNs;
+    if (rec.imbalanceX1000 > 0) {
+        windowAgg.imbalanceMaxX1000 = std::max(
+            windowAgg.imbalanceMaxX1000, rec.imbalanceX1000);
+        windowAgg.imbalanceSumX1000 += rec.imbalanceX1000;
+    }
+    if (windowHook)
+        windowHook(rec);
+    if (windowRing.size() < window_ring_capacity) {
+        windowRing.push_back(std::move(rec));
+    } else {
+        windowRing[windowHead] = std::move(rec);
+        windowHead = (windowHead + 1) % window_ring_capacity;
+        ++windowDropped;
+    }
+}
+
+std::vector<WindowRecord>
+ShardedSimulator::window_records() const
+{
+    std::vector<WindowRecord> out;
+    out.reserve(windowRing.size());
+    for (std::size_t i = 0; i < windowRing.size(); ++i)
+        out.push_back(windowRing[(windowHead + i) %
+                                 windowRing.size()]);
+    return out;
 }
 
 Tick
@@ -486,7 +573,10 @@ ShardedSimulator::stop_workers()
 void
 ShardedSimulator::worker_main(int s)
 {
+    using clock = std::chrono::steady_clock;
     std::uint64_t seenGen = 0;
+    bool idleSinceValid = false;
+    clock::time_point idleSince;
     for (;;) {
         Tick windowEnd;
         {
@@ -499,7 +589,18 @@ ShardedSimulator::worker_main(int s)
             seenGen = roundGen;
             windowEnd = roundWindowEnd;
         }
+        // Barrier-wait attribution: the stretch between finishing
+        // the previous drain and this wake is time the worker spent
+        // parked while the coordinator merged and other shards
+        // straggled. Written race-free: the coordinator reads shard
+        // stats only after this round's roundDone handshake.
+        if (idleSinceValid)
+            shardsVec[static_cast<std::size_t>(s)]
+                .stats.barrierWaitNs +=
+                elapsed_ns(idleSince, clock::now());
         drain_shard(s, windowEnd);
+        idleSince = clock::now();
+        idleSinceValid = true;
         {
             std::lock_guard<std::mutex> lock(poolMutex);
             ++roundDone;
@@ -520,15 +621,32 @@ ShardedSimulator::report() const
         static_cast<unsigned long long>(numWindows),
         static_cast<unsigned long long>(numExecutedTotal),
         static_cast<unsigned long long>(lookahead_violations()));
+    if (windowAgg.windows > 0) {
+        out += strprintf(
+            "  windows: %.1f events/window, horizon advance "
+            "%.1f ticks/window, barrier wait %.2f ms, merge "
+            "%.2f ms, imbalance avg %.2fx max %.2fx\n",
+            static_cast<double>(windowAgg.events) /
+                static_cast<double>(windowAgg.windows),
+            static_cast<double>(windowAgg.horizonAdvance) /
+                static_cast<double>(windowAgg.windows),
+            static_cast<double>(windowAgg.barrierWaitNs) / 1e6,
+            static_cast<double>(windowAgg.mergeNs) / 1e6,
+            static_cast<double>(windowAgg.imbalanceSumX1000) /
+                static_cast<double>(windowAgg.windows) / 1000.0,
+            static_cast<double>(windowAgg.imbalanceMaxX1000) /
+                1000.0);
+    }
     for (int s = 0; s < numShards; ++s) {
         const ShardStats &st = shard_stats(s);
         out += strprintf(
             "  shard %d: %llu executed, %llu in / %llu out "
-            "handoffs, max queue %llu\n",
+            "handoffs, max queue %llu, barrier wait %.2f ms\n",
             s, static_cast<unsigned long long>(st.executed),
             static_cast<unsigned long long>(st.handoffsIn),
             static_cast<unsigned long long>(st.handoffsOut),
-            static_cast<unsigned long long>(st.maxPending));
+            static_cast<unsigned long long>(st.maxPending),
+            static_cast<double>(st.barrierWaitNs) / 1e6);
     }
     return out;
 }

@@ -99,6 +99,61 @@ struct ShardStats
     std::uint64_t handoffsIn = 0;   ///< events merged from other shards
     std::uint64_t handoffsOut = 0;  ///< events sent to other shards
     std::uint64_t maxPending = 0;   ///< queue depth high-water mark
+    /**
+     * Host wall-clock nanoseconds this shard's thread spent parked
+     * at the window barrier (a worker: between finishing its drain
+     * and the next round's wake; the coordinator: waiting for the
+     * workers). Wall-clock, so never part of determinism compares.
+     */
+    std::uint64_t barrierWaitNs = 0;
+};
+
+/** What one shard did inside one parallel window. */
+struct WindowShard
+{
+    std::uint64_t events = 0; ///< events this shard executed
+    Tick last = 0;            ///< its last executed tick (0 if idle)
+};
+
+/**
+ * One parallel window's record: what the round cost and how evenly
+ * it spread. Only the parallel path produces these — sequential and
+ * deterministic runs have no windows, which is what keeps the
+ * telemetry from perturbing byte-identity checks.
+ */
+struct WindowRecord
+{
+    std::uint64_t index = 0; ///< 0-based window number
+    Tick start = 0;          ///< globally earliest pending tick
+    Tick end = 0;            ///< exclusive horizon (start + lookahead)
+    /** Horizon advance over the previous window's start (0 for the
+     *  first window). */
+    Tick advance = 0;
+    std::uint64_t events = 0;         ///< executed, all shards
+    std::uint64_t maxShardEvents = 0; ///< busiest shard's events
+    /**
+     * Load-imbalance ratio max/mean events per shard, fixed-point
+     * x1000 (1000 = perfectly balanced). 0 for an empty window.
+     */
+    std::uint64_t imbalanceX1000 = 0;
+    /** Coordinator's host wall-clock wait for the workers, ns. */
+    std::uint64_t barrierWaitNs = 0;
+    /** Host wall-clock spent merging outboxes at the barrier, ns. */
+    std::uint64_t mergeNs = 0;
+    /** Per-shard breakdown, indexed by shard. */
+    std::vector<WindowShard> shards;
+};
+
+/** Aggregate over every window executed so far. */
+struct WindowAgg
+{
+    std::uint64_t windows = 0;
+    std::uint64_t events = 0;
+    Tick horizonAdvance = 0;       ///< sum of per-window advances
+    std::uint64_t barrierWaitNs = 0; ///< coordinator waits only
+    std::uint64_t mergeNs = 0;
+    std::uint64_t imbalanceMaxX1000 = 0;
+    std::uint64_t imbalanceSumX1000 = 0; ///< over non-empty windows
 };
 
 /**
@@ -148,6 +203,35 @@ class ShardedSimulator : public Simulator
 
     /** Number of parallel windows (rounds) executed so far. */
     std::uint64_t windows() const { return numWindows; }
+
+    /** Aggregate window telemetry (all zero outside parallel mode). */
+    const WindowAgg &window_stats() const { return windowAgg; }
+
+    /** Retained per-window records, oldest first (bounded ring of
+     *  window_ring_capacity; older windows age out). */
+    std::vector<WindowRecord> window_records() const;
+
+    /** Window records that aged out of the ring. */
+    std::uint64_t window_records_dropped() const
+    {
+        return windowDropped;
+    }
+
+    /** Per-window record bound. */
+    static constexpr std::size_t window_ring_capacity = 1024;
+
+    /**
+     * Observer called on the coordinator thread after each parallel
+     * window's barrier + merge, while every worker is parked — the
+     * machine quiescent point. The machine uses it to feed the
+     * tracer and the barrier_wait critical-path stage without the
+     * sim layer depending on obs.
+     */
+    using WindowHook = std::function<void(const WindowRecord &)>;
+    void set_window_hook(WindowHook hook)
+    {
+        windowHook = std::move(hook);
+    }
 
     /**
      * Cross-shard events scheduled closer than the lookahead — a
@@ -228,6 +312,7 @@ class ShardedSimulator : public Simulator
 
     void enqueue_direct(int shard, int affinity, Tick when,
                         std::function<void()> fn);
+    void note_window(WindowRecord rec);
     void merge_outboxes();
     void drain_shard(int s, Tick windowEnd);
     Tick next_pending_locked() const;
@@ -266,6 +351,18 @@ class ShardedSimulator : public Simulator
     std::uint64_t numWindows = 0;
     std::atomic<std::uint64_t> numViolations{0};
     bool strictLookahead = true;
+
+    // -- window telemetry (coordinator-only writes) ---------------------
+    WindowAgg windowAgg;
+    Tick prevWindowStart = 0;
+    bool haveWindowStart = false;
+    /** Ring of the last window_ring_capacity records. */
+    std::vector<WindowRecord> windowRing;
+    std::size_t windowHead = 0;
+    std::uint64_t windowDropped = 0;
+    WindowHook windowHook;
+    /** Scratch: per-shard executed count at window start. */
+    std::vector<std::uint64_t> execAtWindowStart;
 };
 
 } // namespace ap::sim

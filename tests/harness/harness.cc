@@ -197,6 +197,8 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     m.sim().set_history(&hist);
     if (!obs.traceOut.empty())
         m.enable_tracing();
+    if (!obs.timelineOut.empty())
+        m.enable_timeline(obs.timelinePeriodUs);
 
     const std::size_t region_bytes =
         static_cast<std::size_t>(prog.cells) * slots_per_writer *
@@ -358,7 +360,11 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     out.finish = result.finishTick;
     out.faults = m.faults().stats();
     out.tickDigest = hist.digest();
-    out.statsJson = m.stats_json(false);
+    // "sim." is the kernel's self-telemetry (shard shape, host
+    // wall-clock barrier waits): it describes how this run executed,
+    // not what the machine did, so the cross-kernel byte-identity
+    // compares must not see it.
+    out.statsJson = m.stats_registry().dump_json(false, "sim.");
     out.statsDelta = m.stats_registry().delta_since(statsBefore);
     if (m.reliable())
         out.rnetRetransmits =
@@ -379,6 +385,9 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     if (!obs.traceOut.empty() && !m.write_trace(obs.traceOut))
         fatal("harness: cannot write trace to %s",
               obs.traceOut.c_str());
+    if (!obs.timelineOut.empty() && !m.write_timeline(obs.timelineOut))
+        fatal("harness: cannot write timeline to %s",
+              obs.timelineOut.c_str());
     return out;
 }
 

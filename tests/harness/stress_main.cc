@@ -134,7 +134,8 @@ parse(int argc, char **argv)
                 "[--cells=N] [--ops=N] [--duration-s=S] "
                 "[--iters=N] [--reliable] [--threads=N] "
                 "[--differential] [--iter-stats] [--stats-out=F] "
-                "[--trace-out=F] [--debug-flags=A,B]\n");
+                "[--trace-out=F] [--timeline-out=F] "
+                "[--timeline-period-us=US] [--debug-flags=A,B]\n");
             std::exit(2);
         }
     }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <vector>
@@ -472,6 +473,110 @@ TEST(ShardQ, ReportNamesShardsWindowsAndViolations)
     EXPECT_NE(r.find("shard 0"), std::string::npos);
     EXPECT_NE(r.find("shard 1"), std::string::npos);
     EXPECT_NE(r.find("violations"), std::string::npos);
+}
+
+TEST(ShardQ, ParallelRunRecordsWindowTelemetry)
+{
+    const int cells = 16, hops = 40;
+    ShardConfig cfg;
+    cfg.shards = 2;
+    cfg.lookahead = kLookahead;
+    ShardedSimulator sh(cfg);
+    Workload w(cells);
+    w.start(sh, cells, hops);
+    sh.run();
+
+    const WindowAgg &agg = sh.window_stats();
+    EXPECT_EQ(agg.windows, sh.windows());
+    EXPECT_GT(agg.windows, 0u);
+    EXPECT_EQ(agg.events, sh.executed());
+    EXPECT_GT(agg.horizonAdvance, 0u);
+    // Imbalance is max/mean x1000, so >= 1000 whenever any window
+    // executed events.
+    EXPECT_GE(agg.imbalanceMaxX1000, 1000u);
+    EXPECT_GE(agg.imbalanceSumX1000, 1000u);
+
+    std::vector<WindowRecord> recs = sh.window_records();
+    ASSERT_FALSE(recs.empty());
+    EXPECT_EQ(recs.size() + sh.window_records_dropped(),
+              agg.windows);
+    std::uint64_t events = 0;
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        if (i > 0) {
+            EXPECT_EQ(recs[i].index, recs[i - 1].index + 1);
+            EXPECT_GE(recs[i].start, recs[i - 1].start);
+        }
+        EXPECT_GE(recs[i].end, recs[i].start);
+        ASSERT_EQ(recs[i].shards.size(), 2u);
+        std::uint64_t inWindow = 0, maxShard = 0;
+        for (const WindowShard &ws : recs[i].shards) {
+            inWindow += ws.events;
+            maxShard = std::max(maxShard, ws.events);
+        }
+        EXPECT_EQ(inWindow, recs[i].events);
+        EXPECT_EQ(maxShard, recs[i].maxShardEvents);
+        events += recs[i].events;
+    }
+    if (sh.window_records_dropped() == 0)
+        EXPECT_EQ(events, sh.executed());
+
+    // Both shards ran events and the registry-facing per-shard
+    // counters saw them.
+    for (int s = 0; s < 2; ++s)
+        EXPECT_GT(sh.shard_stats(s).executed, 0u);
+}
+
+TEST(ShardQ, WindowHookSeesEveryWindowInOrder)
+{
+    ShardConfig cfg;
+    cfg.shards = 2;
+    cfg.lookahead = kLookahead;
+    ShardedSimulator sh(cfg);
+    std::vector<std::uint64_t> indices;
+    sh.set_window_hook([&](const WindowRecord &rec) {
+        indices.push_back(rec.index);
+    });
+    Workload w(8);
+    w.start(sh, 8, 20);
+    sh.run();
+
+    ASSERT_EQ(indices.size(), sh.windows());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        EXPECT_EQ(indices[i], i);
+}
+
+TEST(ShardQ, SingleShardHasNoWindowTelemetry)
+{
+    // shards == 1 takes the sequential fast path: the windowed
+    // machinery (and its bookkeeping) must not run at all.
+    ShardConfig cfg;
+    cfg.shards = 1;
+    ShardedSimulator sh(cfg);
+    Workload w(8);
+    w.start(sh, 8, 20);
+    sh.run();
+
+    EXPECT_GT(sh.executed(), 0u);
+    EXPECT_EQ(sh.window_stats().windows, 0u);
+    EXPECT_TRUE(sh.window_records().empty());
+    EXPECT_EQ(sh.window_records_dropped(), 0u);
+    EXPECT_EQ(sh.shard_stats(0).barrierWaitNs, 0u);
+}
+
+TEST(ShardQ, DeterministicModeHasNoWindowTelemetry)
+{
+    ShardConfig cfg;
+    cfg.shards = 2;
+    cfg.lookahead = kLookahead;
+    cfg.deterministic = true;
+    ShardedSimulator sh(cfg);
+    Workload w(8);
+    w.start(sh, 8, 20);
+    sh.run();
+
+    EXPECT_GT(sh.executed(), 0u);
+    EXPECT_EQ(sh.window_stats().windows, 0u);
+    EXPECT_TRUE(sh.window_records().empty());
 }
 
 TEST(TickHistoryUnit, DigestIsOrderSensitive)

@@ -1,17 +1,21 @@
 #!/usr/bin/env python3
-"""Schema checks for the span-profiler JSON artifacts (CI gate).
+"""Schema checks for the observability JSON artifacts (CI gate).
 
-Two document kinds:
+Three document kinds:
 
-  profile  critical-path breakdown written by `ap_run --profile-json=F`
-           and `bench_micro_putget --profile-out=F`
-           (obs/critpath.hh: coverage, stages.<name>, ops.<name>)
-  chrome   Chrome trace_event JSON written by the flight recorder
-           (`--flight-dump=F`, `--span-trace-out=F`)
+  profile   critical-path breakdown written by `ap_run --profile-json=F`
+            and `bench_micro_putget --profile-out=F`
+            (obs/critpath.hh: coverage, stages.<name>, ops.<name>)
+  chrome    Chrome trace_event JSON written by the flight recorder
+            (`--flight-dump=F`, `--span-trace-out=F`)
+  timeline  perf-timeline JSON written by `--timeline-out=F`
+            (obs/sampler.hh: series/level lists plus samples rows
+            with strictly increasing t_us)
 
 Usage:
   check_profile_schema.py profile [--min-coverage=0.95] FILE...
   check_profile_schema.py chrome FILE...
+  check_profile_schema.py timeline FILE...
 
 Exit status 0 when every file conforms; 1 with a diagnostic per
 violation otherwise. Standard library only.
@@ -23,6 +27,7 @@ import sys
 STAGES = [
     "issue", "queue", "dma_send", "net", "dma_recv", "flag",
     "ring_deposit", "ring_receive", "retransmit", "barrier",
+    "barrier_wait",
 ]
 
 
@@ -106,8 +111,59 @@ def check_chrome(path, doc):
     return rc
 
 
+def check_timeline(path, doc):
+    rc = 0
+    if doc.get("kind") != "timeline":
+        rc |= fail(path, "'kind' is not \"timeline\"")
+    period = doc.get("period_us")
+    if not is_num(period) or period <= 0:
+        rc |= fail(path, "'period_us' missing or not positive")
+    for key in ("taken", "dropped"):
+        if not is_num(doc.get(key)):
+            rc |= fail(path, f"missing numeric field '{key}'")
+
+    series = doc.get("series")
+    if (not isinstance(series, list) or not series or
+            not all(isinstance(s, str) for s in series)):
+        return rc | fail(
+            path, "'series' missing, empty, or not all strings")
+    level = doc.get("level")
+    if (not isinstance(level, list) or len(level) != len(series) or
+            not all(isinstance(b, bool) for b in level)):
+        rc |= fail(
+            path, "'level' missing or not booleans aligned "
+                  "with 'series'")
+
+    samples = doc.get("samples")
+    if not isinstance(samples, list):
+        return rc | fail(path, "missing 'samples' list")
+    prev_t = None
+    for i, row in enumerate(samples):
+        if not isinstance(row, dict):
+            rc |= fail(path, f"samples[{i}] is not an object")
+            continue
+        t = row.get("t_us")
+        if not is_num(t):
+            rc |= fail(path, f"samples[{i}].t_us missing")
+        elif prev_t is not None and t <= prev_t:
+            rc |= fail(
+                path,
+                f"samples[{i}].t_us {t} not after {prev_t}")
+        if is_num(t):
+            prev_t = t
+        v = row.get("v")
+        if (not isinstance(v, list) or len(v) != len(series) or
+                not all(is_num(x) for x in v)):
+            rc |= fail(
+                path,
+                f"samples[{i}].v missing or not {len(series)} "
+                f"numbers")
+    return rc
+
+
 def main(argv):
-    if len(argv) < 3 or argv[1] not in ("profile", "chrome"):
+    if len(argv) < 3 or argv[1] not in ("profile", "chrome",
+                                        "timeline"):
         print(__doc__, file=sys.stderr)
         return 2
     kind = argv[1]
@@ -135,8 +191,10 @@ def main(argv):
             continue
         if kind == "profile":
             rc |= check_profile(path, doc, min_coverage)
-        else:
+        elif kind == "chrome":
             rc |= check_chrome(path, doc)
+        else:
+            rc |= check_timeline(path, doc)
         if rc == 0:
             print(f"{path}: ok ({kind})")
     return rc
