@@ -588,6 +588,7 @@ Context::write_remote(CellId dst, Addr raddr, Addr laddr,
                 return;
         }
     }
+    machine.note_retry_giveup();
     throw CommError(
         CommError::Kind::timeout, cellId, dst,
         strprintf("cell %d: write_remote(%u B to cell %d at %#llx) "
@@ -616,6 +617,7 @@ Context::read_remote(CellId dst, Addr raddr, Addr laddr,
                       us_to_ticks(retry.attempt_timeout_us(attempt)),
                       0))
             return;
+    machine.note_retry_giveup();
     throw CommError(
             CommError::Kind::timeout, cellId, dst,
             strprintf("cell %d: read_remote(%u B from cell %d at "

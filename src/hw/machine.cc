@@ -220,6 +220,14 @@ Machine::fail_cell(CellId id)
     if (tracerPtr)
         tracerPtr->instant(obs::machine_track, "fault",
                            strprintf("kill:cell%d", id));
+    if (killHook)
+        killHook(id);
+}
+
+void
+Machine::set_kill_hook(std::function<void(CellId)> hook)
+{
+    killHook = std::move(hook);
 }
 
 std::string
@@ -300,6 +308,11 @@ Machine::register_stats()
     statsReg.add_counter("faults.corruptions", &f.corruptions);
     statsReg.add_gauge("faults.cell_kills",
                        [this]() { return cellKills.load(); });
+    // Monotonic, but registered as a gauge: counters bind to plain
+    // uint64 fields and this one is an atomic (give-ups fire on the
+    // failing cell's shard).
+    statsReg.add_gauge("comm.retry.giveup",
+                       [this]() { return retryGiveups.load(); });
 
     // Per-cell subtrees.
     for (auto &cp : cells) {

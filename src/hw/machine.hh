@@ -7,6 +7,7 @@
 #define AP_HW_MACHINE_HH
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,6 +110,22 @@ class Machine
      * every FaultPlan::kills entry.
      */
     void fail_cell(CellId id);
+
+    /**
+     * Install a fail-stop observer: called at the end of every
+     * effective fail_cell() with the dead cell's id (on the dying
+     * cell's shard under the sharded kernel). One hook; set it while
+     * the machine is quiescent, pass nullptr to detach. The serving
+     * layer uses it to doom and reschedule affected gangs.
+     */
+    void set_kill_hook(std::function<void(CellId)> hook);
+
+    /**
+     * Count one exhausted communication retry budget. Called by the
+     * hardened runtime paths just before they throw their give-up
+     * CommError; surfaces as `comm.retry.giveup` in the registry.
+     */
+    void note_retry_giveup() { ++retryGiveups; }
 
     // -- watchdog wait registry ----------------------------------------
 
@@ -275,6 +292,8 @@ class Machine
     std::vector<std::atomic<char>> cellFailed;
     std::vector<WaitInfo> waitInfos;
     std::atomic<std::uint64_t> cellKills{0};
+    std::atomic<std::uint64_t> retryGiveups{0};
+    std::function<void(CellId)> killHook;
     obs::StatsRegistry statsReg;
     std::unique_ptr<obs::Tracer> tracerPtr;
     std::unique_ptr<obs::TimelineSampler> samplerPtr;

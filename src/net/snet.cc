@@ -30,6 +30,7 @@ Snet::create_context(std::vector<CellId> members)
     Context ctx;
     ctx.members = std::move(members);
     ctx.arrived.assign(static_cast<std::size_t>(numCells), false);
+    std::lock_guard<std::mutex> lock(ctxMutex);
     contexts.push_back(std::move(ctx));
     return static_cast<ContextId>(contexts.size()) - 1;
 }
@@ -37,9 +38,9 @@ Snet::create_context(std::vector<CellId> members)
 void
 Snet::arrive(ContextId id, CellId cell, std::function<void()> on_release)
 {
+    std::lock_guard<std::mutex> lock(ctxMutex);
     if (id < 0 || static_cast<std::size_t>(id) >= contexts.size())
         panic("unknown barrier context %d", id);
-    std::lock_guard<std::mutex> lock(ctxMutex);
     Context &ctx = contexts[static_cast<std::size_t>(id)];
 
     bool member = std::find(ctx.members.begin(), ctx.members.end(),
@@ -105,6 +106,7 @@ Snet::fail_cell(CellId cell)
 std::uint64_t
 Snet::total_episodes() const
 {
+    std::lock_guard<std::mutex> lock(ctxMutex);
     std::uint64_t n = 0;
     for (const Context &ctx : contexts)
         n += ctx.completed;
@@ -114,6 +116,7 @@ Snet::total_episodes() const
 std::uint64_t
 Snet::episodes(ContextId id) const
 {
+    std::lock_guard<std::mutex> lock(ctxMutex);
     if (id < 0 || static_cast<std::size_t>(id) >= contexts.size())
         panic("unknown barrier context %d", id);
     return contexts[static_cast<std::size_t>(id)].completed;

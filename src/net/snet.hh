@@ -13,6 +13,7 @@
 #define AP_NET_SNET_HH
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <utility>
@@ -49,6 +50,10 @@ class Snet
     /**
      * Create a barrier context over @p members (empty = all cells).
      * Contexts are reusable: the barrier re-arms after each release.
+     * Safe to call while the machine runs (the serving layer creates
+     * a partition-scoped context per gang launch): creation locks
+     * the same mutex as arrive()/fail_cell(), and contexts live in a
+     * deque so concurrent arrivals keep stable references.
      */
     ContextId create_context(std::vector<CellId> members = {});
 
@@ -98,10 +103,13 @@ class Snet
     sim::Simulator &sim;
     int numCells;
     SnetParams prm;
-    /** Serializes arrive()/fail_cell(): barrier contexts are shared
-     *  by every member cell's shard. */
-    std::mutex ctxMutex;
-    std::vector<Context> contexts;
+    /** Serializes create_context()/arrive()/fail_cell(): barrier
+     *  contexts are shared by every member cell's shard and may be
+     *  created mid-run. */
+    mutable std::mutex ctxMutex;
+    /** Deque, not vector: growth must not invalidate references a
+     *  concurrent arrive() holds across maybe_release(). */
+    std::deque<Context> contexts;
     std::vector<bool> failedCells;
     obs::SpanLayer *spans = nullptr;
 };

@@ -168,7 +168,8 @@ Runtime::movewait_hardened()
         if (allVerified)
             break;
     }
-    if (!allVerified)
+    if (!allVerified) {
+        ctx.owner().note_retry_giveup();
         throw core::CommError(
             core::CommError::Kind::timeout, ctx.id(), -1,
             strprintf("cell %d: movewait could not complete %zu "
@@ -176,6 +177,7 @@ Runtime::movewait_hardened()
                       ctx.id(), pendingPuts.size(),
                       retry.maxRetries + 1,
                       ctx.owner().postmortem().c_str()));
+    }
     pendingPuts.clear();
     ctx.barrier();
     // Retries and duplicates drift the receive-count flag past its

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Job descriptions for the multi-tenant serving layer.
+ *
+ * The paper's machine ran one SPMD program end to end; the serving
+ * layer (ROADMAP item 2) treats the same machine as a cluster: many
+ * small gang-scheduled jobs, each a partition-scoped SPMD program
+ * drawn from the paper's workload families (MatMul, CG, FT, SCG,
+ * tomcatv) plus synthetic PUT/GET traffic. A JobSpec is the request;
+ * everything the scheduler learns about its fate lives in the
+ * JobRecord (serve/scheduler.hh).
+ */
+
+#ifndef AP_SERVE_JOB_HH
+#define AP_SERVE_JOB_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::serve
+{
+
+/** Which SPMD body a job runs (serve/workload.hh). */
+enum class JobKind : std::uint8_t
+{
+    matmul,  ///< row/column ring shifts (Cannon-style)
+    cg,      ///< 4-neighbor halo + two scalar reductions
+    ft,      ///< all-to-all transpose within the partition
+    scg,     ///< ring exchange + three scalar reductions
+    tomcatv, ///< vertical halos + max reduction
+    gen,     ///< seeded synthetic PUT/GET permutation traffic
+};
+
+/** Service-level deadline class (per-attempt, from admission). */
+enum class DeadlineClass : std::uint8_t
+{
+    urgent, ///< short deadline; cancelled hard when exceeded
+    normal, ///< generous deadline
+    batch,  ///< no deadline
+};
+
+const char *kind_name(JobKind k);
+const char *deadline_name(DeadlineClass c);
+
+/** One job request as submitted by a tenant. */
+struct JobSpec
+{
+    int id = 0;     ///< stream-unique job id (stats subtree key)
+    int tenant = 0; ///< owning tenant (fairness accounting)
+    JobKind kind = JobKind::gen;
+    /** Requested partition shape (cells), placed as pw x ph or
+     *  ph x pw on the torus. */
+    int pw = 2;
+    int ph = 2;
+    int iters = 4;                ///< iteration count of the body
+    std::uint32_t bytes = 1024;   ///< payload per transfer
+    double computeUs = 40.0;      ///< modelled compute per iteration
+    DeadlineClass deadline = DeadlineClass::normal;
+    /** Reschedule attempts allowed after the first (0 = fail on the
+     *  first lost attempt). */
+    int retryBudget = 2;
+    double arrivalUs = 0.0;       ///< open-loop arrival time
+    std::uint64_t seed = 0;       ///< per-job workload seed
+
+    int cells() const { return pw * ph; }
+};
+
+/** Open-loop traffic generator configuration (serve/traffic.cc). */
+struct TrafficConfig
+{
+    int jobs = 32;
+    std::uint64_t seed = 1;
+    /** Mean of the exponential interarrival distribution. */
+    double meanArrivalUs = 250.0;
+    double firstArrivalUs = 20.0;
+    int tenants = 4;
+    /** Partition shapes are clipped to the torus dimensions. */
+    int maxW = 4;
+    int maxH = 4;
+};
+
+/**
+ * Generate a deterministic open-loop job stream: mixed kinds, sizes,
+ * deadline classes and retry budgets, exponential interarrival times.
+ * Sorted by arrivalUs; ids are 0..jobs-1.
+ */
+std::vector<JobSpec> generate_stream(const TrafficConfig &cfg);
+
+} // namespace ap::serve
+
+#endif // AP_SERVE_JOB_HH

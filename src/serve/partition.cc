@@ -1,0 +1,129 @@
+#include "serve/partition.hh"
+
+#include "base/logging.hh"
+
+namespace ap::serve
+{
+
+Partitioner::Partitioner(int torusW, int torusH)
+    : gridW(torusW), gridH(torusH),
+      grid(static_cast<std::size_t>(torusW * torusH), CellUse::free)
+{
+    if (torusW <= 0 || torusH <= 0)
+        fatal("partitioner wants a positive torus, got %dx%d", torusW,
+              torusH);
+}
+
+Partitioner::CellUse &
+Partitioner::at(int x, int y)
+{
+    return grid[static_cast<std::size_t>(y * gridW + x)];
+}
+
+bool
+Partitioner::fits_at(int x0, int y0, int w, int h) const
+{
+    for (int y = y0; y < y0 + h; ++y)
+        for (int x = x0; x < x0 + w; ++x)
+            if (grid[static_cast<std::size_t>(y * gridW + x)] !=
+                CellUse::free)
+                return false;
+    return true;
+}
+
+std::optional<Placement>
+Partitioner::try_shape(int w, int h)
+{
+    if (w > gridW || h > gridH)
+        return std::nullopt;
+    for (int y0 = 0; y0 + h <= gridH; ++y0) {
+        for (int x0 = 0; x0 + w <= gridW; ++x0) {
+            if (!fits_at(x0, y0, w, h))
+                continue;
+            Placement p;
+            p.x0 = x0;
+            p.y0 = y0;
+            p.w = w;
+            p.h = h;
+            p.cells.reserve(static_cast<std::size_t>(w * h));
+            for (int y = y0; y < y0 + h; ++y)
+                for (int x = x0; x < x0 + w; ++x) {
+                    at(x, y) = CellUse::busy;
+                    p.cells.push_back(y * gridW + x);
+                }
+            return p;
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Placement>
+Partitioner::allocate(int w, int h)
+{
+    if (w <= 0 || h <= 0)
+        return std::nullopt;
+    if (auto p = try_shape(w, h))
+        return p;
+    if (w != h)
+        if (auto p = try_shape(h, w))
+            return p;
+    return std::nullopt;
+}
+
+void
+Partitioner::release(const Placement &p)
+{
+    for (CellId c : p.cells) {
+        CellUse &u = grid[static_cast<std::size_t>(c)];
+        if (u == CellUse::busy)
+            u = CellUse::free;
+    }
+}
+
+void
+Partitioner::quarantine(const Placement &p)
+{
+    for (CellId c : p.cells) {
+        CellUse &u = grid[static_cast<std::size_t>(c)];
+        if (u == CellUse::busy)
+            u = CellUse::quarantined;
+    }
+}
+
+void
+Partitioner::mark_dead(CellId cell)
+{
+    if (cell < 0 || cell >= gridW * gridH)
+        return;
+    grid[static_cast<std::size_t>(cell)] = CellUse::dead;
+}
+
+bool
+Partitioner::could_ever_fit(int w, int h) const
+{
+    if (w <= 0 || h <= 0)
+        return false;
+    return (w <= gridW && h <= gridH) || (h <= gridW && w <= gridH);
+}
+
+std::vector<CellId>
+Partitioner::busy_list() const
+{
+    std::vector<CellId> out;
+    for (std::size_t i = 0; i < grid.size(); ++i)
+        if (grid[i] == CellUse::busy)
+            out.push_back(static_cast<CellId>(i));
+    return out;
+}
+
+int
+Partitioner::count(CellUse u) const
+{
+    int n = 0;
+    for (CellUse c : grid)
+        if (c == u)
+            ++n;
+    return n;
+}
+
+} // namespace ap::serve

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Rectangular torus partitioner for the serving layer.
+ *
+ * Jobs are gang-scheduled onto axis-aligned rectangles of cells
+ * carved out of the machine's torus, the classic mesh-partitioning
+ * model (and the natural one here: the workloads' halo/ring patterns
+ * keep their traffic inside the rectangle). The partitioner tracks a
+ * per-cell occupancy grid with four states:
+ *
+ *   free        — allocatable
+ *   busy        — held by a running attempt
+ *   quarantined — released by a *failed* attempt; never reused. A
+ *                 failed gang can leave in-flight one-sided traffic
+ *                 and unconsumed ring-buffer records behind, so its
+ *                 cells are permanently retired instead of handed to
+ *                 the next tenant (robustness over utilization).
+ *   dead        — fail-stopped by the fault plan
+ *
+ * Allocation is first-fit in row-major anchor order, trying the
+ * requested w x h orientation first and the transpose second, so a
+ * given sequence of requests places deterministically.
+ */
+
+#ifndef AP_SERVE_PARTITION_HH
+#define AP_SERVE_PARTITION_HH
+
+#include <optional>
+#include <vector>
+
+#include "base/types.hh"
+
+namespace ap::serve
+{
+
+/** One allocated rectangle (cells listed in row-major order). */
+struct Placement
+{
+    int x0 = 0;
+    int y0 = 0;
+    int w = 0;
+    int h = 0;
+    std::vector<CellId> cells;
+
+    bool
+    contains(CellId c) const
+    {
+        for (CellId m : cells)
+            if (m == c)
+                return true;
+        return false;
+    }
+};
+
+/** Occupancy grid + first-fit rectangle allocator. */
+class Partitioner
+{
+  public:
+    Partitioner(int torusW, int torusH);
+
+    /**
+     * Allocate a w x h rectangle of free cells (tries h x w when the
+     * first orientation does not fit). std::nullopt when nothing
+     * fits right now.
+     */
+    std::optional<Placement> allocate(int w, int h);
+
+    /** Return a placement's busy cells to the free pool. */
+    void release(const Placement &p);
+
+    /**
+     * Retire a failed placement: every non-dead member cell goes to
+     * quarantined and is never allocated again.
+     */
+    void quarantine(const Placement &p);
+
+    /** Fail-stop @p cell (any prior state). */
+    void mark_dead(CellId cell);
+
+    /** Static shape check: could w x h (either orientation) ever fit
+     *  an empty grid of this torus? */
+    bool could_ever_fit(int w, int h) const;
+
+    int width() const { return gridW; }
+    int height() const { return gridH; }
+    int free_cells() const { return count(CellUse::free); }
+    int busy_cells() const { return count(CellUse::busy); }
+    int quarantined_cells() const
+    {
+        return count(CellUse::quarantined);
+    }
+    int dead_cells() const { return count(CellUse::dead); }
+
+    /** Cell ids currently held by running attempts, ascending. */
+    std::vector<CellId> busy_list() const;
+
+  private:
+    enum class CellUse : std::uint8_t
+    {
+        free,
+        busy,
+        quarantined,
+        dead,
+    };
+
+    CellUse &at(int x, int y);
+    bool fits_at(int x0, int y0, int w, int h) const;
+    std::optional<Placement> try_shape(int w, int h);
+    int count(CellUse u) const;
+
+    int gridW;
+    int gridH;
+    std::vector<CellUse> grid; ///< row-major [y * gridW + x]
+};
+
+} // namespace ap::serve
+
+#endif // AP_SERVE_PARTITION_HH

@@ -1,0 +1,88 @@
+#include "serve/job.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/random.hh"
+
+namespace ap::serve
+{
+
+const char *
+kind_name(JobKind k)
+{
+    switch (k) {
+    case JobKind::matmul:
+        return "matmul";
+    case JobKind::cg:
+        return "cg";
+    case JobKind::ft:
+        return "ft";
+    case JobKind::scg:
+        return "scg";
+    case JobKind::tomcatv:
+        return "tomcatv";
+    case JobKind::gen:
+        return "gen";
+    }
+    return "?";
+}
+
+const char *
+deadline_name(DeadlineClass c)
+{
+    switch (c) {
+    case DeadlineClass::urgent:
+        return "urgent";
+    case DeadlineClass::normal:
+        return "normal";
+    case DeadlineClass::batch:
+        return "batch";
+    }
+    return "?";
+}
+
+std::vector<JobSpec>
+generate_stream(const TrafficConfig &cfg)
+{
+    Random rng(cfg.seed);
+    // Shape menu, clipped to the torus; 1x1 is allowed (pure
+    // compute), larger shapes stress the partitioner.
+    static constexpr int shapes[][2] = {
+        {1, 1}, {1, 2}, {2, 2}, {2, 2}, {2, 4}, {4, 4},
+    };
+    constexpr std::size_t nShapes =
+        sizeof(shapes) / sizeof(shapes[0]);
+
+    std::vector<JobSpec> out;
+    out.reserve(static_cast<std::size_t>(cfg.jobs));
+    double clock = cfg.firstArrivalUs;
+    for (int i = 0; i < cfg.jobs; ++i) {
+        JobSpec s;
+        s.id = i;
+        s.tenant = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(
+                std::max(1, cfg.tenants))));
+        s.kind = static_cast<JobKind>(rng.below(6));
+        const int *sh = shapes[rng.below(nShapes)];
+        s.pw = std::min(sh[0], std::max(1, cfg.maxW));
+        s.ph = std::min(sh[1], std::max(1, cfg.maxH));
+        s.iters = 2 + static_cast<int>(rng.below(5));
+        s.bytes = 256u << rng.below(3);
+        s.computeUs = 20.0 + static_cast<double>(rng.below(60));
+        std::uint64_t dl = rng.below(10);
+        s.deadline = dl < 2   ? DeadlineClass::urgent
+                     : dl < 7 ? DeadlineClass::normal
+                              : DeadlineClass::batch;
+        s.retryBudget = 1 + static_cast<int>(rng.below(2));
+        s.seed = rng.next();
+        // Open-loop exponential interarrival.
+        double u = rng.uniform();
+        clock += -std::log(1.0 - u) * cfg.meanArrivalUs;
+        s.arrivalUs = clock;
+        out.push_back(s);
+    }
+    return out;
+}
+
+} // namespace ap::serve

@@ -108,6 +108,15 @@ FaultPlan::lossy(std::uint64_t seed)
 }
 
 FaultPlan
+FaultPlan::kill_cell(std::uint64_t seed, CellId cell, double atUs)
+{
+    FaultPlan f;
+    f.seed = seed;
+    f.kills.push_back({cell, atUs});
+    return f;
+}
+
+FaultPlan
 FaultPlan::chaos(std::uint64_t seed)
 {
     FaultPlan f;

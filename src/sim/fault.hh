@@ -112,6 +112,9 @@ struct FaultPlan
     /** The reliable-layer acceptance plan: 2% drop + 1% dup +
      *  2% reorder, all at once. */
     static FaultPlan lossy(std::uint64_t seed);
+    /** The fault-drill plan: fail-stop one cell at @p atUs. */
+    static FaultPlan kill_cell(std::uint64_t seed, CellId cell,
+                               double atUs);
     /** Everything at once (drop+dup+reorder+overflow+fault+jitter). */
     static FaultPlan chaos(std::uint64_t seed);
 };

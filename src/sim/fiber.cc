@@ -24,6 +24,31 @@ void __tsan_switch_to_fiber(void *fiber, unsigned flags);
 }
 #endif
 
+// AddressSanitizer likewise needs the switches announced: it keeps
+// one fake stack + poison map per stack region, and an exception
+// unwinding across an unannounced ucontext switch unpoisons the
+// wrong region — leaving stale redzones on the fiber stack that a
+// later frame at the same depth trips over as a phantom
+// stack-buffer-overflow.
+#if defined(__SANITIZE_ADDRESS__)
+#define AP_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define AP_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef AP_ASAN_FIBERS
+extern "C" {
+void __sanitizer_start_switch_fiber(void **fake_stack_save,
+                                    const void *bottom,
+                                    std::size_t size);
+void __sanitizer_finish_switch_fiber(void *fake_stack_save,
+                                     const void **bottom_old,
+                                     std::size_t *size_old);
+}
+#endif
+
 namespace ap::sim
 {
 
@@ -31,6 +56,25 @@ namespace
 {
 
 thread_local Fiber *current_fiber = nullptr;
+
+#ifdef AP_ASAN_FIBERS
+/**
+ * Stacks of abandoned (unfinished) fibers, kept alive forever in
+ * ASan builds. A parked fiber's frames never run their destructors,
+ * so objects referenced only from such a stack would be reported as
+ * leaks once the stack buffer is freed — but they are abandoned by
+ * design (deadlock tests park fibers on purpose). Keeping the bytes
+ * reachable lets the leak scanner follow the references instead of
+ * flagging them. Leaky singleton: LSan runs at exit, so this must
+ * never be destroyed.
+ */
+std::vector<std::vector<unsigned char>> &
+abandoned_stacks()
+{
+    static auto *stacks = new std::vector<std::vector<unsigned char>>;
+    return *stacks;
+}
+#endif
 
 } // namespace
 
@@ -41,8 +85,12 @@ Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
 
 Fiber::~Fiber()
 {
-    if (started && !done)
+    if (started && !done) {
         warn("destroying unfinished fiber; its stack is abandoned");
+#ifdef AP_ASAN_FIBERS
+        abandoned_stacks().push_back(std::move(stack));
+#endif
+    }
 #ifdef AP_TSAN_FIBERS
     if (tsanFiber)
         __tsan_destroy_fiber(tsanFiber);
@@ -59,6 +107,12 @@ void
 Fiber::trampoline()
 {
     Fiber *self = current_fiber;
+#ifdef AP_ASAN_FIBERS
+    // First time on this stack: no fake stack to restore (nullptr);
+    // record the resumer's stack bounds for the switch back.
+    __sanitizer_finish_switch_fiber(nullptr, &self->asanCallerBottom,
+                                    &self->asanCallerSize);
+#endif
     self->body();
     self->done = true;
     // Final switch back to the resumer. Done explicitly rather than
@@ -69,6 +123,12 @@ Fiber::trampoline()
     // caller's shadow stack. (uc_link stays set as a backstop.)
 #ifdef AP_TSAN_FIBERS
     __tsan_switch_to_fiber(self->tsanCaller, 0);
+#endif
+#ifdef AP_ASAN_FIBERS
+    // Dying fiber: a null save slot tells ASan to free its fake
+    // stack rather than park it for a resume that never comes.
+    __sanitizer_start_switch_fiber(nullptr, self->asanCallerBottom,
+                                   self->asanCallerSize);
 #endif
     swapcontext(&self->context, &self->schedulerContext);
 }
@@ -99,8 +159,15 @@ Fiber::resume()
     tsanCaller = __tsan_get_current_fiber();
     __tsan_switch_to_fiber(tsanFiber, 0);
 #endif
+#ifdef AP_ASAN_FIBERS
+    void *fake = nullptr;
+    __sanitizer_start_switch_fiber(&fake, stack.data(), stack.size());
+#endif
     if (swapcontext(&schedulerContext, &context) != 0)
         panic("swapcontext into fiber failed");
+#ifdef AP_ASAN_FIBERS
+    __sanitizer_finish_switch_fiber(fake, nullptr, nullptr);
+#endif
     current_fiber = nullptr;
 }
 
@@ -113,8 +180,21 @@ Fiber::yield()
 #ifdef AP_TSAN_FIBERS
     __tsan_switch_to_fiber(self->tsanCaller, 0);
 #endif
+#ifdef AP_ASAN_FIBERS
+    __sanitizer_start_switch_fiber(&self->asanFake,
+                                   self->asanCallerBottom,
+                                   self->asanCallerSize);
+#endif
     if (swapcontext(&self->context, &self->schedulerContext) != 0)
         panic("swapcontext out of fiber failed");
+#ifdef AP_ASAN_FIBERS
+    // Back on the fiber: restore its fake stack and refresh the
+    // resumer bounds — the sharded kernel may resume from a
+    // different worker thread each time.
+    __sanitizer_finish_switch_fiber(self->asanFake,
+                                    &self->asanCallerBottom,
+                                    &self->asanCallerSize);
+#endif
 }
 
 } // namespace ap::sim

@@ -74,6 +74,14 @@ class Fiber
      *  builds (see the annotation block in fiber.cc). */
     void *tsanFiber = nullptr;
     void *tsanCaller = nullptr;
+    /** AddressSanitizer fake-stack handle + resumer stack bounds;
+     *  unused outside ASan builds (see fiber.cc). Without these
+     *  annotations ASan leaves stale redzone poison on a fiber stack
+     *  after an exception unwinds across it, and a later frame at the
+     *  same depth trips a phantom stack-buffer-overflow. */
+    void *asanFake = nullptr;
+    const void *asanCallerBottom = nullptr;
+    std::size_t asanCallerSize = 0;
 };
 
 } // namespace ap::sim

@@ -70,8 +70,13 @@ Process::wait_until(Condition &cond, Tick deadline)
     cond.parked.push_back(this);
 
     // The watchdog resumes us at the deadline unless a notification
-    // already did (detected via the wait sequence number).
-    sim.schedule_for(aff, deadline, [this, &cond, seq]() {
+    // already did (detected via the wait sequence number). The event
+    // can outlive the process itself (gangs are reaped mid-run once
+    // finished): the weak liveness token makes it a no-op then.
+    sim.schedule_for(aff, deadline, [this, &cond, seq,
+                                     w = std::weak_ptr<char>(live)]() {
+        if (w.expired())
+            return; // process already destroyed
         if (parkedOn != &cond || waitSeq != seq)
             return; // already woken (possibly parked elsewhere)
         auto it = std::find(cond.parked.begin(), cond.parked.end(),

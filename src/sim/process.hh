@@ -13,6 +13,7 @@
 #define AP_SIM_PROCESS_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -136,6 +137,13 @@ class Process
     std::uint64_t waitSeq = 0;
     /** Set by the timeout path for wait_until()'s return value. */
     bool timedOut = false;
+    /**
+     * Liveness token for events that capture this process. A
+     * wait_until() timeout event can outlive its process (the serve
+     * layer reaps finished gangs mid-run); the event holds a weak_ptr
+     * and becomes a no-op once the process is destroyed.
+     */
+    std::shared_ptr<char> live = std::make_shared<char>(0);
 };
 
 } // namespace ap::sim

@@ -90,6 +90,57 @@ TEST(RetryPolicy, ZeroRetryBudgetFailsAfterExactlyOneAttempt)
     EXPECT_FALSE(r.deadlock);
 }
 
+TEST(RetryPolicy, GiveUpIncrementsTheRegistryCounter)
+{
+    // Every exhausted retry budget must leave a fleet-visible mark:
+    // the CommError can be swallowed by a caller (the serve layer
+    // retries the whole job), but `comm.retry.giveup` cannot.
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.faults = sim::FaultPlan::drops(33, 1.0);
+    cfg.retry.timeoutUs = 150.0;
+    cfg.retry.maxRetries = 1;
+    hw::Machine m(cfg);
+
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        if (ctx.id() != 0)
+            return;
+        Addr buf = ctx.alloc(64);
+        ctx.poke_u32(buf, 0xabcd);
+        ctx.write_remote(1, 0x800, buf, 64);
+    });
+    ASSERT_TRUE(r.failed());
+    EXPECT_EQ(m.stats_registry().value("comm.retry.giveup"), 1u);
+
+    // The counter accumulates across runs on the same machine: a
+    // read_remote give-up on the same blackout adds a second one.
+    core::run_spmd(m, [&](core::Context &ctx) {
+        if (ctx.id() != 0)
+            return;
+        Addr buf = ctx.alloc(64);
+        ctx.read_remote(1, 0x800, buf, 64);
+    });
+    EXPECT_EQ(m.stats_registry().value("comm.retry.giveup"), 2u);
+}
+
+TEST(RetryPolicy, NoGiveUpOnAHealthyMachine)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(2);
+    cfg.retry.timeoutUs = 2000.0;
+    cfg.retry.maxRetries = 2;
+    hw::Machine m(cfg);
+
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        if (ctx.id() != 0)
+            return;
+        Addr buf = ctx.alloc(64);
+        ctx.poke_u32(buf, 0x1234);
+        ctx.write_remote(1, 0x800, buf, 64);
+        ctx.read_remote(1, 0x800, buf, 64);
+    });
+    EXPECT_FALSE(r.failed());
+    EXPECT_EQ(m.stats_registry().value("comm.retry.giveup"), 0u);
+}
+
 TEST(RetryPolicy, SuccessfulAttemptStopsTheRetryLoop)
 {
     // Fault-free machine with an armed retry policy: the hardened

@@ -3,7 +3,8 @@
  * Unit tests of the sharded parallel event kernel (sim/shardq.hh):
  * lookahead/horizon math, cross-shard handoff ordering, canonical
  * same-tick merges, safe-horizon execution, determinism properties,
- * and strict/relaxed lookahead-violation handling.
+ * strict/relaxed lookahead-violation handling, and the kill path
+ * under worker threads (SpmdResult::failedCells).
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +14,9 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/program.hh"
+#include "hw/config.hh"
+#include "hw/machine.hh"
 #include "sim/eventq.hh"
 #include "sim/shardq.hh"
 
@@ -517,8 +521,9 @@ TEST(ShardQ, ParallelRunRecordsWindowTelemetry)
         EXPECT_EQ(maxShard, recs[i].maxShardEvents);
         events += recs[i].events;
     }
-    if (sh.window_records_dropped() == 0)
+    if (sh.window_records_dropped() == 0) {
         EXPECT_EQ(events, sh.executed());
+    }
 
     // Both shards ran events and the registry-facing per-shard
     // counters saw them.
@@ -577,6 +582,70 @@ TEST(ShardQ, DeterministicModeHasNoWindowTelemetry)
     EXPECT_GT(sh.executed(), 0u);
     EXPECT_EQ(sh.window_stats().windows, 0u);
     EXPECT_TRUE(sh.window_records().empty());
+}
+
+namespace
+{
+
+/**
+ * Kill cell 3 at t=100us on a machine driven by the sharded kernel
+ * and assert the full failure contract: survivors cross the barrier
+ * degraded, the dead cell lands in SpmdResult::failedCells, and the
+ * run itself still passes. Mirrors the single-threaded
+ * CellFailure.SurvivorsFinishBarrierAndReductionsDegraded — this is
+ * the threads x kill-path combination nothing else covered.
+ */
+void
+run_threaded_kill(bool deterministic)
+{
+    hw::MachineConfig cfg = hw::MachineConfig::ap1000_plus(4);
+    cfg.threads = 2;
+    cfg.deterministic = deterministic;
+    cfg.faults.seed = 47;
+    cfg.faults.kills.push_back({3, 100.0});
+    cfg.retry.watchdogUs = 100000.0;
+    hw::Machine m(cfg);
+
+    std::atomic<int> degradedMarks{0};
+    std::atomic<int> wrongScalar{0};
+    core::SpmdResult r = core::run_spmd(m, [&](core::Context &ctx) {
+        CellId me = ctx.id();
+        ctx.compute_us(200.0); // the kill lands inside this
+        if (ctx.owner().cell_failed(me))
+            return; // a dead cell's body bows out
+
+        ctx.barrier();
+        double s = ctx.allreduce(static_cast<double>(me + 1),
+                                 core::ReduceOp::sum);
+        if (!ctx.last_collective_degraded())
+            degradedMarks.fetch_add(1); // must be degraded
+        if (s != 1.0 + 2.0 + 3.0) // survivors 0,1,2 contribute
+            wrongScalar.fetch_add(1);
+    });
+
+    EXPECT_FALSE(r.failed()) << (r.errors.empty()
+                                     ? "deadlock"
+                                     : r.errors.front());
+    ASSERT_EQ(r.failedCells.size(), 1u)
+        << "kill not filed under failedCells";
+    EXPECT_EQ(r.failedCells.front(), 3);
+    EXPECT_EQ(degradedMarks.load(), 0)
+        << "a survivor's collective was not marked degraded";
+    EXPECT_EQ(wrongScalar.load(), 0);
+    EXPECT_TRUE(m.cell_failed(3));
+    EXPECT_FALSE(m.cell_failed(0));
+}
+
+} // namespace
+
+TEST(ShardQKill, FailedCellsSurvivesTwoWorkerThreads)
+{
+    run_threaded_kill(false);
+}
+
+TEST(ShardQKill, FailedCellsSurvivesDeterministicShardedMode)
+{
+    run_threaded_kill(true);
 }
 
 TEST(TickHistoryUnit, DigestIsOrderSensitive)

@@ -32,10 +32,10 @@ Usage:
 `--tol=REGEX:PCT` overrides the fail threshold for metrics whose
 `<file-stem>.<dotted.path>` matches REGEX (first match wins).
 
-Exit status: 1 when any metric fails, 0 otherwise (warnings and
-missing baselines do not fail; a missing baseline prints a notice so
-the gate cannot silently pass on renamed benches). Standard library
-only.
+Exit status: 1 when any metric fails, when a baseline is missing, or
+when either file is unreadable or not valid JSON (a renamed bench or
+a corrupted baseline must fail the gate loudly, never skip it);
+0 otherwise (warnings do not fail). Standard library only.
 """
 
 import json
@@ -87,16 +87,35 @@ def regression_pct(path, base, cand):
     return None
 
 
+def load_metrics(path, role):
+    """Flattened metrics of one JSON file, or None with a FAIL line.
+
+    Never raises for a bad file: a missing, unreadable or unparsable
+    document prints a one-line diagnosis naming the file and its role
+    (candidate/baseline) so the gate fails with a clear reason rather
+    than a traceback or a silent skip.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            return flatten(json.load(f))
+    except FileNotFoundError:
+        print(f"FAIL  {role} {path}: file not found"
+              + (" — regenerate it with the bench's --json-out= and "
+                 "commit it" if role == "baseline" else ""))
+    except OSError as e:
+        print(f"FAIL  {role} {path}: unreadable: {e}")
+    except json.JSONDecodeError as e:
+        print(f"FAIL  {role} {path}: invalid JSON: {e}")
+    return None
+
+
 def compare_file(path, baseline_dir, opts):
     name = os.path.basename(path)
     base_path = os.path.join(baseline_dir, name)
-    if not os.path.exists(base_path):
-        print(f"NOTE  {name}: no baseline at {base_path} — skipped")
-        return 0
-    with open(path, encoding="utf-8") as f:
-        cand = flatten(json.load(f))
-    with open(base_path, encoding="utf-8") as f:
-        base = flatten(json.load(f))
+    cand = load_metrics(path, "candidate")
+    base = load_metrics(base_path, "baseline")
+    if cand is None or base is None:
+        return 1
 
     stem = re.sub(r"^BENCH_|\.json$", "", name)
     shared = sorted(set(cand) & set(base))
@@ -172,11 +191,7 @@ def main(argv):
 
     rc = 0
     for path in files:
-        try:
-            rc |= compare_file(path, baseline_dir, opts)
-        except (OSError, json.JSONDecodeError) as e:
-            print(f"FAIL  {path}: unreadable or invalid JSON: {e}")
-            rc = 1
+        rc |= compare_file(path, baseline_dir, opts)
     return rc
 
 
