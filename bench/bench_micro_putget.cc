@@ -21,9 +21,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "base/logging.hh"
@@ -231,6 +233,79 @@ run_profile_pass(const std::string &profileOut,
                ticks_to_us(rep.endToEndTicks));
 }
 
+/**
+ * The speed pass: host-throughput numbers for the perf gate.
+ *
+ * Two measurements on a fixed PUT-burst workload:
+ *  - speed.events_per_sec / speed.put_ops_per_sec over fresh
+ *    machines (the "cold" shape stress loops exercise);
+ *  - alloc.steady_*_delta: kernel/payload allocation-counter growth
+ *    of a second wave on one warmed-up machine. The hot path's
+ *    zero-allocation contract says these must be exactly zero, and
+ *    CI asserts that on every run.
+ */
+void
+run_speed_pass(obs::BenchReport &report)
+{
+    using Clock = std::chrono::steady_clock;
+    constexpr int reps = 100;
+    constexpr int count = 64;
+    constexpr std::uint32_t bytes = 4096;
+
+    auto burst = [&](hw::Machine &m) {
+        run_spmd(m, [&](Context &ctx) {
+            Addr buf = ctx.alloc(bytes);
+            Addr rf = ctx.alloc_flag();
+            ctx.barrier();
+            if (ctx.id() == 0)
+                for (int i = 0; i < count; ++i)
+                    ctx.put(1, buf, buf, bytes, no_flag, rf);
+            if (ctx.id() == 1)
+                ctx.wait_flag(rf, count);
+        });
+    };
+
+    std::uint64_t events = 0;
+    auto t0 = Clock::now();
+    for (int r = 0; r < reps; ++r) {
+        hw::Machine m(cfg2());
+        burst(m);
+        events += m.sim().executed();
+    }
+    double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    report.set("speed.wall_s", wall);
+    report.set("speed.events_per_sec",
+               static_cast<double>(events) / wall);
+    report.set("speed.put_ops_per_sec",
+               static_cast<double>(reps) * count / wall);
+    std::printf("\n-- speed: %d x %d x %u B PUT, %.3f s, "
+                "%.2fM events/s --\n",
+                reps, count, bytes, wall,
+                static_cast<double>(events) / wall / 1e6);
+
+    // Steady state on one machine: wave 2 must allocate nothing.
+    hw::Machine m(cfg2());
+    burst(m);
+    auto allocAt = [&]() {
+        sim::SimAllocStats a = m.sim().alloc_stats();
+        std::uint64_t payloadMiss =
+            m.stats_registry().sum("sim.alloc.payload_miss");
+        return std::tuple{a.poolMisses, a.fnHeap, payloadMiss};
+    };
+    auto [miss1, heap1, pay1] = allocAt();
+    burst(m);
+    auto [miss2, heap2, pay2] = allocAt();
+    report.set("alloc.steady_pool_miss_delta", miss2 - miss1);
+    report.set("alloc.steady_fn_heap_delta", heap2 - heap1);
+    report.set("alloc.steady_payload_miss_delta", pay2 - pay1);
+    std::printf("-- steady-state alloc deltas: pool_miss=%llu "
+                "fn_heap=%llu payload_miss=%llu --\n",
+                static_cast<unsigned long long>(miss2 - miss1),
+                static_cast<unsigned long long>(heap2 - heap1),
+                static_cast<unsigned long long>(pay2 - pay1));
+}
+
 } // namespace
 
 int
@@ -264,6 +339,7 @@ main(int argc, char **argv)
 
     if (profile)
         run_profile_pass(profileOut, spanTraceOut, report);
+    run_speed_pass(report);
     report.write();
     return 0;
 }

@@ -17,7 +17,15 @@
  * machine uses); rows report events/sec and the speedup over the
  * sequential row of the same size.
  *
- *   bench_scale [--quick] [--json-out[=FILE]]
+ * --window-batch appends a small-torus sweep that prices the
+ * conservative-window barrier: events per window, wall microseconds
+ * per window, and the per-window overhead versus the sequential
+ * kernel's event rate. Small machines close only a handful of events
+ * per window, so the two barriers bounding each window dominate —
+ * the numbers pin the starting point for window batching / wakeup
+ * elision (ROADMAP item 1's remaining headroom).
+ *
+ *   bench_scale [--quick] [--window-batch] [--json-out[=FILE]]
  */
 
 #include <chrono>
@@ -141,14 +149,17 @@ main(int argc, char **argv)
 {
     obs::BenchReport report("bench_scale");
     bool quick = false;
+    bool windowBatch = false;
     for (int i = 1; i < argc; ++i) {
         if (report.consume_arg(argv[i]))
             continue;
         if (std::string(argv[i]) == "--quick")
             quick = true;
+        else if (std::string(argv[i]) == "--window-batch")
+            windowBatch = true;
         else
             fatal("unknown argument '%s' (only --quick, "
-                  "--json-out[=FILE])",
+                  "--window-batch, --json-out[=FILE])",
                   argv[i]);
     }
 
@@ -200,6 +211,65 @@ main(int argc, char **argv)
     }
 
     t.print();
+
+    // The barrier-headroom note: on small tori each conservative
+    // window closes only a few events, so the two barriers bounding
+    // it dominate the wall clock. Price that per window by comparing
+    // the sharded wall time against the time the same events would
+    // take at the sequential kernel's rate spread over the workers —
+    // everything left is window overhead (barriers, wakeups, merge).
+    if (windowBatch) {
+        std::printf("\nWindow-batch headroom (small tori): per-"
+                    "window cost to recover by batching windows\n\n");
+        Table wt({"Cells", "Threads", "Events/win", "Wall us/win",
+                  "Overhead us/win", "Overhead %"});
+        for (int side : {8, 16}) {
+            CaseResult seq = run_case(side, 1, horizon);
+            double seqEps =
+                seq.seconds > 0.0
+                    ? static_cast<double>(seq.events) / seq.seconds
+                    : 0.0;
+            for (int threads : {2, 4}) {
+                CaseResult r = run_case(side, threads, horizon);
+                if (r.windows == 0 || seqEps <= 0.0)
+                    continue;
+                double wallUsPerWin =
+                    r.seconds * 1e6 /
+                    static_cast<double>(r.windows);
+                double idealS = static_cast<double>(r.events) /
+                                (seqEps * threads);
+                double overheadUsPerWin =
+                    (r.seconds - idealS) * 1e6 /
+                    static_cast<double>(r.windows);
+                double eventsPerWin =
+                    static_cast<double>(r.events) /
+                    static_cast<double>(r.windows);
+                wt.add_row(
+                    {strprintf("%dx%d", side, side),
+                     strprintf("%d", threads),
+                     strprintf("%.1f", eventsPerWin),
+                     strprintf("%.2f", wallUsPerWin),
+                     strprintf("%.2f", overheadUsPerWin),
+                     strprintf("%.0f", 100.0 * overheadUsPerWin /
+                                           wallUsPerWin)});
+                std::string k = strprintf("window_batch.s%dx%d.t%d",
+                                          side, side, threads);
+                report.set(k + ".events_per_window", eventsPerWin);
+                report.set(k + ".wall_us_per_window", wallUsPerWin);
+                report.set(k + ".overhead_us_per_window",
+                           overheadUsPerWin);
+            }
+        }
+        wt.print();
+        std::printf(
+            "\nnote: Overhead us/win is the wall time a window costs "
+            "beyond executing its\nevents at the sequential rate "
+            "across the workers. Batching k windows per\nbarrier (or "
+            "eliding wakeups of idle shards) can recover up to that "
+            "times\n(k-1)/k — the pinned target for the next kernel "
+            "PR.\n");
+    }
+
     if (!report.write())
         fatal("cannot write %s", report.path().c_str());
     return 0;

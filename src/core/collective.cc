@@ -458,8 +458,13 @@ Context::allreduce_vector(Addr vec, std::uint32_t count, ReduceOp op)
         proc.delay(us_to_ticks(static_cast<double>(count) /
                                machine.config().mflopsPerCell));
 
+        // Rotate buffers: the arriving record becomes the next
+        // contribution and the spent one goes home to the pool.
+        std::vector<std::uint8_t> spent = std::move(circulating);
         circulating = std::move(rec.payload);
+        cell().msc().recycle_payload(std::move(spent));
     }
+    cell().msc().recycle_payload(std::move(circulating));
 
     std::vector<std::uint8_t> raw(bytes);
     std::memcpy(raw.data(), acc.data(), bytes);

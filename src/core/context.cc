@@ -924,15 +924,19 @@ Context::recv(CellId src, std::int32_t tag, Addr laddr,
         machine.config().timings.receiveCopyPerByteUs *
         static_cast<double>(rec.payload.size())));
     poke(laddr, rec.payload);
+    std::uint32_t got =
+        static_cast<std::uint32_t>(rec.payload.size());
+    // The user copy is done; the SEND's buffer goes home to the pool.
+    cell().msc().recycle_payload(std::move(rec.payload));
 
     // Recorded at exit so the resolved source and size are known;
     // replay matches receives against arrivals by source FIFO.
     TraceEvent ev;
     ev.op = TraceOp::recv;
     ev.peer = rec.src;
-    ev.bytes = rec.payload.size();
+    ev.bytes = got;
     trace(ev);
-    return static_cast<std::uint32_t>(rec.payload.size());
+    return got;
 }
 
 // -- computation -----------------------------------------------------------

@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "base/types.hh"
+#include "hw/bufpool.hh"
 #include "hw/config.hh"
 #include "hw/mc.hh"
 #include "hw/memory.hh"
@@ -35,9 +36,13 @@ class Cell
      * @param cfg machine configuration
      * @param id this cell's id
      * @param tnet the outgoing message link
+     * @param pool payload buffer pool of this cell's kernel shard
+     * @param direct the raw T-net for devirtualized sends, or
+     *               nullptr when a reliable layer is stacked
      */
     Cell(sim::Simulator &sim, const MachineConfig &cfg, CellId id,
-         net::Link &tnet);
+         net::Link &tnet, BufferPool &pool,
+         net::Tnet *direct = nullptr);
 
     Cell(const Cell &) = delete;
     Cell &operator=(const Cell &) = delete;

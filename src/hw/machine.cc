@@ -118,10 +118,26 @@ Machine::Machine(MachineConfig config)
     net::Link &link =
         rnetNet ? static_cast<net::Link &>(*rnetNet)
                 : static_cast<net::Link &>(tnetNet);
+    // Sealed fast path: with no reliable layer the link IS the final
+    // T-net, so the MSC+ can bypass the Link vtable on every send.
+    net::Tnet *direct = rnetNet ? nullptr : &tnetNet;
+    // One payload pool per kernel shard, shared by that shard's
+    // cells. The cell->pool mapping must match make_kernel's
+    // affinity map so each pool is only touched from its own shard.
+    int poolCount = sharded() ? sharded()->shards() : 1;
+    payloadPools.reserve(static_cast<std::size_t>(poolCount));
+    for (int s = 0; s < poolCount; ++s)
+        payloadPools.push_back(std::make_unique<BufferPool>());
     cells.reserve(static_cast<std::size_t>(cfg.cells));
     for (int i = 0; i < cfg.cells; ++i) {
-        cells.push_back(std::make_unique<Cell>(simulator, cfg, i,
-                                               link));
+        int shard =
+            poolCount > 1
+                ? static_cast<int>(static_cast<long long>(i) *
+                                   poolCount / cfg.cells)
+                : 0;
+        cells.push_back(std::make_unique<Cell>(
+            simulator, cfg, i, link,
+            *payloadPools[static_cast<std::size_t>(shard)], direct));
         Cell *c = cells.back().get();
         c->msc().set_spans(&spanLayer);
         c->ring().set_spans(&spanLayer, i, &simulator);
@@ -453,6 +469,49 @@ Machine::register_kernel_stats()
                        [this]() { return simulator.executed(); });
     statsReg.add_gauge("sim.pending_events", [this]() {
         return static_cast<std::uint64_t>(simulator.pending());
+    });
+
+    // Kernel allocation telemetry: event-node pool traffic, EventFn
+    // heap spills and payload-pool traffic. The CI perf job asserts
+    // that pool_miss and fn_heap stop growing once a workload reaches
+    // steady state — the zero-allocation contract of the hot path.
+    statsReg.add_gauge("sim.alloc.pool_hits", [this]() {
+        return simulator.alloc_stats().poolHits;
+    });
+    statsReg.add_gauge("sim.alloc.pool_miss", [this]() {
+        return simulator.alloc_stats().poolMisses;
+    });
+    statsReg.add_gauge("sim.alloc.pool_blocks", [this]() {
+        return simulator.alloc_stats().poolBlocks;
+    });
+    statsReg.add_gauge("sim.alloc.fn_heap", [this]() {
+        return simulator.alloc_stats().fnHeap;
+    });
+    statsReg.add_gauge("sim.alloc.payload_hits", [this]() {
+        std::uint64_t v = 0;
+        for (const auto &p : payloadPools)
+            v += p->stats().hits;
+        return v;
+    });
+    statsReg.add_gauge("sim.alloc.payload_miss", [this]() {
+        std::uint64_t v = 0;
+        for (const auto &p : payloadPools)
+            v += p->stats().misses;
+        return v;
+    });
+    statsReg.add_gauge("sim.alloc.payload_discards", [this]() {
+        std::uint64_t v = 0;
+        for (const auto &p : payloadPools)
+            v += p->stats().discards;
+        return v;
+    });
+    // DRAM image recycler traffic. Process-wide rather than
+    // per-machine (the cache outlives machines by design), so these
+    // are cumulative across every machine this process built.
+    statsReg.add_gauge("sim.alloc.image_hits",
+                       []() { return CellMemory::image_cache_hits(); });
+    statsReg.add_gauge("sim.alloc.image_miss", []() {
+        return CellMemory::image_cache_misses();
     });
 
     const sim::ShardedSimulator *sh = sharded();

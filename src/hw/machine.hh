@@ -286,6 +286,10 @@ class Machine
     net::Snet snetNet;
     std::unique_ptr<net::ReliableNet> rnetNet;
     DsmMap dsmMap;
+    /** Payload buffer pools, one per kernel shard (one machine-wide
+     *  under the sequential kernel). Declared before `cells` so the
+     *  MSC+ pool references outlive their users. */
+    std::vector<std::unique_ptr<BufferPool>> payloadPools;
     std::vector<std::unique_ptr<Cell>> cells;
     /** Atomic: written by fail_cell() on the dying cell's shard,
      *  read by liveness checks on every sending cell's shard. */

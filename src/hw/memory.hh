@@ -12,24 +12,46 @@
 #define AP_HW_MEMORY_HH
 
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <span>
-#include <vector>
 
 #include "base/types.hh"
 
 namespace ap::hw
 {
 
-/** Flat byte-addressable physical memory of one cell. */
+/**
+ * Flat byte-addressable physical memory of one cell.
+ *
+ * Images are recycled through a process-wide cache: the destructor
+ * zeroes only the span the cell actually dirtied (tracked by the
+ * bounds-checked write accessors) and parks the image for the next
+ * same-size CellMemory instead of returning it to the OS. Drivers
+ * that build thousands of short-lived machines (stress harnesses,
+ * micro-benchmarks) therefore pay for the bytes they touch, not for
+ * the full DRAM capacity: no 4 MB memset per cell at construction
+ * and no page-fault storm re-faulting a fresh mapping every
+ * iteration.
+ */
 class CellMemory
 {
   public:
     /** @param bytes capacity of the DRAM image. */
     explicit CellMemory(std::size_t bytes);
+    ~CellMemory();
+
+    /** Process-wide image-cache hits (recycled DRAM images). */
+    static std::uint64_t image_cache_hits();
+
+    /** Process-wide image-cache misses (freshly mapped images). */
+    static std::uint64_t image_cache_misses();
+
+    CellMemory(const CellMemory &) = delete;
+    CellMemory &operator=(const CellMemory &) = delete;
 
     /** Capacity in bytes. */
-    std::size_t size() const { return data.size(); }
+    std::size_t size() const { return numBytes; }
 
     /** Copy @p buf.size() bytes into memory at physical @p addr. */
     void write(Addr addr, std::span<const std::uint8_t> buf);
@@ -64,7 +86,29 @@ class CellMemory
   private:
     void check(Addr addr, std::size_t len) const;
 
-    std::vector<std::uint8_t> data;
+    /** Grow the dirty span to cover [addr, addr+len). Called by
+     *  every mutating accessor; the destructor zeroes exactly this
+     *  span before recycling the image. */
+    void
+    touch(Addr addr, std::size_t len)
+    {
+        if (addr < dirtyLo)
+            dirtyLo = addr;
+        if (addr + len > dirtyHi)
+            dirtyHi = addr + len;
+    }
+
+    std::size_t numBytes;
+    /** Bytes to munmap when the image leaves the cache for good;
+     *  0 when calloc-backed. */
+    std::size_t mapBytes = 0;
+    /** Dirty span [dirtyLo, dirtyHi); empty when lo > hi. */
+    std::size_t dirtyLo = static_cast<std::size_t>(-1);
+    std::size_t dirtyHi = 0;
+    /** Large images are anonymous mmap regions so the kernel
+     *  zero-fills them lazily page by page on first touch; small
+     *  ones fall back to calloc. */
+    std::uint8_t *data = nullptr;
 };
 
 } // namespace ap::hw

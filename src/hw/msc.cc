@@ -6,15 +6,16 @@
 #include "base/logging.hh"
 #include "hw/cell.hh"
 #include "hw/dma.hh"
+#include "net/tnet.hh"
 #include "obs/debug.hh"
 
 namespace ap::hw
 {
 
 Msc::Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
-         net::Link &tnet)
-    : sim(sim), cfg(cfg), cell(cell), tnet(tnet),
-      userQ(cfg.queueCapacityWords),
+         net::Link &tnet, BufferPool &pool, net::Tnet *direct)
+    : sim(sim), cfg(cfg), cell(cell), tnet(tnet), pool(pool),
+      direct(direct), userQ(cfg.queueCapacityWords),
       systemQ(cfg.queueCapacityWords),
       remoteQ(cfg.queueCapacityWords),
       getReplyQ(cfg.queueCapacityWords),
@@ -190,17 +191,32 @@ Msc::kick()
     if (spans && cmd.traceId != 0)
         spans->record(cell.id(), cmd.traceId, obs::SpanStage::queue,
                       cmd.issuedAt, popT);
-    // Send DMA setup, then the payload gather and injection.
-    sim.schedule_after(us_to_ticks(cfg.timings.dmaSetUs),
-                       [this, cmd = std::move(cmd), popT]() mutable {
-                           process(std::move(cmd), popT);
-                       });
+    // One fused event covers the DMA setup plus the payload stream:
+    // the byte count is known from the command's stride descriptor
+    // before any data moves, so the gather itself can run at DMA
+    // completion time (the send flag keeps the sending area stable
+    // until then per Section 3.1) and the network injection lands at
+    // the exact tick the two-event pipeline used to produce — at half
+    // the event cost per send.
+    Tick stream = us_to_ticks(cfg.timings.dmaPerByteUs *
+                              static_cast<double>(cmd.bytes()));
+    auto fire = [this, cmd = std::move(cmd), popT, stream]() mutable {
+        process(std::move(cmd), popT, stream);
+    };
+    static_assert(sim::EventFn::fits<decltype(fire)>(),
+                  "send-pipeline closure must stay in the EventFn "
+                  "inline buffer");
+    sim.schedule_after(us_to_ticks(cfg.timings.dmaSetUs) + stream,
+                       std::move(fire));
 }
 
 void
-Msc::process(Command cmd, Tick start)
+Msc::process(Command cmd, Tick start, Tick stream)
 {
-    // Gather the payload this command sends, if any.
+    // Gather the payload this command sends, if any. Data-bearing
+    // gathers fill a pooled buffer that the destination releases
+    // after consuming it (receive_body / the RECEIVE copy-out), so
+    // steady-state traffic recirculates payload storage.
     std::vector<std::uint8_t> payload;
     switch (cmd.kind) {
       case CommandKind::put:
@@ -209,10 +225,12 @@ Msc::process(Command cmd, Tick start)
             local_fault(cmd.laddr);
             return;
         }
+        payload = pool.acquire();
         DmaResult r = DmaEngine::gather(cell.mc().mmu(),
                                         cell.mc().memory(), cmd.laddr,
                                         cmd.localStride, payload);
         if (!r.ok) {
+            pool.release(std::move(payload));
             local_fault(r.faultAddr);
             return;
         }
@@ -224,10 +242,12 @@ Msc::process(Command cmd, Tick start)
                 local_fault(cmd.raddr);
                 return;
             }
+            payload = pool.acquire();
             DmaResult r = DmaEngine::gather(
                 cell.mc().mmu(), cell.mc().memory(), cmd.raddr,
                 cmd.remoteStride, payload);
             if (!r.ok) {
+                pool.release(std::move(payload));
                 local_fault(r.faultAddr);
                 return;
             }
@@ -243,17 +263,20 @@ Msc::process(Command cmd, Tick start)
         break; // header-only requests
     }
 
-    // Stream the payload into the network, then finish.
-    Tick dmaStart = sim.now();
-    Tick stream = us_to_ticks(cfg.timings.dmaPerByteUs *
-                              static_cast<double>(payload.size()));
-    sim.schedule_after(stream, [this, cmd = std::move(cmd),
-                                payload = std::move(payload),
-                                dmaStart, start]() mutable {
-        if (tracer && !payload.empty())
-            tracer->span(traceTrack, "dma", "dma_send", dmaStart);
-        finish_send(std::move(cmd), std::move(payload), start);
-    });
+    if (tracer && !payload.empty())
+        tracer->span_at(traceTrack, "dma", "dma_send",
+                        sim.now() - stream, sim.now());
+    finish_send(std::move(cmd), std::move(payload), start);
+}
+
+Tick
+Msc::send_msg(net::Message msg)
+{
+    // Sealed dispatch: with no reliable layer stacked the link IS
+    // the final Tnet, so skip the Link vtable.
+    if (direct)
+        return direct->send(std::move(msg));
+    return tnet.send(std::move(msg));
 }
 
 void
@@ -328,7 +351,7 @@ Msc::finish_send(Command cmd, std::vector<std::uint8_t> payload,
     AP_DPRINTF(MSC, "cell %d: sent %s to cell %d (%llu bytes)",
                cell.id(), to_string(cmd.kind), cmd.dst,
                static_cast<unsigned long long>(msg.payload.size()));
-    tnet.send(std::move(msg));
+    send_msg(std::move(msg));
 
     mscStats.cmdLatencyUs.sample(
         static_cast<std::uint64_t>(ticks_to_us(
@@ -420,9 +443,13 @@ Msc::deliver(net::Message msg)
     AP_DPRINTF(DMA, "cell %d: recv DMA of %s from cell %d (%llu "
                "bytes)", cell.id(), net::to_string(msg.kind), msg.src,
                static_cast<unsigned long long>(msg.payload.size()));
-    sim.schedule(finish, [this, msg = std::move(msg)]() mutable {
+    auto fire = [this, msg = std::move(msg)]() mutable {
         receive_body(std::move(msg));
-    });
+    };
+    static_assert(sim::EventFn::fits<decltype(fire)>(),
+                  "receive closure must stay in the EventFn inline "
+                  "buffer");
+    sim.schedule(finish, std::move(fire));
 }
 
 void
@@ -453,6 +480,7 @@ Msc::receive_body(net::Message msg)
                 remote_fault(r.faultAddr);
                 return;
             }
+            pool.release(std::move(msg.payload));
         }
         if (spans && msg.traceId != 0 && msg.destFlag != no_flag)
             spans->record(cell.id(), msg.traceId,
@@ -491,6 +519,7 @@ Msc::receive_body(net::Message msg)
                 remote_fault(r.faultAddr);
                 return;
             }
+            pool.release(std::move(msg.payload));
         }
         if (msg.isAckProbe) {
             ++ackFlag;
@@ -523,13 +552,14 @@ Msc::receive_body(net::Message msg)
             remote_fault(msg.raddr);
             return;
         }
+        pool.release(std::move(msg.payload));
         // Automatic acknowledgement (Section 4.2).
         net::Message ack;
         ack.kind = net::MsgKind::remote_store_ack;
         ack.traceId = msg.traceId;
         ack.src = cell.id();
         ack.dst = msg.src;
-        tnet.send(std::move(ack));
+        send_msg(std::move(ack));
         break;
       }
       case net::MsgKind::remote_store_ack:
@@ -583,6 +613,7 @@ Msc::receive_body(net::Message msg)
             remote_fault(r.faultAddr);
             return;
         }
+        pool.release(std::move(msg.payload));
         if (spans && msg.traceId != 0 && msg.destFlag != no_flag)
             spans->record(cell.id(), msg.traceId,
                           obs::SpanStage::flag, sim.now(),

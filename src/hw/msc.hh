@@ -33,6 +33,7 @@
 
 #include "base/stats.hh"
 #include "base/types.hh"
+#include "hw/bufpool.hh"
 #include "hw/command.hh"
 #include "hw/config.hh"
 #include "hw/queues.hh"
@@ -42,6 +43,11 @@
 #include "sim/eventq.hh"
 #include "sim/fault.hh"
 #include "sim/process.hh"
+
+namespace ap::net
+{
+class Tnet;
+}
 
 namespace ap::hw
 {
@@ -87,9 +93,14 @@ class Msc
      * @param cell the cell this controller belongs to
      * @param tnet the outgoing link (raw T-net or the reliable
      *             layer stacked on it)
+     * @param pool payload buffer pool of this cell's kernel shard
+     * @param direct the raw T-net when @p tnet IS the raw T-net
+     *               (no reliable layer stacked), for devirtualized
+     *               sends; nullptr otherwise
      */
     Msc(sim::Simulator &sim, const MachineConfig &cfg, Cell &cell,
-        net::Link &tnet);
+        net::Link &tnet, BufferPool &pool,
+        net::Tnet *direct = nullptr);
 
     // -- processor side ------------------------------------------------
 
@@ -135,6 +146,17 @@ class Msc
     /** T-net delivery entry point (attached by the Machine). */
     void deliver(net::Message msg);
 
+    /**
+     * Return a payload buffer to this cell's pool once its bytes
+     * have been consumed (the runtime's RECEIVE copy-out and the
+     * reduction ring-consume paths call this; the MSC+'s own scatter
+     * paths release internally). Call only from this cell's shard.
+     */
+    void recycle_payload(std::vector<std::uint8_t> buf)
+    {
+        pool.release(std::move(buf));
+    }
+
     // -- observation ---------------------------------------------------
 
     const MscStats &stats() const { return mscStats; }
@@ -177,10 +199,18 @@ class Msc
     CommandQueue *pick_queue();
     void enqueue(CommandQueue &q, Command cmd);
     bool injected_fault();
-    /** @p start is when the send engine picked the command up. */
-    void process(Command cmd, Tick start);
+    /**
+     * Runs at send-DMA completion (the single fused event kick()
+     * schedules): gathers the payload, then injects. @p start is
+     * when the send engine picked the command up; @p stream is the
+     * payload streaming time already elapsed inside the event.
+     */
+    void process(Command cmd, Tick start, Tick stream);
     void finish_send(Command cmd, std::vector<std::uint8_t> payload,
                      Tick start);
+    /** Inject @p msg, bypassing the Link vtable when the raw T-net
+     *  is wired directly (no reliable layer). */
+    Tick send_msg(net::Message msg);
     void receive_body(net::Message msg);
     void local_fault(Addr addr);
     void remote_fault(Addr addr);
@@ -189,6 +219,9 @@ class Msc
     const MachineConfig &cfg;
     Cell &cell;
     net::Link &tnet;
+    BufferPool &pool;
+    /** The sealed fast path: non-null iff `tnet` is the raw T-net. */
+    net::Tnet *direct;
 
     CommandQueue userQ;
     CommandQueue systemQ;

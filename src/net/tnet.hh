@@ -75,8 +75,12 @@ struct TnetStats
 /**
  * The torus network. Cells attach a delivery callback; send() injects
  * a message and schedules that callback at the arrival tick.
+ *
+ * Sealed (final) so the MSC+ fast path can devirtualize: when no
+ * reliable layer is stacked, the MSC+ holds a Tnet* and send() calls
+ * resolve directly instead of through the Link vtable.
  */
-class Tnet : public Link
+class Tnet final : public Link
 {
   public:
     using Deliver = std::function<void(Message)>;

@@ -1,0 +1,17 @@
+#include "sim/event.hh"
+
+namespace ap::sim
+{
+
+namespace detail
+{
+std::atomic<std::uint64_t> eventFnHeapAllocs{0};
+} // namespace detail
+
+std::uint64_t
+eventfn_heap_allocs()
+{
+    return detail::eventFnHeapAllocs.load(std::memory_order_relaxed);
+}
+
+} // namespace ap::sim

@@ -10,43 +10,54 @@ namespace ap::sim
 std::string
 TickHistory::digest() const
 {
-    return strprintf("events=%llu hash=%#llx",
-                     static_cast<unsigned long long>(numEvents),
-                     static_cast<unsigned long long>(state));
+    std::string out = strprintf(
+        "events=%llu hash=%#llx",
+        static_cast<unsigned long long>(numEvents),
+        static_cast<unsigned long long>(state));
+    if (wasTruncated)
+        out += strprintf(
+            " log=truncated(%zu of %llu kept)", logBuf.size(),
+            static_cast<unsigned long long>(numEvents));
+    return out;
 }
 
 void
-Simulator::schedule(Tick when, std::function<void()> fn)
+Simulator::schedule(Tick when, EventFn fn)
 {
     schedule_for(currentAffinity, when, std::move(fn));
 }
 
 void
-Simulator::schedule_for(int affinity, Tick when,
-                        std::function<void()> fn)
+Simulator::schedule_for(int affinity, Tick when, EventFn fn)
 {
     if (when < currentTick)
         panic("scheduling event in the past (%llu < %llu)",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(currentTick));
-    queue.push(Entry{when, nextSeq++, affinity, std::move(fn)});
+    queue.push(when, nextSeq++, affinity, std::move(fn));
 }
 
 bool
 Simulator::step()
 {
-    if (queue.empty())
+    EventNode *n = queue.pop();
+    if (!n)
         return false;
-    // Move the handler out before popping: the handler may schedule
-    // new events, which mutates the queue.
-    Entry e = std::move(const_cast<Entry &>(queue.top()));
-    queue.pop();
-    currentTick = e.when;
-    currentAffinity = e.affinity;
+    currentTick = n->when;
+    currentAffinity = n->affinity;
     ++numExecuted;
     if (history)
-        history->record(e.when, e.affinity);
-    e.fn();
+        history->record(n->when, n->affinity);
+    // Recycle the node even if the handler throws (CommError from
+    // machine code unwinds through here); the handler may schedule
+    // new events, which is safe — the node is off the queue already.
+    struct Recycle
+    {
+        LadderQueue &q;
+        EventNode *n;
+        ~Recycle() { q.release(n); }
+    } recycle{queue, n};
+    n->fn();
     currentAffinity = 0;
     return true;
 }
@@ -62,9 +73,21 @@ Simulator::run()
 Tick
 Simulator::run_until(Tick limit)
 {
-    while (!queue.empty() && queue.top().when <= limit)
+    while (!queue.empty() && queue.min_when() <= limit)
         step();
     return currentTick;
+}
+
+SimAllocStats
+Simulator::alloc_stats() const
+{
+    const EventPoolStats &p = queue.pool_stats();
+    SimAllocStats s;
+    s.poolHits = p.hits;
+    s.poolMisses = p.misses;
+    s.poolBlocks = p.blocks;
+    s.fnHeap = eventfn_heap_allocs();
+    return s;
 }
 
 } // namespace ap::sim

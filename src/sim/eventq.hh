@@ -16,6 +16,12 @@
  * timeline the event belongs to. The sequential kernel only records
  * affinity (for tick histories); the sharded kernel uses it to route
  * events to shards.
+ *
+ * Hot-path machinery (shared with the sharded kernel — see
+ * DESIGN.md "Hot paths"): pending events live in a ladder queue
+ * (sim/ladderq.hh) of pooled nodes (sim/event.hh), and handlers are
+ * EventFn small-buffer callables instead of std::function, so
+ * steady-state scheduling allocates nothing.
  */
 
 #ifndef AP_SIM_EVENTQ_HH
@@ -23,12 +29,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "base/types.hh"
+#include "sim/event.hh"
+#include "sim/ladderq.hh"
 
 namespace ap::sim
 {
@@ -55,8 +62,12 @@ class TickHistory
         fold(when);
         fold(static_cast<std::uint64_t>(
             static_cast<std::int64_t>(affinity)));
-        if (logCap > 0 && logBuf.size() < logCap)
-            logBuf.emplace_back(when, affinity);
+        if (logCap > 0) {
+            if (logBuf.size() < logCap)
+                logBuf.emplace_back(when, affinity);
+            else
+                wasTruncated = true;
+        }
     }
 
     /** Order-sensitive digest over every recorded event. */
@@ -74,7 +85,16 @@ class TickHistory
         return logBuf;
     }
 
-    /** "events=N hash=0x..." — the one-line comparable digest. */
+    /**
+     * True when record() dropped entries past the log capacity —
+     * the retained log is a prefix, not the whole run. Localization
+     * tooling must widen the capacity rather than conclude the
+     * histories converge where the log stops.
+     */
+    bool truncated() const { return wasTruncated; }
+
+    /** "events=N hash=0x..." — the one-line comparable digest
+     *  (suffixed with the kept/total log count when truncated). */
     std::string digest() const;
 
     /** Reset to the empty history (keeps the log capacity). */
@@ -84,6 +104,7 @@ class TickHistory
         state = fnv_offset;
         numEvents = 0;
         logBuf.clear();
+        wasTruncated = false;
     }
 
     bool
@@ -109,6 +130,7 @@ class TickHistory
     std::uint64_t state = fnv_offset;
     std::uint64_t numEvents = 0;
     std::size_t logCap = 0;
+    bool wasTruncated = false;
     std::vector<std::pair<Tick, int>> logBuf;
 };
 
@@ -133,7 +155,7 @@ class Simulator
      * scheduling follow-ups for their own cell need no annotation).
      * @param when must not be in the past.
      */
-    virtual void schedule(Tick when, std::function<void()> fn);
+    virtual void schedule(Tick when, EventFn fn);
 
     /**
      * Schedule @p fn at @p when on behalf of timeline @p affinity —
@@ -143,8 +165,7 @@ class Simulator
      * additionally routes the event to that timeline's shard.
      * Negative affinities mean "no particular timeline".
      */
-    virtual void schedule_for(int affinity, Tick when,
-                              std::function<void()> fn);
+    virtual void schedule_for(int affinity, Tick when, EventFn fn);
 
     /**
      * Schedule @p fn to run @p delta ticks from now. Relative delays
@@ -153,7 +174,7 @@ class Simulator
      * installed, a bounded extra delay is added to @p delta.
      */
     void
-    schedule_after(Tick delta, std::function<void()> fn)
+    schedule_after(Tick delta, EventFn fn)
     {
         if (jitterHook)
             delta += jitterHook(delta);
@@ -162,8 +183,7 @@ class Simulator
 
     /** schedule_after with an explicit timeline (see schedule_for). */
     void
-    schedule_after_for(int affinity, Tick delta,
-                       std::function<void()> fn)
+    schedule_after_for(int affinity, Tick delta, EventFn fn)
     {
         if (jitterHook)
             delta += jitterHook(delta);
@@ -213,6 +233,10 @@ class Simulator
     /** @return total number of events executed so far. */
     virtual std::uint64_t executed() const { return numExecuted; }
 
+    /** Kernel allocation counters (event-node pool + EventFn heap
+     *  spills) — the sim.alloc.* feed. */
+    virtual SimAllocStats alloc_stats() const;
+
     /** Affinity of the event currently executing (0 at rest). */
     int current_affinity() const { return currentAffinity; }
 
@@ -221,26 +245,7 @@ class Simulator
     TickHistory *history = nullptr;
 
   private:
-    struct Entry
-    {
-        Tick when;
-        std::uint64_t seq;
-        int affinity;
-        std::function<void()> fn;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
-
-    std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+    LadderQueue queue;
     Tick currentTick = 0;
     std::uint64_t nextSeq = 0;
     std::uint64_t numExecuted = 0;

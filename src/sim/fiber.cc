@@ -68,10 +68,11 @@ thread_local Fiber *current_fiber = nullptr;
  * flagging them. Leaky singleton: LSan runs at exit, so this must
  * never be destroyed.
  */
-std::vector<std::vector<unsigned char>> &
+std::vector<std::unique_ptr<unsigned char[]>> &
 abandoned_stacks()
 {
-    static auto *stacks = new std::vector<std::vector<unsigned char>>;
+    static auto *stacks =
+        new std::vector<std::unique_ptr<unsigned char[]>>;
     return *stacks;
 }
 #endif
@@ -79,7 +80,8 @@ abandoned_stacks()
 } // namespace
 
 Fiber::Fiber(std::function<void()> body, std::size_t stack_size)
-    : body(std::move(body)), stack(stack_size)
+    : body(std::move(body)), stackBytes(stack_size),
+      stack(new unsigned char[stack_size])
 {
 }
 
@@ -146,8 +148,8 @@ Fiber::resume()
         started = true;
         if (getcontext(&context) != 0)
             panic("getcontext failed");
-        context.uc_stack.ss_sp = stack.data();
-        context.uc_stack.ss_size = stack.size();
+        context.uc_stack.ss_sp = stack.get();
+        context.uc_stack.ss_size = stackBytes;
         context.uc_link = &schedulerContext;
         makecontext(&context, reinterpret_cast<void (*)()>(&trampoline),
                     0);
@@ -161,7 +163,7 @@ Fiber::resume()
 #endif
 #ifdef AP_ASAN_FIBERS
     void *fake = nullptr;
-    __sanitizer_start_switch_fiber(&fake, stack.data(), stack.size());
+    __sanitizer_start_switch_fiber(&fake, stack.get(), stackBytes);
 #endif
     if (swapcontext(&schedulerContext, &context) != 0)
         panic("swapcontext into fiber failed");

@@ -85,28 +85,27 @@ ShardedSimulator::set_history(TickHistory *h)
 
 void
 ShardedSimulator::enqueue_direct(int shard, int affinity, Tick when,
-                                 std::function<void()> fn)
+                                 EventFn fn)
 {
     std::lock_guard<std::mutex> lock(qMutex);
     Shard &sh = shardsVec[static_cast<std::size_t>(shard)];
     std::uint64_t seq =
         cfg.deterministic ? globalSeq++ : sh.nextSeq++;
-    sh.queue.push(Entry{when, seq, affinity, std::move(fn)});
+    sh.queue.push(when, seq, affinity, std::move(fn));
     sh.stats.maxPending =
         std::max<std::uint64_t>(sh.stats.maxPending,
                                 sh.queue.size());
 }
 
 void
-ShardedSimulator::schedule(Tick when, std::function<void()> fn)
+ShardedSimulator::schedule(Tick when, EventFn fn)
 {
     int affinity = tls.owner == this ? tls.affinity : 0;
     schedule_for(affinity, when, std::move(fn));
 }
 
 void
-ShardedSimulator::schedule_for(int affinity, Tick when,
-                               std::function<void()> fn)
+ShardedSimulator::schedule_for(int affinity, Tick when, EventFn fn)
 {
     int target = shard_of(affinity);
 
@@ -141,10 +140,10 @@ ShardedSimulator::schedule_for(int affinity, Tick when,
                 numViolations.fetch_add(1,
                                         std::memory_order_relaxed);
         }
-        dst.queue.push(Entry{when,
-                             cfg.deterministic ? globalSeq++
-                                               : dst.nextSeq++,
-                             affinity, std::move(fn)});
+        dst.queue.push(when,
+                       cfg.deterministic ? globalSeq++
+                                         : dst.nextSeq++,
+                       affinity, std::move(fn));
         dst.stats.maxPending =
             std::max<std::uint64_t>(dst.stats.maxPending,
                                     dst.queue.size());
@@ -153,8 +152,8 @@ ShardedSimulator::schedule_for(int affinity, Tick when,
 
     // Parallel round on a worker thread.
     if (target == tls.shard) {
-        self.queue.push(Entry{when, self.nextSeq++, affinity,
-                              std::move(fn)});
+        self.queue.push(when, self.nextSeq++, affinity,
+                        std::move(fn));
         self.stats.maxPending =
             std::max<std::uint64_t>(self.stats.maxPending,
                                     self.queue.size());
@@ -213,8 +212,8 @@ ShardedSimulator::merge_outboxes()
                   });
         Shard &dst = shardsVec[static_cast<std::size_t>(t)];
         for (Handoff &h : incoming) {
-            dst.queue.push(Entry{h.when, dst.nextSeq++, h.affinity,
-                                 std::move(h.fn)});
+            dst.queue.push(h.when, dst.nextSeq++, h.affinity,
+                           std::move(h.fn));
             ++dst.stats.handoffsIn;
         }
         dst.stats.maxPending =
@@ -232,16 +231,21 @@ ShardedSimulator::drain_shard(int s, Tick windowEnd)
     tls.shard = s;
     tls.windowEnd = windowEnd;
     tls.inRound = true;
-    while (!sh.queue.empty() && sh.queue.top().when < windowEnd) {
-        Entry e = std::move(const_cast<Entry &>(sh.queue.top()));
-        sh.queue.pop();
-        tls.now = e.when;
-        tls.affinity = e.affinity;
-        sh.lastExecuted = e.when;
+    while (!sh.queue.empty() && sh.queue.min_when() < windowEnd) {
+        EventNode *n = sh.queue.pop();
+        tls.now = n->when;
+        tls.affinity = n->affinity;
+        sh.lastExecuted = n->when;
         ++sh.stats.executed;
         if (history)
-            sh.localHistory.record(e.when, e.affinity);
-        e.fn();
+            sh.localHistory.record(n->when, n->affinity);
+        struct Recycle
+        {
+            LadderQueue &q;
+            EventNode *n;
+            ~Recycle() { q.release(n); }
+        } recycle{sh.queue, n};
+        n->fn();
     }
     tls = saved;
 }
@@ -251,8 +255,7 @@ ShardedSimulator::next_pending_locked() const
 {
     Tick t = max_tick;
     for (const Shard &s : shardsVec)
-        if (!s.queue.empty())
-            t = std::min(t, s.queue.top().when);
+        t = std::min(t, s.queue.min_when());
     return t;
 }
 
@@ -260,7 +263,7 @@ Tick
 ShardedSimulator::shard_next(int s) const
 {
     const Shard &sh = shardsVec[static_cast<std::size_t>(s)];
-    return sh.queue.empty() ? max_tick : sh.queue.top().when;
+    return sh.queue.min_when();
 }
 
 Tick
@@ -301,6 +304,20 @@ ShardedSimulator::executed() const
     return numExecutedTotal;
 }
 
+SimAllocStats
+ShardedSimulator::alloc_stats() const
+{
+    SimAllocStats s;
+    for (const Shard &sh : shardsVec) {
+        const EventPoolStats &p = sh.queue.pool_stats();
+        s.poolHits += p.hits;
+        s.poolMisses += p.misses;
+        s.poolBlocks += p.blocks;
+    }
+    s.fnHeap = eventfn_heap_allocs();
+    return s;
+}
+
 bool
 ShardedSimulator::step_deterministic()
 {
@@ -310,41 +327,46 @@ ShardedSimulator::step_deterministic()
     int best = -1;
     for (int s = 0; s < numShards; ++s) {
         const Shard &sh = shardsVec[static_cast<std::size_t>(s)];
-        if (sh.queue.empty())
+        const EventNode *a = sh.queue.peek();
+        if (!a)
             continue;
         if (best < 0) {
             best = s;
             continue;
         }
-        const Entry &a = sh.queue.top();
-        const Entry &b =
-            shardsVec[static_cast<std::size_t>(best)].queue.top();
-        if (a.when < b.when ||
-            (a.when == b.when && a.seq < b.seq))
+        const EventNode *b =
+            shardsVec[static_cast<std::size_t>(best)].queue.peek();
+        if (a->when < b->when ||
+            (a->when == b->when && a->seq < b->seq))
             best = s;
     }
     if (best < 0)
         return false;
 
     Shard &sh = shardsVec[static_cast<std::size_t>(best)];
-    Entry e = std::move(const_cast<Entry &>(sh.queue.top()));
-    sh.queue.pop();
+    EventNode *n = sh.queue.pop();
 
     TlsFrame saved = tls;
     tls.owner = this;
     tls.shard = best;
-    tls.affinity = e.affinity;
-    tls.now = e.when;
+    tls.affinity = n->affinity;
+    tls.now = n->when;
     tls.windowEnd = 0;
     tls.inRound = false;
 
-    globalTime = e.when;
-    sh.lastExecuted = e.when;
+    globalTime = n->when;
+    sh.lastExecuted = n->when;
     ++sh.stats.executed;
     ++numExecutedTotal;
     if (history)
-        history->record(e.when, e.affinity);
-    e.fn();
+        history->record(n->when, n->affinity);
+    struct Recycle
+    {
+        LadderQueue &q;
+        EventNode *n;
+        ~Recycle() { q.release(n); }
+    } recycle{sh.queue, n};
+    n->fn();
 
     tls = saved;
     return true;
@@ -363,7 +385,7 @@ ShardedSimulator::run_sequential(Tick limit)
 {
     // One shard: the exact sequential loop, no windows, no barriers.
     while (!shardsVec[0].queue.empty() &&
-           shardsVec[0].queue.top().when <= limit)
+           shardsVec[0].queue.min_when() <= limit)
         step_deterministic();
     return globalTime;
 }

@@ -56,13 +56,14 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "base/types.hh"
+#include "sim/event.hh"
 #include "sim/eventq.hh"
+#include "sim/ladderq.hh"
 
 namespace ap::sim
 {
@@ -160,7 +161,7 @@ struct WindowAgg
  * The sharded simulator. Drop-in for sim::Simulator behind the
  * virtual interface; see the file comment for the execution model.
  */
-class ShardedSimulator : public Simulator
+class ShardedSimulator final : public Simulator
 {
   public:
     explicit ShardedSimulator(ShardConfig cfg);
@@ -169,9 +170,8 @@ class ShardedSimulator : public Simulator
     // -- Simulator interface -------------------------------------------
 
     Tick now() const override;
-    void schedule(Tick when, std::function<void()> fn) override;
-    void schedule_for(int affinity, Tick when,
-                      std::function<void()> fn) override;
+    void schedule(Tick when, EventFn fn) override;
+    void schedule_for(int affinity, Tick when, EventFn fn) override;
     void set_history(TickHistory *h) override;
     Tick run() override;
     Tick run_until(Tick limit) override;
@@ -179,6 +179,7 @@ class ShardedSimulator : public Simulator
     bool empty() const override;
     std::size_t pending() const override;
     std::uint64_t executed() const override;
+    SimAllocStats alloc_stats() const override;
 
     // -- introspection (tests, ap_run report) --------------------------
 
@@ -253,38 +254,24 @@ class ShardedSimulator : public Simulator
     std::string report() const;
 
   private:
-    struct Entry
-    {
-        Tick when;
-        std::uint64_t seq;   ///< shard-local (global in det. mode)
-        int affinity;
-        std::function<void()> fn;
-    };
-
-    struct Later
-    {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
-
-    /** A cross-shard event in flight between window barriers. */
+    /** A cross-shard event in flight between window barriers. The
+     *  closure rides by value; the destination's pooled node is
+     *  allocated at merge time, on the coordinator. */
     struct Handoff
     {
         Tick when;
         int affinity;
         int srcShard;
         std::uint64_t srcSeq;
-        std::function<void()> fn;
+        EventFn fn;
     };
 
     struct Shard
     {
-        std::priority_queue<Entry, std::vector<Entry>, Later> queue;
+        /** Pending events; seq is shard-local (global in
+         *  deterministic mode). Shares the pooled ladder-queue
+         *  implementation with the sequential kernel. */
+        LadderQueue queue;
         std::uint64_t nextSeq = 0;
         /** Outboxes, one per destination shard; worker-exclusive
          *  during a round, drained at the barrier. */
@@ -311,7 +298,7 @@ class ShardedSimulator : public Simulator
     static thread_local TlsFrame tls;
 
     void enqueue_direct(int shard, int affinity, Tick when,
-                        std::function<void()> fn);
+                        EventFn fn);
     void note_window(WindowRecord rec);
     void merge_outboxes();
     void drain_shard(int s, Tick windowEnd);

@@ -182,7 +182,8 @@ harness_retry()
 RunOutcome
 run_program(const OpProgram &prog, const sim::FaultPlan &plan,
             const hw::RetryPolicy &retry, const obs::ObsOptions &obs,
-            bool reliable, int threads, bool deterministic)
+            bool reliable, int threads, bool deterministic,
+            bool collectStats)
 {
     hw::MachineConfig cfg =
         hw::MachineConfig::ap1000_plus(prog.cells);
@@ -209,8 +210,9 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     RunOutcome out;
     // Cell bodies on different shards may flag errors concurrently.
     std::atomic<int> dataErrs{0};
-    obs::StatsRegistry::Snapshot statsBefore =
-        m.stats_registry().snapshot();
+    obs::StatsRegistry::Snapshot statsBefore;
+    if (collectStats)
+        statsBefore = m.stats_registry().snapshot();
     core::SpmdResult result = core::run_spmd(m, [&](core::Context
                                                         &ctx) {
         CellId me = ctx.id();
@@ -359,13 +361,16 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     out.dataErrors = dataErrs.load();
     out.finish = result.finishTick;
     out.faults = m.faults().stats();
+    out.executedEvents = m.sim().executed();
     out.tickDigest = hist.digest();
     // "sim." is the kernel's self-telemetry (shard shape, host
     // wall-clock barrier waits): it describes how this run executed,
     // not what the machine did, so the cross-kernel byte-identity
     // compares must not see it.
-    out.statsJson = m.stats_registry().dump_json(false, "sim.");
-    out.statsDelta = m.stats_registry().delta_since(statsBefore);
+    if (collectStats) {
+        out.statsJson = m.stats_registry().dump_json(false, "sim.");
+        out.statsDelta = m.stats_registry().delta_since(statsBefore);
+    }
     if (m.reliable())
         out.rnetRetransmits =
             m.stats_registry().sum("*.rnet.retransmits");
@@ -397,14 +402,16 @@ check_against_golden(const OpProgram &prog,
                      const hw::RetryPolicy &retry, bool reliable)
 {
     RunOutcome golden =
-        run_program(prog, sim::FaultPlan{}, retry, {}, reliable);
+        run_program(prog, sim::FaultPlan{}, retry, {}, reliable, 1,
+                    false, /*collectStats=*/false);
     if (!golden.clean())
         return strprintf("golden (zero-fault) run failed: "
                          "deadlock=%d errors=%zu dataErrors=%d",
                          golden.deadlock, golden.errors.size(),
                          golden.dataErrors);
 
-    RunOutcome faulty = run_program(prog, plan, retry, {}, reliable);
+    RunOutcome faulty = run_program(prog, plan, retry, {}, reliable,
+                                    1, false, /*collectStats=*/false);
     if (faulty.deadlock)
         return strprintf("deadlock under plan [%s]",
                          plan.describe().c_str());

@@ -116,6 +116,8 @@ struct RunOutcome
     int dataErrors = 0;
     Tick finish = 0;
     sim::FaultStats faults;
+    /** Kernel events the run executed (throughput accounting). */
+    std::uint64_t executedEvents = 0;
     /** Total reliable-layer retransmissions (0 with the layer off). */
     std::uint64_t rnetRetransmits = 0;
     /**
@@ -150,13 +152,19 @@ struct RunOutcome
  * then selects its canonical-order merge so the run is byte-identical
  * to the sequential kernel (the mode the differential check relies
  * on).
+ *
+ * With @p collectStats off, the outcome's statsDelta and statsJson
+ * stay empty: walking and rendering the registry costs several
+ * hundred microseconds per run, which dominates callers that only
+ * compare memory regions (the golden check, soak loops).
  */
 RunOutcome run_program(const OpProgram &prog,
                        const sim::FaultPlan &plan,
                        const hw::RetryPolicy &retry,
                        const obs::ObsOptions &obs = {},
                        bool reliable = false, int threads = 1,
-                       bool deterministic = false);
+                       bool deterministic = false,
+                       bool collectStats = true);
 
 /** The default retry policy harness runs use under lossy plans. */
 hw::RetryPolicy harness_retry();

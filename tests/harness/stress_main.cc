@@ -19,6 +19,7 @@
 #include <string>
 
 #include "harness.hh"
+#include "obs/cli.hh"
 #include "obs/stats_registry.hh"
 
 using namespace ap;
@@ -99,12 +100,14 @@ full_vocabulary(const Options &opt)
 }
 
 Options
-parse(int argc, char **argv)
+parse(int argc, char **argv, obs::BenchReport &report)
 {
     Options opt;
     for (int i = 1; i < argc; ++i) {
         const char *a = argv[i];
-        if (std::strncmp(a, "--seed=", 7) == 0)
+        if (report.consume_arg(a))
+            ;
+        else if (std::strncmp(a, "--seed=", 7) == 0)
             opt.seed = std::strtoull(a + 7, nullptr, 10);
         else if (std::strncmp(a, "--plan=", 7) == 0)
             opt.plan = a + 7;
@@ -133,8 +136,8 @@ parse(int argc, char **argv)
                 "usage: stress_put_get [--seed=N] [--plan=NAME] "
                 "[--cells=N] [--ops=N] [--duration-s=S] "
                 "[--iters=N] [--reliable] [--threads=N] "
-                "[--differential] [--iter-stats] [--stats-out=F] "
-                "[--trace-out=F] [--timeline-out=F] "
+                "[--differential] [--iter-stats] [--json-out=F] "
+                "[--stats-out=F] [--trace-out=F] [--timeline-out=F] "
                 "[--timeline-period-us=US] [--debug-flags=A,B]\n");
             std::exit(2);
         }
@@ -147,7 +150,8 @@ parse(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
-    Options opt = parse(argc, argv);
+    obs::BenchReport report("stress_put_get");
+    Options opt = parse(argc, argv, report);
     hw::RetryPolicy retry = harness_retry();
     if (opt.reliable) {
         // The protocol layer absorbs transport loss; the watchdog
@@ -164,6 +168,7 @@ main(int argc, char **argv)
     long done = 0;
     std::uint64_t injected = 0;
     std::uint64_t retransmits = 0;
+    std::uint64_t events = 0;
     for (std::uint64_t seed = opt.seed;; ++seed) {
         if (opt.iters >= 0 && done >= opt.iters)
             break;
@@ -207,9 +212,11 @@ main(int argc, char **argv)
         // deterministic mode.
         RunOutcome o =
             run_program(prog, plan, retry, opt.obs, opt.reliable,
-                        opt.threads, opt.threads > 1);
+                        opt.threads, opt.threads > 1,
+                        /*collectStats=*/opt.iterStats);
         injected += o.faults.total() + o.faults.jitteredEvents;
         retransmits += o.rnetRetransmits;
+        events += o.executedEvents;
         if (opt.iterStats)
             std::printf(
                 "-- iteration %ld (seed %llu) stats delta --\n%s",
@@ -218,6 +225,23 @@ main(int argc, char **argv)
                     .c_str());
         ++done;
     }
+
+    // Host-throughput report for the perf gate. events_per_sec only
+    // counts the replay run of each iteration (one of the three runs
+    // an iteration executes), so it understates the kernel rate by a
+    // constant factor — consistent across baseline and candidate,
+    // which is all the ratio gate needs.
+    double wall = elapsed_s();
+    report.set("speed.wall_s", wall);
+    report.set("speed.iters_per_sec",
+               static_cast<double>(done) / wall);
+    report.set("speed.events_per_sec",
+               static_cast<double>(events) / wall);
+    report.set("count.iterations",
+               static_cast<std::uint64_t>(done));
+    report.set("count.faults_injected", injected);
+    report.set("count.retransmits", retransmits);
+    report.write();
 
     std::printf("stress ok: %ld iterations (plan %s%s%s, first seed "
                 "%llu, %.1f s, %llu faults/jitters injected, "

@@ -207,7 +207,8 @@ TEST(ShardQ, CustomAffinityMapRoutesContiguousBlocks)
     EXPECT_EQ(sh.shard_of(7), 0);
     EXPECT_EQ(sh.shard_of(8), 1);
 
-    int ran = 0;
+    // Same-tick events on different shards drain concurrently.
+    std::atomic<int> ran{0};
     sh.schedule_for(9, 5, [&] { ++ran; });
     sh.schedule_for(3, 5, [&] { ++ran; });
     sh.run();
