@@ -310,7 +310,7 @@ main(int argc, char **argv)
     hw::Machine machine(cfg);
     if (!obsOpts.traceOut.empty())
         machine.enable_tracing();
-    if (!obsOpts.timelineOut.empty())
+    if (obsOpts.timeline_enabled())
         machine.enable_timeline(obsOpts.timelinePeriodUs);
 
     PhaseRecorder phases{machine, {}};
@@ -360,6 +360,13 @@ main(int argc, char **argv)
                     obsOpts.timelineOut.c_str(),
                     static_cast<unsigned long long>(tl->taken()),
                     static_cast<unsigned long long>(tl->dropped()));
+    }
+    if (!obsOpts.timelineCsv.empty()) {
+        if (!machine.write_timeline_csv(obsOpts.timelineCsv))
+            fatal("cannot write timeline CSV to %s",
+                  obsOpts.timelineCsv.c_str());
+        std::printf("perf timeline CSV written to %s\n",
+                    obsOpts.timelineCsv.c_str());
     }
 
     if (phaseStats) {

@@ -584,6 +584,14 @@ Machine::write_timeline(const std::string &path) const
     return samplerPtr->write(path);
 }
 
+bool
+Machine::write_timeline_csv(const std::string &path) const
+{
+    if (!samplerPtr)
+        return false;
+    return samplerPtr->write_csv(path);
+}
+
 std::string
 Machine::stats_json(bool pretty) const
 {

@@ -237,6 +237,13 @@ class Machine
      */
     bool write_timeline(const std::string &path) const;
 
+    /**
+     * Write the sampler's timeline as CSV (one row per sample, one
+     * column per series) to @p path. @return false when the timeline
+     * is off or on I/O error.
+     */
+    bool write_timeline_csv(const std::string &path) const;
+
     // -- causal spans / flight recorder --------------------------------
 
     /** The causal span layer, wired into every component at

@@ -24,6 +24,10 @@ consume_obs_arg(const char *arg, ObsOptions &opt)
         opt.timelineOut = arg + 15;
         return true;
     }
+    if (std::strncmp(arg, "--timeline-csv=", 15) == 0) {
+        opt.timelineCsv = arg + 15;
+        return true;
+    }
     if (std::strncmp(arg, "--timeline-period-us=", 21) == 0) {
         opt.timelinePeriodUs = std::atof(arg + 21);
         if (opt.timelinePeriodUs <= 0.0)

@@ -8,6 +8,7 @@
  *   --stats-out=FILE          write the stats-registry JSON dump
  *   --trace-out=FILE          enable the tracer, write Chrome trace
  *   --timeline-out=FILE       enable the perf-timeline sampler
+ *   --timeline-csv=FILE       also write the timeline as CSV
  *   --timeline-period-us=US   sampling period (model time)
  *   --debug-flags=A,B         turn on debug-log categories
  *
@@ -35,13 +36,22 @@ struct ObsOptions
     std::string statsOut;    ///< --stats-out=FILE (empty = off)
     std::string traceOut;    ///< --trace-out=FILE (empty = off)
     std::string timelineOut; ///< --timeline-out=FILE (empty = off)
+    /** --timeline-csv=FILE: CSV export of the same timeline. Enables
+     *  the sampler by itself; --timeline-out is not required. */
+    std::string timelineCsv;
     /** --timeline-period-us=US: model-time sampling period. */
     double timelinePeriodUs = 20.0;
+
+    /** True when the timeline sampler is wanted in any format. */
+    bool timeline_enabled() const
+    {
+        return !timelineOut.empty() || !timelineCsv.empty();
+    }
 
     bool any() const
     {
         return !statsOut.empty() || !traceOut.empty() ||
-               !timelineOut.empty();
+               timeline_enabled();
     }
 };
 

@@ -175,4 +175,26 @@ TimelineSampler::write(const std::string &path) const
     return write_file(path, json(true));
 }
 
+std::string
+TimelineSampler::csv() const
+{
+    std::string out = "t_us";
+    for (const SeriesSpec &s : specs)
+        out += "," + s.name;
+    out += "\n";
+    for (const TimelineSample &row : samples()) {
+        out += json_number(ticks_to_us(row.tick));
+        for (std::int64_t v : row.values)
+            out += strprintf(",%lld", static_cast<long long>(v));
+        out += "\n";
+    }
+    return out;
+}
+
+bool
+TimelineSampler::write_csv(const std::string &path) const
+{
+    return write_file(path, csv());
+}
+
 } // namespace ap::obs

@@ -13,7 +13,8 @@
  * delta_since()) and stores one row per configured series in a
  * bounded ring, exported as a JSON timeline (`ap_run
  * --timeline-out=FILE`, validated by tools/check_profile_schema.py
- * timeline).
+ * timeline) or as CSV for spreadsheets and pandas
+ * (`--timeline-csv=FILE`).
  *
  * The sampler is an observer, not an actor: it never schedules
  * events. run() drives the simulator from *outside* the event loop —
@@ -128,6 +129,20 @@ class TimelineSampler
 
     /** Write json() to @p path. @return false on I/O error. */
     bool write(const std::string &path) const;
+
+    /**
+     * The timeline as CSV, one line per retained sample:
+     *   t_us,<series 0 name>,<series 1 name>,...
+     *   0.02,118,3,...
+     * Same rows and ordering as json()'s "samples" array (oldest
+     * first, strictly increasing t_us); series names never contain
+     * commas or quotes, so the document needs no CSV escaping and
+     * loads directly into spreadsheets or pandas.
+     */
+    std::string csv() const;
+
+    /** Write csv() to @p path. @return false on I/O error. */
+    bool write_csv(const std::string &path) const;
 
   private:
     const StatsRegistry &reg;

@@ -151,7 +151,7 @@ main(int argc, char **argv)
     hw::Machine machine(cfg);
     if (!obsOpt.traceOut.empty())
         machine.enable_tracing();
-    if (!obsOpt.timelineOut.empty())
+    if (obsOpt.timeline_enabled())
         machine.enable_timeline(obsOpt.timelinePeriodUs);
 
     traffic.maxW = machine.topology().width();
@@ -231,6 +231,9 @@ main(int argc, char **argv)
     if (!obsOpt.timelineOut.empty() &&
         !machine.write_timeline(obsOpt.timelineOut))
         fatal("cannot write %s", obsOpt.timelineOut.c_str());
+    if (!obsOpt.timelineCsv.empty() &&
+        !machine.write_timeline_csv(obsOpt.timelineCsv))
+        fatal("cannot write %s", obsOpt.timelineCsv.c_str());
 
     bool ok = sched.all_terminal();
     if (drill) {

@@ -198,7 +198,7 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     m.sim().set_history(&hist);
     if (!obs.traceOut.empty())
         m.enable_tracing();
-    if (!obs.timelineOut.empty())
+    if (obs.timeline_enabled())
         m.enable_timeline(obs.timelinePeriodUs);
 
     const std::size_t region_bytes =
@@ -393,6 +393,10 @@ run_program(const OpProgram &prog, const sim::FaultPlan &plan,
     if (!obs.timelineOut.empty() && !m.write_timeline(obs.timelineOut))
         fatal("harness: cannot write timeline to %s",
               obs.timelineOut.c_str());
+    if (!obs.timelineCsv.empty() &&
+        !m.write_timeline_csv(obs.timelineCsv))
+        fatal("harness: cannot write timeline CSV to %s",
+              obs.timelineCsv.c_str());
     return out;
 }
 

@@ -3,8 +3,8 @@
  * Timeline-sampler tests: period boundary math (including tick
  * saturation), bounded-ring wrap-around, delta-vs-level series
  * correctness against hand-computed snapshots, driving a real event
- * queue in period slices, JSON schema, the registry's skip-prefix
- * dump, and the observer guarantee — sampling must not perturb the
+ * queue in period slices, JSON schema, the CSV export round-trip,
+ * the registry's skip-prefix dump, and the observer guarantee — sampling must not perturb the
  * deterministic byte-identity between the sequential and sharded
  * kernels.
  */
@@ -12,6 +12,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -191,6 +194,104 @@ TEST(Sampler, JsonIsValidTimelineSchema)
     EXPECT_NE(doc.find("\"count\""), std::string::npos);
     EXPECT_NE(doc.find("\"t_us\": 1"), std::string::npos);
     EXPECT_TRUE(json_valid(tl.json(false), &err)) << err;
+}
+
+namespace
+{
+
+/** Split one CSV line on commas (no escaping in timeline CSV). */
+std::vector<std::string>
+csv_fields(const std::string &line)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t comma = line.find(',', start);
+        if (comma == std::string::npos) {
+            out.push_back(line.substr(start));
+            return out;
+        }
+        out.push_back(line.substr(start, comma - start));
+        start = comma + 1;
+    }
+}
+
+} // namespace
+
+TEST(Sampler, CsvRoundTripsTheRetainedSamples)
+{
+    StatsRegistry reg;
+    std::uint64_t c = 0, depth = 0;
+    reg.add_counter("x.count", &c);
+    reg.add_gauge("x.depth", &depth);
+    TimelineSampler tl(reg, us_to_ticks(2.0),
+                       {{"count", "x.count", false},
+                        {"depth", "x.depth", true}});
+    tl.start();
+    c = 3;
+    depth = 7;
+    tl.sample(us_to_ticks(2.0));
+    c = 11;
+    depth = 4;
+    tl.sample(us_to_ticks(4.0));
+
+    std::string doc = tl.csv();
+    std::vector<std::string> lines;
+    std::size_t start = 0, nl;
+    while ((nl = doc.find('\n', start)) != std::string::npos) {
+        lines.push_back(doc.substr(start, nl - start));
+        start = nl + 1;
+    }
+    EXPECT_EQ(start, doc.size()) << "CSV must end in a newline";
+
+    // Header row names every series after the time column.
+    ASSERT_EQ(lines.size(), 3u);
+    std::vector<std::string> head = csv_fields(lines[0]);
+    ASSERT_EQ(head.size(), 3u);
+    EXPECT_EQ(head[0], "t_us");
+    EXPECT_EQ(head[1], "count");
+    EXPECT_EQ(head[2], "depth");
+
+    // Each data row round-trips one retained sample exactly.
+    std::vector<TimelineSample> rows = tl.samples();
+    ASSERT_EQ(rows.size(), lines.size() - 1);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::vector<std::string> f = csv_fields(lines[i + 1]);
+        ASSERT_EQ(f.size(), rows[i].values.size() + 1);
+        EXPECT_DOUBLE_EQ(std::stod(f[0]),
+                         ticks_to_us(rows[i].tick));
+        for (std::size_t j = 0; j < rows[i].values.size(); ++j)
+            EXPECT_EQ(std::stoll(f[j + 1]), rows[i].values[j]);
+    }
+    // And the parsed values are the hand-computed ones.
+    std::vector<std::string> r0 = csv_fields(lines[1]);
+    EXPECT_EQ(r0[1], "3");
+    EXPECT_EQ(r0[2], "7");
+    std::vector<std::string> r1 = csv_fields(lines[2]);
+    EXPECT_EQ(r1[1], "8"); // delta: 11 - 3
+    EXPECT_EQ(r1[2], "4"); // level
+}
+
+TEST(Sampler, WriteCsvMatchesCsvString)
+{
+    StatsRegistry reg;
+    std::uint64_t c = 0;
+    reg.add_counter("x.count", &c);
+    TimelineSampler tl(reg, us_to_ticks(1.0),
+                       {{"count", "x.count", false}});
+    tl.start();
+    c = 5;
+    tl.sample(us_to_ticks(1.0));
+
+    std::string path =
+        ::testing::TempDir() + "/ap_sampler_roundtrip.csv";
+    ASSERT_TRUE(tl.write_csv(path));
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    EXPECT_EQ(buf.str(), tl.csv());
+    std::remove(path.c_str());
 }
 
 TEST(Sampler, DefaultSeriesCoverTheMachineDashboard)

@@ -4,8 +4,11 @@
 Compares every numeric metric of one or more `BENCH_<name>.json`
 candidate files (written by the benches' `--json-out=`) against the
 baseline of the same basename under `bench/baselines/`. Metrics are
-matched by flattened dotted path; only paths present in BOTH documents
-are compared, so adding a metric to a bench never breaks the gate.
+matched by flattened dotted path. Only paths present in BOTH documents
+are compared, so adding a metric to a bench never breaks the gate —
+but one-sided paths are never silently dropped either: baseline-only
+(dropped) and candidate-only (added) metrics each get a WARN line and
+both counts appear in the per-file summary.
 
 Tolerance classes (per-metric relative change, worse direction only):
 
@@ -119,12 +122,23 @@ def compare_file(path, baseline_dir, opts):
 
     stem = re.sub(r"^BENCH_|\.json$", "", name)
     shared = sorted(set(cand) & set(base))
-    only_base = set(base) - set(cand)
+    # Paths on one side only are never silently intersected away: a
+    # dropped metric is how a renamed key or a lost measurement pass
+    # hides from the gate, an added one is a baseline waiting to be
+    # regenerated. Both get loud WARN lines and show up in the
+    # summary count.
+    only_base = sorted(set(base) - set(cand))
+    only_cand = sorted(set(cand) - set(base))
     if only_base:
-        print(f"NOTE  {name}: {len(only_base)} baseline metrics "
-              f"absent from candidate: "
-              f"{', '.join(sorted(only_base)[:5])}"
+        print(f"WARN  {name}: {len(only_base)} baseline metrics "
+              f"dropped from candidate (not compared): "
+              f"{', '.join(only_base[:5])}"
               f"{' ...' if len(only_base) > 5 else ''}")
+    if only_cand:
+        print(f"WARN  {name}: {len(only_cand)} candidate metrics "
+              f"missing from baseline (not gated): "
+              f"{', '.join(only_cand[:5])}"
+              f"{' ...' if len(only_cand) > 5 else ''}")
     rc = 0
     for p in shared:
         b, c = base[p], cand[p]
@@ -154,7 +168,8 @@ def compare_file(path, baseline_dir, opts):
                   f"(improved {-reg:.1f}%)")
     if rc == 0:
         print(f"OK    {name}: {len(shared)} metrics within "
-              f"tolerance")
+              f"tolerance ({len(only_base)} dropped, "
+              f"{len(only_cand)} added)")
     return rc
 
 

@@ -11,11 +11,18 @@ Three document kinds:
   timeline  perf-timeline JSON written by `--timeline-out=F`
             (obs/sampler.hh: series/level lists plus samples rows
             with strictly increasing t_us)
+  sweep     parameterized sweep dataset written by `bench_sweep`
+            (model/modelset.hh: points rows with strictly
+            increasing x and per-point metric values)
+  model     fitted scaling-law set written by `bench_sweep --fit`
+            (one fitted term + envelope per metric)
 
 Usage:
   check_profile_schema.py profile [--min-coverage=0.95] FILE...
   check_profile_schema.py chrome FILE...
   check_profile_schema.py timeline FILE...
+  check_profile_schema.py sweep FILE...
+  check_profile_schema.py model FILE...
 
 Exit status 0 when every file conforms; 1 with a diagnostic per
 violation otherwise. Standard library only.
@@ -161,9 +168,90 @@ def check_timeline(path, doc):
     return rc
 
 
+def check_sweep(path, doc):
+    rc = 0
+    if doc.get("kind") != "sweep":
+        rc |= fail(path, "'kind' is not \"sweep\"")
+    for key in ("sweep", "bench", "param", "unit"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            rc |= fail(path, f"missing string field '{key}'")
+    points = doc.get("points")
+    if not isinstance(points, list) or not points:
+        return rc | fail(path, "missing or empty 'points' list")
+    prev_x = None
+    for i, row in enumerate(points):
+        if not isinstance(row, dict):
+            rc |= fail(path, f"points[{i}] is not an object")
+            continue
+        x = row.get("x")
+        if not is_num(x):
+            rc |= fail(path, f"points[{i}].x missing")
+        elif prev_x is not None and x <= prev_x:
+            rc |= fail(path, f"points[{i}].x {x} not after {prev_x}")
+        if is_num(x):
+            prev_x = x
+        metrics = row.get("metrics")
+        if (not isinstance(metrics, dict) or not metrics or
+                not all(is_num(v) for v in metrics.values())):
+            rc |= fail(
+                path,
+                f"points[{i}].metrics missing, empty, or "
+                f"non-numeric")
+        registry = row.get("registry")
+        if registry is not None and (
+                not isinstance(registry, dict) or
+                not all(isinstance(v, int) and not isinstance(v, bool)
+                        for v in registry.values())):
+            rc |= fail(
+                path, f"points[{i}].registry not integer-valued")
+    return rc
+
+
+def check_model(path, doc):
+    rc = 0
+    if doc.get("kind") != "model":
+        rc |= fail(path, "'kind' is not \"model\"")
+    for key in ("sweep", "bench", "param", "unit"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            rc |= fail(path, f"missing string field '{key}'")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list) or not metrics:
+        return rc | fail(path, "missing or empty 'metrics' list")
+    for i, m in enumerate(metrics):
+        if not isinstance(m, dict):
+            rc |= fail(path, f"metrics[{i}] is not an object")
+            continue
+        name = m.get("metric", f"[{i}]")
+        if not isinstance(m.get("metric"), str):
+            rc |= fail(path, f"metrics[{i}].metric missing")
+        if m.get("class") not in ("sim", "host", "count"):
+            rc |= fail(path, f"metrics.{name}.class invalid")
+        for key in ("c", "a", "exp", "r2", "adj_r2", "rmse_rel",
+                    "cv_rmse_rel", "points", "xmin", "xmax",
+                    "envelope"):
+            if not is_num(m.get(key)):
+                rc |= fail(
+                    path,
+                    f"metrics.{name}.{key} missing or non-numeric")
+        if not isinstance(m.get("log"), int):
+            rc |= fail(path, f"metrics.{name}.log not an integer")
+        if not isinstance(m.get("constant"), bool):
+            rc |= fail(path, f"metrics.{name}.constant not a bool")
+        if not isinstance(m.get("formula"), str):
+            rc |= fail(path, f"metrics.{name}.formula missing")
+        env = m.get("envelope")
+        if is_num(env) and env <= 0:
+            rc |= fail(path, f"metrics.{name}.envelope not positive")
+        if (is_num(m.get("xmin")) and is_num(m.get("xmax")) and
+                m["xmin"] >= m["xmax"]):
+            rc |= fail(path, f"metrics.{name}: xmin >= xmax")
+    return rc
+
+
 def main(argv):
     if len(argv) < 3 or argv[1] not in ("profile", "chrome",
-                                        "timeline"):
+                                        "timeline", "sweep",
+                                        "model"):
         print(__doc__, file=sys.stderr)
         return 2
     kind = argv[1]
@@ -193,6 +281,10 @@ def main(argv):
             rc |= check_profile(path, doc, min_coverage)
         elif kind == "chrome":
             rc |= check_chrome(path, doc)
+        elif kind == "sweep":
+            rc |= check_sweep(path, doc)
+        elif kind == "model":
+            rc |= check_model(path, doc)
         else:
             rc |= check_timeline(path, doc)
         if rc == 0:
